@@ -1,0 +1,1 @@
+bench/abc_experiment.ml: Cold Cold_context Cold_prng Config List Printf

@@ -1,0 +1,1 @@
+bench/ablation_context.ml: Array Cold Cold_context Cold_geom Cold_metrics Cold_prng Cold_stats Cold_traffic Config Float List Printf

@@ -1,0 +1,1 @@
+bench/ablation_cost.ml: Cold Cold_context Cold_graph Cold_metrics Cold_prng Config Format Printf

@@ -1,0 +1,1 @@
+bench/ablation_ga.ml: Array Cold Cold_context Cold_prng Cold_stats Config Printf

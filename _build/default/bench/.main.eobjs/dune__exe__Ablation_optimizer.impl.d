@@ -1,0 +1,1 @@
+bench/ablation_optimizer.ml: Array Cold Cold_context Cold_prng Cold_stats Config Float Hashtbl Option Printf

@@ -1,0 +1,1 @@
+bench/ablation_routing.ml: Array Cold Cold_context Cold_net Cold_prng Cold_stats Config Float List Printf

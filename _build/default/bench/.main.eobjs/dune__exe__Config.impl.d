@@ -1,0 +1,1 @@
+bench/config.ml: Cold Cold_prng Cold_stats Printf String Sys Unix

@@ -1,0 +1,1 @@
+bench/evolution_experiment.ml: Cold Cold_graph Cold_net Cold_prng Config Float List Printf

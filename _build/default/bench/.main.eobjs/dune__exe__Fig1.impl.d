@@ -1,0 +1,1 @@
+bench/fig1.ml: Cold_dk Cold_graph Cold_prng Config List Printf

@@ -1,0 +1,1 @@
+bench/fig2.ml: Cold_baselines Cold_dk Cold_graph Cold_metrics Cold_prng Config Format Printf

@@ -1,0 +1,1 @@
+bench/fig3.ml: Array Cold Cold_context Cold_prng Cold_stats Config List Printf

@@ -1,0 +1,1 @@
+bench/ga_optimality.ml: Cold Cold_context Cold_prng Config List Printf

@@ -1,0 +1,1 @@
+bench/hubcost.ml: Array Cold Cold_context Cold_metrics Cold_prng Cold_stats Cold_zoo Config Format List Printf

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Cold Cold_context Cold_dk Cold_graph Cold_metrics Cold_net Cold_prng Config Hashtbl List Measure Printf Staged Test Time Toolkit

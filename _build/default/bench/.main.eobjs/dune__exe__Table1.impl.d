@@ -1,0 +1,1 @@
+bench/table1.ml: Array Cold_baselines Config Format List Printf

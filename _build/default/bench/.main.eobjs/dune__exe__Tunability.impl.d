@@ -1,0 +1,1 @@
+bench/tunability.ml: Array Cold Cold_context Cold_metrics Cold_prng Cold_stats Config List Printf

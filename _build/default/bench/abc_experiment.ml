@@ -1,0 +1,43 @@
+(* X7: ABC parameter recovery. §8 proposes "statistical estimation
+   techniques, most notably ABC ... to map real networks to parameters ki".
+   We close the loop: synthesize a network at known parameters, observe only
+   its summary statistics, run rejection-ABC, and check the posterior
+   recovers the bandwidth cost k2 (the parameter with the strongest
+   observable signature) to within an order of magnitude. *)
+
+module Prng = Cold_prng.Prng
+module Context = Cold_context.Context
+module Abc = Cold.Abc
+module Cost = Cold.Cost
+
+let run () =
+  Config.section "X7: ABC parameter recovery (§8 future work)";
+  let truths = [ 1.0e-4; 8.0e-4 ] in
+  let trials = match Config.scale with Config.Smoke -> 15 | Config.Quick -> 40 | Config.Full -> 200 in
+  let ok = ref true in
+  List.iter
+    (fun k2_true ->
+      let params = Cost.params ~k2:k2_true ~k3:10.0 () in
+      let cfg = Config.synthesis_config ~params () in
+      let rng = Prng.create (Config.master_seed + 901) in
+      let ctx = Context.generate (Context.default_spec ~n:20) rng in
+      let result = Cold.Synthesis.design_ga cfg ctx rng in
+      let obs = Abc.observe result.Cold.Ga.best in
+      let samples =
+        Abc.infer ~trials ~epsilon:0.4 obs ~seed:(Config.master_seed + 902)
+      in
+      match Abc.posterior_mean samples with
+      | None ->
+        ok := false;
+        Printf.printf "k2 = %.1e: no acceptance in %d trials\n" k2_true trials
+      | Some p ->
+        let ratio = p.Cost.k2 /. k2_true in
+        let recovered = ratio > 0.1 && ratio < 10.0 in
+        if not recovered then ok := false;
+        Printf.printf
+          "k2 = %.1e: accepted %3d/%3d, posterior k2 = %.1e (ratio %.2f), k3 = %.1f\n"
+          k2_true (List.length samples) trials p.Cost.k2 ratio p.Cost.k3)
+    truths;
+  Printf.printf
+    "\nshape check: k2 recovered within an order of magnitude for all truths: %b\n"
+    !ok

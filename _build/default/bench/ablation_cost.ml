@@ -1,0 +1,41 @@
+(* X4 (§3.2.3): single-cost dominance sanity. When one cost component
+   dominates, the optimal topology collapses to a known family:
+   k0 -> spanning trees, k1 -> the Euclidean MST, k2 -> the clique,
+   k3 -> hub-and-spoke. Verified against brute-force enumeration. *)
+
+module Graph = Cold_graph.Graph
+module Prng = Cold_prng.Prng
+module Context = Cold_context.Context
+module Cost = Cold.Cost
+module Degree = Cold_metrics.Degree
+
+let run () =
+  Config.section "X4: cost-term dominance (brute-force verified)";
+  let n = min Config.brute_force_n 6 in
+  let rng = Prng.create (Config.master_seed + 4242) in
+  let ctx = Context.generate (Context.default_spec ~n) rng in
+  let check label params predicate =
+    let (opt, _) = Cold.Brute_force.optimal params ctx in
+    let ok = predicate opt in
+    Printf.printf "%-14s -> %-40s %b\n" label (Format.asprintf "%a" Graph.pp opt) ok;
+    ok
+  in
+  let mst = Cold.Heuristics.mst_topology ctx in
+  let ok0 =
+    check "k0 dominant" (Cost.params ~k0:1e6 ~k1:1.0 ~k2:1e-9 ~k3:0.0 ())
+      (fun g -> Graph.edge_count g = n - 1)
+  in
+  let ok1 =
+    check "k1 dominant" (Cost.params ~k0:0.0 ~k1:1.0 ~k2:1e-9 ~k3:0.0 ())
+      (fun g -> Graph.equal g mst)
+  in
+  let ok2 =
+    check "k2 dominant" (Cost.params ~k0:0.0 ~k1:0.0 ~k2:1.0 ~k3:0.0 ())
+      (fun g -> Graph.edge_count g = n * (n - 1) / 2)
+  in
+  let ok3 =
+    check "k3 dominant" (Cost.params ~k0:1.0 ~k1:1.0 ~k2:1e-9 ~k3:1e6 ())
+      (fun g -> Degree.hub_count g = 1)
+  in
+  Printf.printf "\nshape check: all four dominance regimes verified: %b\n"
+    (ok0 && ok1 && ok2 && ok3)

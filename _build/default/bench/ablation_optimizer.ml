@@ -1,0 +1,65 @@
+(* X5: optimizer ablation. §3.3 motivates the GA by flexibility, not by
+   optimality — engineers "optimize heuristically". This experiment compares
+   the initialised GA against simulated annealing and hill climbing at a
+   matched evaluation budget, on shared contexts. Expected: all land within a
+   few percent; the initialised GA is the most reliable (smallest spread),
+   which is the paper's real argument for it. *)
+
+module Prng = Cold_prng.Prng
+module Context = Cold_context.Context
+module Cost = Cold.Cost
+module Ga = Cold.Ga
+module Local_search = Cold.Local_search
+module D = Cold_stats.Descriptive
+
+let run () =
+  Config.section "X5: optimizer ablation (initialised GA vs annealing vs hill climbing)";
+  let params = Cost.params ~k2:2e-4 ~k3:10.0 () in
+  let budget =
+    Config.ga_settings.Ga.population_size * (Config.ga_settings.Ga.generations + 1)
+  in
+  let ls_settings budgeted temperature =
+    {
+      Local_search.default_settings with
+      Local_search.iterations = budgeted;
+      initial_temperature = temperature;
+      cooling = exp (log 1e-3 /. float_of_int (max 1 budgeted));
+    }
+  in
+  Printf.printf "k2 = 2e-4, k3 = 10, n = %d, ~%d evaluations per optimizer, %d contexts\n\n"
+    Config.n_pops budget Config.trials;
+  let ratios = Hashtbl.create 4 in
+  let record name r =
+    Hashtbl.replace ratios name (r :: Option.value ~default:[] (Hashtbl.find_opt ratios name))
+  in
+  for t = 0 to Config.trials - 1 do
+    let rng = Prng.split_at (Prng.create (Config.master_seed + 777)) t in
+    let ctx = Context.generate (Context.default_spec ~n:Config.n_pops) rng in
+    let seeds =
+      Cold.Heuristics.seed_set ~permutations:Config.heuristic_permutations params
+        ctx rng
+    in
+    let ga = (Ga.run ~seeds Config.ga_settings params ctx rng).Ga.best_cost in
+    let sa =
+      (Local_search.run (ls_settings budget 0.03) params ctx rng).Local_search.best_cost
+    in
+    let hc =
+      (Local_search.run (ls_settings budget 0.0) params ctx rng).Local_search.best_cost
+    in
+    let best = Float.min ga (Float.min sa hc) in
+    record "initialised GA" (ga /. best);
+    record "simulated annealing" (sa /. best);
+    record "hill climbing" (hc /. best)
+  done;
+  let summary name =
+    let values = Array.of_list (Hashtbl.find ratios name) in
+    Printf.printf "%-22s mean ratio to best %6.4f (worst %6.4f)\n" name
+      (D.mean values) (D.max_value values)
+  in
+  summary "initialised GA";
+  summary "simulated annealing";
+  summary "hill climbing";
+  let ga_worst = D.max_value (Array.of_list (Hashtbl.find ratios "initialised GA")) in
+  Printf.printf
+    "\nshape check: initialised GA within 3%% of the per-context best everywhere: %b\n"
+    (ga_worst <= 1.03)

@@ -1,0 +1,119 @@
+(* Shared configuration for the experiment harness.
+
+   COLD_BENCH_SCALE selects the fidelity/run-time trade-off:
+     smoke — seconds; sanity only.
+     quick — minutes; the default. Reproduces every figure's shape with
+             reduced trial counts and a reduced GA.
+     full  — paper scale (T = M = 100, 20 trials, n up to 100, brute force
+             to n = 7). Expect a long run. *)
+
+type scale = Smoke | Quick | Full
+
+let scale =
+  match Sys.getenv_opt "COLD_BENCH_SCALE" with
+  | Some "full" -> Full
+  | Some "smoke" -> Smoke
+  | _ -> Quick
+
+let scale_name = match scale with Smoke -> "smoke" | Quick -> "quick" | Full -> "full"
+
+(* Number of PoPs for the §6 tunability experiments (paper: 30). *)
+let n_pops = match scale with Smoke -> 16 | Quick | Full -> 30
+
+(* Trials per parameter point. Paper: 20 (Fig 3) / 200 (Figs 5-9). *)
+let trials = match scale with Smoke -> 2 | Quick -> 5 | Full -> 20
+
+let ga_settings =
+  match scale with
+  | Smoke ->
+    {
+      Cold.Ga.default_settings with
+      Cold.Ga.population_size = 30;
+      generations = 20;
+      num_saved = 6;
+      num_crossover = 15;
+      num_mutation = 9;
+    }
+  | Quick ->
+    {
+      Cold.Ga.default_settings with
+      Cold.Ga.population_size = 50;
+      generations = 50;
+      num_saved = 10;
+      num_crossover = 25;
+      num_mutation = 15;
+    }
+  | Full -> Cold.Ga.default_settings (* T = M = 100, as in §5 *)
+
+let heuristic_permutations = match scale with Smoke -> 2 | Quick -> 3 | Full -> 10
+
+(* The paper's Fig 3/5-9 x-axis: k2 from 2.5e-5 to 1.6e-3 (log grid). *)
+let k2_grid =
+  match scale with
+  | Smoke -> [ 2.5e-5; 1.6e-3 ]
+  | Quick -> [ 2.5e-5; 1.0e-4; 4.0e-4; 1.6e-3 ]
+  | Full -> [ 2.5e-5; 5.0e-5; 1.0e-4; 2.0e-4; 4.0e-4; 8.0e-4; 1.6e-3 ]
+
+(* Fig 5-7 series: k3 ∈ {0, 10, 100, 1000}. *)
+let k3_series = [ 0.0; 10.0; 100.0; 1000.0 ]
+
+(* Fig 8b/9 x-axis: k3 sweep at fixed k2 values. *)
+let k3_grid =
+  match scale with
+  | Smoke -> [ 1.0; 1000.0 ]
+  | Quick -> [ 1.0; 10.0; 100.0; 1000.0 ]
+  | Full -> [ 1.0; 3.0; 10.0; 30.0; 100.0; 300.0; 1000.0 ]
+
+let fig8_k2_series = [ 2.5e-5; 1.0e-4; 4.0e-4; 1.6e-3 ]
+
+(* Fig 4 network sizes. Paper: up to several hundred. *)
+let fig4_sizes =
+  match scale with
+  | Smoke -> [ 8; 12; 16 ]
+  | Quick -> [ 10; 14; 20; 28; 40; 56 ]
+  | Full -> [ 10; 14; 20; 28; 40; 56; 80; 100 ]
+
+(* Brute-force validation size (§5: up to 8 in the paper; 2^21 graphs at
+   n = 7 already takes minutes). *)
+let brute_force_n = match scale with Smoke -> 5 | Quick -> 6 | Full -> 7
+
+let table1_trials = match scale with Smoke -> 4 | Quick -> 8 | Full -> 20
+
+let zoo_count = match scale with Smoke -> 60 | Quick -> 250 | Full -> 250
+
+let fig1_sizes =
+  match scale with
+  | Smoke -> [ 10; 20; 30 ]
+  | Quick | Full -> [ 10; 15; 20; 25; 30; 35; 40; 45; 50 ]
+
+let master_seed = 20140702 (* CoNEXT'14 camera-ready vibes; any constant works. *)
+
+let synthesis_config ?(params = Cold.Cost.params ()) () =
+  {
+    (Cold.Synthesis.default_config ~params ()) with
+    Cold.Synthesis.ga = ga_settings;
+    heuristic_permutations;
+  }
+
+(* --- output helpers --------------------------------------------------------- *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subsection title = Printf.printf "\n-- %s --\n" title
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let pp_ci (ci : Cold_stats.Bootstrap.interval) =
+  Printf.sprintf "%8.3f [%8.3f, %8.3f]" ci.Cold_stats.Bootstrap.point
+    ci.Cold_stats.Bootstrap.lo ci.Cold_stats.Bootstrap.hi
+
+(* Mean + bootstrap CI of a per-trial statistic, with a deterministic
+   bootstrap stream per label. *)
+let ci_of label values =
+  Cold_stats.Bootstrap.mean_ci
+    (Cold_prng.Prng.create (Cold_prng.Prng.seed_of_string label))
+    values

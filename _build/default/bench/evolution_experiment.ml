@@ -1,0 +1,53 @@
+(* X6: incremental evolution. §3 notes real networks "are rarely designed
+   from scratch — they evolve". We grow a network over several steps and
+   measure the legacy penalty: how much more the evolved design costs than a
+   greenfield design of the same final context, as a function of the
+   decommissioning cost. Expected: penalty ~0 when decommissioning is free,
+   growing (but modest) when legacy links are expensive to remove. *)
+
+module Prng = Cold_prng.Prng
+module Evolution = Cold.Evolution
+module Graph = Cold_graph.Graph
+module Network = Cold_net.Network
+
+let steps =
+  [
+    { Evolution.new_pops = 5; traffic_growth = 1.6 };
+    { Evolution.new_pops = 5; traffic_growth = 1.6 };
+    { Evolution.new_pops = 5; traffic_growth = 1.6 };
+  ]
+
+let run () =
+  Config.section "X6: incremental evolution and the cost of legacy";
+  let params = Cold.Cost.params ~k2:2e-4 ~k3:10.0 () in
+  Printf.printf "15 -> 30 PoPs over 3 steps, traffic x4; decommission cost swept\n\n";
+  Printf.printf "%14s %10s %12s %14s\n" "decommission" "links" "removed" "legacy penalty";
+  let penalties =
+    List.map
+      (fun dc ->
+        let cfg =
+          {
+            (Evolution.default_config ~params ()) with
+            Evolution.decommission_cost = dc;
+            ga = Config.ga_settings;
+          }
+        in
+        let states =
+          Evolution.run cfg ~initial_n:15 ~steps ~seed:(Config.master_seed + 31)
+        in
+        let final = List.nth states (List.length states - 1) in
+        let penalty =
+          Evolution.legacy_penalty cfg final (Prng.create (Config.master_seed + 32))
+        in
+        Printf.printf "%14.0f %10d %12d %13.2f%%\n" dc
+          (Graph.edge_count final.Evolution.network.Network.graph)
+          final.Evolution.cumulative_decommissions (100.0 *. penalty);
+        (dc, penalty))
+      [ 0.0; 50.0; 1e6 ]
+  in
+  let penalty_of dc = List.assoc dc penalties in
+  Printf.printf
+    "\nshape check: free decommissioning ~ greenfield (|penalty| <= 5%%): %b;\n\
+    \  frozen legacy costs at least as much: %b\n"
+    (Float.abs (penalty_of 0.0) <= 0.05)
+    (penalty_of 1e6 >= penalty_of 0.0 -. 0.02)

@@ -1,0 +1,56 @@
+(* Fig 2: (a) a small example network; (b) ER graphs with the same link
+   count — disconnection and long paths appear; (c) graphs with the same
+   3K-distribution — all isomorphic to the input (over-constraint). *)
+
+module Graph = Cold_graph.Graph
+module Builders = Cold_graph.Builders
+module Traversal = Cold_graph.Traversal
+module Prng = Cold_prng.Prng
+module Er = Cold_baselines.Erdos_renyi
+module Rewire = Cold_dk.Rewire
+module Iso = Cold_dk.Iso
+module Distance_metrics = Cold_metrics.Distance_metrics
+
+(* The example input: a hub-and-spoke with a triangle at the core, the shape
+   of the paper's Fig 2(a). *)
+let example () =
+  let g = Builders.double_star 8 in
+  Graph.add_edge g 2 3;
+  g
+
+let run () =
+  Config.section "Figure 2: ER vs 3K-matching graphs on a small example";
+  let input = example () in
+  Printf.printf "(a) input: %s\n" (Format.asprintf "%a" Graph.pp input);
+  Printf.printf "    diameter %d, connected %b\n\n"
+    (Distance_metrics.diameter input)
+    (Traversal.is_connected input);
+
+  Config.subsection "(b) Erdos-Renyi with the same number of links";
+  let rng = Prng.create Config.master_seed in
+  let samples = 8 in
+  let disconnected = ref 0 and long_paths = ref 0 in
+  for i = 1 to samples do
+    let g = Er.gnm ~n:(Graph.node_count input) ~m:(Graph.edge_count input) rng in
+    let connected = Traversal.is_connected g in
+    let diam = Distance_metrics.diameter g in
+    if not connected then incr disconnected;
+    if connected && diam > Distance_metrics.diameter input then incr long_paths;
+    Printf.printf "  sample %d: connected %-5b diameter %d\n" i connected diam
+  done;
+  Printf.printf "  -> %d/%d disconnected, %d/%d with longer shortest paths\n"
+    !disconnected samples !long_paths samples;
+
+  Config.subsection "(c) graphs with the same 3K-distribution";
+  let all_isomorphic = ref true in
+  for i = 1 to samples do
+    let out = Rewire.sample ~level:Rewire.K3 ~attempts:300 input rng in
+    let iso = Iso.isomorphic input out in
+    if not iso then all_isomorphic := false;
+    Printf.printf "  sample %d: isomorphic to input %b\n" i iso
+  done;
+  Printf.printf
+    "  -> all 3K-matching samples isomorphic to the input: %b (the paper's\n\
+    \     over-constraint: 'the only possible 3K graph ... is isomorphic to\n\
+    \     the input itself')\n"
+    !all_isomorphic

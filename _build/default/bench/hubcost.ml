@@ -1,0 +1,103 @@
+(* Figures 8 and 9: the node-based (hub) cost section.
+
+   Fig 8a: the distribution of CVND over a population of real-world-shaped
+   networks (Topology-Zoo substitute; see DESIGN.md) — about 15 % above 1.
+   Fig 8b: CVND of synthesized networks vs k3 for several k2 — without a hub
+   cost (small k3) CVND stays well below 1; large k3 pushes it toward 2.
+   Fig 9: number of core (hub) PoPs vs k3 — large when the hub cost is
+   insignificant, driven down by k3. *)
+
+module Prng = Cold_prng.Prng
+module Context = Cold_context.Context
+module Summary = Cold_metrics.Summary
+module Cost = Cold.Cost
+module Histogram = Cold_stats.Histogram
+
+let fig8a () =
+  Config.subsection "Figure 8a: CVND distribution of the (synthetic) topology zoo";
+  let zoo = Cold_zoo.Zoo.synthetic ~count:Config.zoo_count ~seed:Config.master_seed () in
+  let cvnd = Cold_zoo.Zoo.cvnd_values zoo in
+  let h = Cold_stats.Histogram.create ~lo:0.0 ~hi:2.0 ~bins:10 cvnd in
+  Format.printf "%a" (Cold_stats.Histogram.pp_ascii ~width:40) h;
+  let above1 = Histogram.fraction_above cvnd 1.0 in
+  Printf.printf
+    "fraction with CVND > 1: %.3f (paper: about 15%%); max CVND: %.2f (paper: ~2)\n"
+    above1
+    (Cold_stats.Descriptive.max_value cvnd);
+  above1
+
+let sweep_k3 () =
+  (* CVND and hub counts vs k3 for the Fig 8b/9 k2 series. *)
+  List.map
+    (fun k2 ->
+      let rows =
+        List.map
+          (fun k3 ->
+            let params = Cost.params ~k2 ~k3 () in
+            let cfg = Config.synthesis_config ~params () in
+            let summaries =
+              Array.init Config.trials (fun t ->
+                  let rng =
+                    Prng.split_at
+                      (Prng.create (Config.master_seed + 991))
+                      ((int_of_float (k2 *. 1e7) * 997) + (int_of_float k3 * 31) + t)
+                  in
+                  let ctx =
+                    Context.generate (Context.default_spec ~n:Config.n_pops) rng
+                  in
+                  let result = Cold.Synthesis.design_ga cfg ctx rng in
+                  Summary.compute result.Cold.Ga.best)
+            in
+            (k3, summaries))
+          Config.k3_grid
+      in
+      (k2, rows))
+    Config.fig8_k2_series
+
+let print_stat sweep ~title ~stat ~name =
+  Config.subsection title;
+  Printf.printf "%10s" "k3 \\ k2";
+  List.iter (fun k2 -> Printf.printf " %24.1e" k2) Config.fig8_k2_series;
+  print_newline ();
+  List.iter
+    (fun k3 ->
+      Printf.printf "%10.0f" k3;
+      List.iter
+        (fun (_, rows) ->
+          let (_, summaries) = List.find (fun (x, _) -> x = k3) rows in
+          let ci = Config.ci_of name (Array.map stat summaries) in
+          Printf.printf " %s" (Config.pp_ci ci))
+        sweep;
+      print_newline ())
+    Config.k3_grid
+
+let run () =
+  Config.section "Figures 8-9: the hub cost k3 (CVND and core-PoP count)";
+  let above1 = fig8a () in
+  let (sweep, dt) = Config.time_it sweep_k3 in
+  print_stat sweep ~title:"Figure 8b: CVND of synthesized networks vs k3"
+    ~stat:(fun s -> s.Summary.cvnd) ~name:"fig8b";
+  print_stat sweep ~title:"Figure 9: number of core (hub) PoPs vs k3"
+    ~stat:(fun s -> float_of_int s.Summary.hubs)
+    ~name:"fig9";
+  (* Shape checks. *)
+  let mean_at k2 k3 stat =
+    let (_, rows) = List.find (fun (x, _) -> x = k2) sweep in
+    let (_, summaries) = List.find (fun (x, _) -> x = k3) rows in
+    Cold_stats.Descriptive.mean (Array.map stat summaries)
+  in
+  let k2_mid = List.nth Config.fig8_k2_series 1 in
+  let low_k3 = List.hd Config.k3_grid in
+  let high_k3 = List.nth Config.k3_grid (List.length Config.k3_grid - 1) in
+  let cvnd_low = mean_at k2_mid low_k3 (fun s -> s.Summary.cvnd) in
+  let cvnd_high = mean_at k2_mid high_k3 (fun s -> s.Summary.cvnd) in
+  let hubs_low = mean_at k2_mid low_k3 (fun s -> float_of_int s.Summary.hubs) in
+  let hubs_high = mean_at k2_mid high_k3 (fun s -> float_of_int s.Summary.hubs) in
+  Printf.printf
+    "\nshape checks (k2 = %.1e): CVND below 1 without hub cost: %b (%.2f);\n\
+    \  CVND exceeds 1 at k3 = %g: %b (%.2f); hubs collapse %.1f -> %.1f: %b;\n\
+    \  zoo fraction above 1 in [0.08, 0.25]: %b   (sweep took %.0fs)\n"
+    k2_mid (cvnd_low < 1.0) cvnd_low high_k3 (cvnd_high > 1.0) cvnd_high hubs_low
+    hubs_high (hubs_high < hubs_low)
+    (above1 >= 0.08 && above1 <= 0.25)
+    dt

@@ -1,0 +1,25 @@
+(* COLD experiment harness: regenerates every table and figure of the paper
+   plus the §5/§7 validation experiments. Scale with COLD_BENCH_SCALE =
+   smoke | quick (default) | full; see bench/config.ml and EXPERIMENTS.md. *)
+
+let () =
+  Printf.printf "COLD benchmark harness — scale: %s\n" Config.scale_name;
+  Printf.printf "(set COLD_BENCH_SCALE=smoke|quick|full to change)\n";
+  let t0 = Unix.gettimeofday () in
+  Table1.run ();
+  Fig1.run ();
+  Fig2.run ();
+  Fig3.run ();
+  Fig4.run ();
+  ignore (Tunability.run ());
+  Hubcost.run ();
+  Ga_optimality.run ();
+  Ablation_context.run ();
+  Ablation_ga.run ();
+  Ablation_cost.run ();
+  Ablation_optimizer.run ();
+  Evolution_experiment.run ();
+  Abc_experiment.run ();
+  Ablation_routing.run ();
+  Micro.run ();
+  Printf.printf "\ntotal harness time: %.0fs\n" (Unix.gettimeofday () -. t0)

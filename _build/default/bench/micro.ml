@@ -1,0 +1,84 @@
+(* Bechamel micro-benchmarks of the hot paths: cost evaluation (the unit of
+   Fig 4's n^3 M T), routing, a single Dijkstra, and the Fig 1 census. *)
+
+open Bechamel
+
+module Prng = Cold_prng.Prng
+module Context = Cold_context.Context
+module Graph = Cold_graph.Graph
+
+let fixture n =
+  let rng = Prng.create (Config.master_seed + n) in
+  let ctx = Context.generate (Context.default_spec ~n) rng in
+  let g = Cold.Heuristics.mst_topology ctx in
+  (* A slightly meshy topology: MST plus a few shortcuts. *)
+  for i = 0 to (n / 4) - 1 do
+    let u = (i * 3) mod n and v = ((i * 7) + 2) mod n in
+    if u <> v then Graph.add_edge g u v
+  done;
+  (ctx, g)
+
+let tests () =
+  let (ctx30, g30) = fixture 30 in
+  let (ctx100, g100) = fixture 100 in
+  let params = Cold.Cost.params ~k3:10.0 () in
+  let ga_one_generation =
+    let settings =
+      {
+        Cold.Ga.default_settings with
+        Cold.Ga.population_size = 20;
+        generations = 1;
+        num_saved = 4;
+        num_crossover = 10;
+        num_mutation = 6;
+      }
+    in
+    fun () ->
+      ignore (Cold.Ga.run settings params ctx30 (Prng.create 7))
+  in
+  Test.make_grouped ~name:"cold"
+    [
+      Test.make ~name:"cost evaluation (n=30)"
+        (Staged.stage (fun () -> ignore (Cold.Cost.evaluate params ctx30 g30)));
+      Test.make ~name:"cost evaluation (n=100)"
+        (Staged.stage (fun () -> ignore (Cold.Cost.evaluate params ctx100 g100)));
+      Test.make ~name:"routing (n=30)"
+        (Staged.stage (fun () ->
+             ignore
+               (Cold_net.Routing.route g30
+                  ~length:(fun u v -> Context.distance ctx30 u v)
+                  ~tm:ctx30.Context.tm)));
+      Test.make ~name:"dijkstra (n=100)"
+        (Staged.stage (fun () ->
+             ignore
+               (Cold_graph.Shortest_path.dijkstra g100
+                  ~length:(fun u v -> Context.distance ctx100 u v)
+                  ~source:0)));
+      Test.make ~name:"GA generation (M=20, n=30)" (Staged.stage ga_one_generation);
+      Test.make ~name:"subgraph census d=3 (n=30)"
+        (Staged.stage (fun () ->
+             ignore (Cold_dk.Subgraph_census.distinct g30 ~d:3)));
+      Test.make ~name:"summary statistics (n=100)"
+        (Staged.stage (fun () -> ignore (Cold_metrics.Summary.compute g100)));
+    ]
+
+let run () =
+  Config.section "Micro-benchmarks (bechamel)";
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ instance ] (tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some [ ns ] ->
+        if ns > 1e6 then Printf.printf "%-36s %12.3f ms/run\n" name (ns /. 1e6)
+        else Printf.printf "%-36s %12.1f ns/run\n" name ns
+      | _ -> Printf.printf "%-36s (no estimate)\n" name)
+    (List.sort compare rows)

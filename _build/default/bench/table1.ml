@@ -1,0 +1,48 @@
+(* Table 1: six synthesis methods scored against the six criteria, with the
+   paper's printed verdicts alongside the locally measured ones. *)
+
+module Comparison = Cold_baselines.Comparison
+
+let run () =
+  Config.section "Table 1: comparison of synthesis methods";
+  let (rows, dt) =
+    Config.time_it (fun () ->
+        Comparison.run ~trials:Config.table1_trials ~n:16 ~seed:Config.master_seed ())
+  in
+  Printf.printf "measured (this machine, %d trials per method):\n\n"
+    Config.table1_trials;
+  Format.printf "%a@." Comparison.pp_table rows;
+  print_newline ();
+  print_endline "paper's Table 1 for reference (Y = yes, P = partial, x = no):";
+  Format.printf "%-24s" "criterion";
+  List.iter
+    (fun (id, _) ->
+      let name =
+        List.find (fun r -> r.Comparison.id = id) rows |> fun r -> r.Comparison.name
+      in
+      Format.printf " %10s" name)
+    Comparison.paper_table;
+  Format.print_newline ();
+  Array.iteri
+    (fun c label ->
+      Format.printf "%-24s" label;
+      List.iter
+        (fun (_, verdicts) ->
+          Format.printf " %10s"
+            (Format.asprintf "%a" Comparison.pp_verdict verdicts.(c)))
+        Comparison.paper_table;
+      Format.print_newline ())
+    Comparison.criteria;
+  (* Agreement score: fraction of the 36 cells where measured = paper. *)
+  let agree = ref 0 and total = ref 0 in
+  List.iter
+    (fun r ->
+      let (_, paper) = List.find (fun (id, _) -> id = r.Comparison.id) Comparison.paper_table in
+      Array.iteri
+        (fun i v ->
+          incr total;
+          if v = paper.(i) then incr agree)
+        r.Comparison.verdicts)
+    rows;
+  Printf.printf "\nagreement with the paper's table: %d/%d cells (%.1fs)\n" !agree
+    !total dt

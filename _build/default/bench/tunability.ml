@@ -1,0 +1,112 @@
+(* Figures 5, 6, 7: average node degree, hop diameter and global clustering
+   coefficient versus k2, one series per k3 ∈ {0, 10, 100, 1000}, with 95 %
+   bootstrap confidence intervals — the §6 tunability experiments. All three
+   figures share one parameter sweep, so the synthesis runs are done once and
+   every statistic is extracted from the same ensembles. *)
+
+module Prng = Cold_prng.Prng
+module Context = Cold_context.Context
+module Summary = Cold_metrics.Summary
+module Cost = Cold.Cost
+
+type cell = {
+  k2 : float;
+  k3 : float;
+  summaries : Summary.t array;  (* one per trial *)
+}
+
+let sweep () =
+  let cells = ref [] in
+  List.iter
+    (fun k3 ->
+      List.iter
+        (fun k2 ->
+          let params = Cost.params ~k2 ~k3 () in
+          let cfg = Config.synthesis_config ~params () in
+          let summaries =
+            Array.init Config.trials (fun t ->
+                let rng =
+                  Prng.split_at
+                    (Prng.create (Config.master_seed + 77))
+                    ((int_of_float (k2 *. 1e7) * 1000) + (int_of_float k3 * 13) + t)
+                in
+                let ctx =
+                  Context.generate (Context.default_spec ~n:Config.n_pops) rng
+                in
+                let result = Cold.Synthesis.design_ga cfg ctx rng in
+                Summary.compute result.Cold.Ga.best)
+          in
+          cells := { k2; k3; summaries } :: !cells)
+        Config.k2_grid)
+    Config.k3_series;
+  List.rev !cells
+
+let print_figure cells ~title ~stat ~name =
+  Config.subsection title;
+  Printf.printf "%10s" "k2 \\ k3";
+  List.iter (fun k3 -> Printf.printf " %24.0f" k3) Config.k3_series;
+  print_newline ();
+  List.iter
+    (fun k2 ->
+      Printf.printf "%10.1e" k2;
+      List.iter
+        (fun k3 ->
+          let cell = List.find (fun c -> c.k2 = k2 && c.k3 = k3) cells in
+          let values = Array.map stat cell.summaries in
+          let ci = Config.ci_of name values in
+          Printf.printf " %s" (Config.pp_ci ci))
+        Config.k3_series;
+      print_newline ())
+    Config.k2_grid
+
+let monotone_along_k2 cells ~stat ~k3 ~increasing =
+  let means =
+    List.map
+      (fun k2 ->
+        let cell = List.find (fun c -> c.k2 = k2 && c.k3 = k3) cells in
+        Cold_stats.Descriptive.mean (Array.map stat cell.summaries))
+      Config.k2_grid
+  in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      (if increasing then b >= a -. 0.15 else b <= a +. 0.15) && check rest
+    | _ -> true
+  in
+  check means
+
+let run () =
+  Config.section "Figures 5-7: tunability (avg degree, diameter, clustering)";
+  Printf.printf "n = %d, k0 = 10, k1 = 1, %d trials/point, GA M=%d T=%d\n"
+    Config.n_pops Config.trials Config.ga_settings.Cold.Ga.population_size
+    Config.ga_settings.Cold.Ga.generations;
+  let (cells, dt) = Config.time_it sweep in
+  print_figure cells ~title:"Figure 5: average node degree"
+    ~stat:(fun s -> s.Summary.average_degree)
+    ~name:"fig5";
+  print_figure cells ~title:"Figure 6: network diameter (hops)"
+    ~stat:(fun s -> float_of_int s.Summary.diameter)
+    ~name:"fig6";
+  print_figure cells ~title:"Figure 7: global clustering coefficient"
+    ~stat:(fun s -> s.Summary.global_clustering)
+    ~name:"fig7";
+  (* Shape checks from the paper's discussion. *)
+  let deg s = s.Summary.average_degree in
+  let deg_up = monotone_along_k2 cells ~stat:deg ~k3:0.0 ~increasing:true in
+  let lowest_k3, highest_k3 = (List.hd Config.k3_series, 1000.0) in
+  let mean_at k2 k3 st =
+    let cell = List.find (fun c -> c.k2 = k2 && c.k3 = k3) cells in
+    Cold_stats.Descriptive.mean (Array.map st cell.summaries)
+  in
+  let top_k2 = List.nth Config.k2_grid (List.length Config.k2_grid - 1) in
+  let deg_down_in_k3 = mean_at top_k2 highest_k3 deg <= mean_at top_k2 lowest_k3 deg +. 0.1 in
+  let gcc_up =
+    mean_at top_k2 0.0 (fun s -> s.Summary.global_clustering)
+    >= mean_at (List.hd Config.k2_grid) 0.0 (fun s -> s.Summary.global_clustering) -. 0.01
+  in
+  Printf.printf
+    "\nshape checks: degree increases with k2 (k3=0): %b; degree decreases with k3: %b;\n\
+    \               clustering rises with k2 (k3=0): %b   (sweep took %.0fs)\n"
+    deg_up deg_down_in_k3 gcc_up dt;
+  cells
+
+(* The sweep's cells are reused by Fig 8b/9 callers if needed. *)

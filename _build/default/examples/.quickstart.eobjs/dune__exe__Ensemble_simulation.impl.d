@@ -1,0 +1,1 @@
+examples/ensemble_simulation.ml: Array Cold Cold_context Cold_net Cold_prng Cold_stats Format List Printf

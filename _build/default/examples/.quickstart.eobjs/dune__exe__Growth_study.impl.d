@@ -1,0 +1,1 @@
+examples/growth_study.ml: Cold Cold_context Cold_metrics Cold_net Cold_prng List Printf String

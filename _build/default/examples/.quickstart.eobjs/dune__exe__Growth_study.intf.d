@@ -1,0 +1,1 @@
+examples/growth_study.mli:

@@ -1,0 +1,1 @@
+examples/multi_as_demo.ml: Array Cold Cold_graph Cold_metrics Cold_net List Printf

@@ -1,0 +1,1 @@
+examples/protocol_study.ml: Array Cold Cold_context Cold_prng Cold_sim Cold_stats Format List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cold Cold_context Cold_metrics Cold_net Cold_netio Format List Printf String

@@ -1,0 +1,1 @@
+examples/router_level.ml: Array Cold Cold_context Cold_graph Cold_net Cold_router Cold_traffic List Printf

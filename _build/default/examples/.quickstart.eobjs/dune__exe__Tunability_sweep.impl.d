@@ -1,0 +1,1 @@
+examples/tunability_sweep.ml: Cold Cold_context Cold_metrics Cold_prng List Printf String

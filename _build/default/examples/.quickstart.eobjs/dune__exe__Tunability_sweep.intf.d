@@ -1,0 +1,1 @@
+examples/tunability_sweep.mli:

@@ -1,0 +1,1 @@
+examples/zoo_comparison.ml: Cold Cold_context Cold_metrics Cold_stats Cold_zoo List Printf String

@@ -1,0 +1,44 @@
+(* Quickstart: synthesize one 20-PoP network with default costs, print its
+   statistics, inspect a route, and export DOT/GML for visualization.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Network = Cold_net.Network
+module Summary = Cold_metrics.Summary
+
+let () =
+  (* 1. Choose cost parameters. k0/k1 are link build costs, k2 prices
+        bandwidth-distance, k3 taxes multi-link (hub) PoPs. *)
+  let params = Cold.Cost.params ~k0:10.0 ~k1:1.0 ~k2:2e-4 ~k3:10.0 () in
+  let config = Cold.Synthesis.default_config ~params () in
+
+  (* 2. Describe the random context: 20 PoPs uniform on the paper-calibrated
+        50x50 region with exponential gravity traffic. *)
+  let spec = Cold_context.Context.default_spec ~n:20 in
+
+  (* 3. Synthesize. Everything is deterministic given the seed. *)
+  let net = Cold.Synthesis.synthesize config spec ~seed:2014 in
+
+  (* 4. The result is a *network*: topology + distances + capacities +
+        routes. *)
+  print_endline "topology statistics:";
+  Format.printf "%a@.@." Summary.pp (Summary.compute net.Network.graph);
+  print_endline "network summary:";
+  Format.printf "%a@.@." Network.pp_summary net;
+
+  let route = Network.path net 0 7 in
+  Printf.printf "route 0 -> 7: %s (geographic length %.3f)\n"
+    (String.concat " -> " (List.map string_of_int route))
+    (Network.path_length net 0 7);
+
+  (* 5. Eyeball the map right here... *)
+  print_newline ();
+  print_endline (Cold_netio.Ascii_map.render net);
+  print_newline ();
+
+  (* 6. ...and export for graphviz (`neato -n -Tpng /tmp/cold_quickstart.dot`). *)
+  Cold_netio.Dot.write_file ~path:"/tmp/cold_quickstart.dot"
+    (Cold_netio.Dot.of_network net);
+  Cold_netio.Dot.write_file ~path:"/tmp/cold_quickstart.gml"
+    (Cold_netio.Gml.of_network net);
+  print_endline "wrote /tmp/cold_quickstart.dot and /tmp/cold_quickstart.gml"

@@ -1,0 +1,1 @@
+lib/baselines/barabasi_albert.ml: Array Cold_graph Cold_prng Hashtbl

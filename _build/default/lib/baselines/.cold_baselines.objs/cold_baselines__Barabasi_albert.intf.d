@@ -1,0 +1,1 @@
+lib/baselines/barabasi_albert.mli: Cold_graph Cold_prng

@@ -1,0 +1,1 @@
+lib/baselines/comparison.ml: Array Cold Cold_context Cold_dk Cold_geom Cold_graph Cold_metrics Cold_prng Erdos_renyi Fkp Float Format List Plrg Waxman

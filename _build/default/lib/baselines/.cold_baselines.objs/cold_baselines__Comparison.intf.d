@@ -1,0 +1,1 @@
+lib/baselines/comparison.mli: Format

@@ -1,0 +1,1 @@
+lib/baselines/erdos_renyi.ml: Array Cold_graph Cold_prng

@@ -1,0 +1,1 @@
+lib/baselines/erdos_renyi.mli: Cold_graph Cold_prng

@@ -1,0 +1,1 @@
+lib/baselines/fkp.ml: Array Cold_geom Cold_graph

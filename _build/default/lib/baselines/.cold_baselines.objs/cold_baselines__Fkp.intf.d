@@ -1,0 +1,1 @@
+lib/baselines/fkp.mli: Cold_geom Cold_graph Cold_prng

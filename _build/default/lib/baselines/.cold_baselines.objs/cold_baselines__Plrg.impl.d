@@ -1,0 +1,1 @@
+lib/baselines/plrg.ml: Array Cold_graph Cold_prng Float

@@ -1,0 +1,1 @@
+lib/baselines/plrg.mli: Cold_graph Cold_prng

@@ -1,0 +1,1 @@
+lib/baselines/waxman.ml: Array Cold_geom Cold_graph Cold_prng Float

@@ -1,0 +1,32 @@
+module Graph = Cold_graph.Graph
+module Prng = Cold_prng.Prng
+
+let generate ~n ~m rng =
+  if m < 1 || m >= n then invalid_arg "Barabasi_albert.generate: need 1 <= m < n";
+  let g = Graph.create n in
+  (* Seed: clique on the first m+1 vertices. *)
+  for u = 0 to m do
+    for v = u + 1 to m do
+      Graph.add_edge g u v
+    done
+  done;
+  (* Repeated-targets list: each edge contributes both endpoints, so uniform
+     choice from it is degree-proportional choice. *)
+  let targets = ref [] in
+  Graph.iter_edges g (fun u v -> targets := u :: v :: !targets);
+  let target_array = ref (Array.of_list !targets) in
+  for v = m + 1 to n - 1 do
+    let chosen = Hashtbl.create m in
+    while Hashtbl.length chosen < m do
+      let t = !target_array.(Prng.int rng (Array.length !target_array)) in
+      if t <> v then Hashtbl.replace chosen t ()
+    done;
+    let new_targets = ref [] in
+    Hashtbl.iter
+      (fun t () ->
+        Graph.add_edge g v t;
+        new_targets := v :: t :: !new_targets)
+      chosen;
+    target_array := Array.append !target_array (Array.of_list !new_targets)
+  done;
+  g

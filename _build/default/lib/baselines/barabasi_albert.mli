@@ -1,0 +1,9 @@
+(** Barabási–Albert preferential attachment — the generative mechanism behind
+    power-law models, included so the criticism in §2 ("PoPs do not 'attach'
+    to other PoPs according to a probability based on degree!") can be
+    demonstrated quantitatively. *)
+
+val generate : n:int -> m:int -> Cold_prng.Prng.t -> Cold_graph.Graph.t
+(** [generate ~n ~m rng] grows a graph from an [m]-clique by attaching each
+    new vertex to [m] distinct existing vertices chosen with probability
+    proportional to degree. Requires [1 <= m < n]. Always connected. *)

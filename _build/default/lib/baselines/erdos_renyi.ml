@@ -1,0 +1,30 @@
+module Graph = Cold_graph.Graph
+module Dist = Cold_prng.Dist
+
+let gnp ~n ~p rng =
+  if p < 0.0 || p > 1.0 then invalid_arg "Erdos_renyi.gnp: p out of range";
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Dist.bernoulli rng ~p then Graph.add_edge g u v
+    done
+  done;
+  g
+
+let gnm ~n ~m rng =
+  let total = n * (n - 1) / 2 in
+  if m < 0 || m > total then invalid_arg "Erdos_renyi.gnm: m out of range";
+  (* Sample m distinct pair indices and decode them. *)
+  let picks = Dist.sample_without_replacement rng ~k:m ~n:total in
+  let g = Graph.create n in
+  Array.iter
+    (fun idx ->
+      (* Decode linear index into (u, v), u < v, row-major upper triangle. *)
+      let rec find_row u acc =
+        let row = n - 1 - u in
+        if idx < acc + row then (u, u + 1 + (idx - acc)) else find_row (u + 1) (acc + row)
+      in
+      let (u, v) = find_row 0 0 in
+      Graph.add_edge g u v)
+    picks;
+  g

@@ -1,0 +1,12 @@
+(** Erdős–Rényi random graphs — the classic null model of Table 1 and the
+    random component of the GA's initial population. Both the G(n,p) and
+    G(n,m) variants are provided; Fig 2's "(b)" panels are G(n,m) with m set
+    to the example network's link count. *)
+
+val gnp : n:int -> p:float -> Cold_prng.Prng.t -> Cold_graph.Graph.t
+(** Each of the C(n,2) links present independently with probability [p].
+    Raises [Invalid_argument] if [p] is outside [0, 1]. *)
+
+val gnm : n:int -> m:int -> Cold_prng.Prng.t -> Cold_graph.Graph.t
+(** Exactly [m] links, uniform over all such graphs. Raises
+    [Invalid_argument] if [m] exceeds C(n,2). *)

@@ -1,0 +1,24 @@
+module Graph = Cold_graph.Graph
+module Point = Cold_geom.Point
+module Region = Cold_geom.Region
+
+let generate ~n ~alpha ~region rng =
+  if n < 1 then invalid_arg "Fkp.generate: n must be positive";
+  if alpha < 0.0 then invalid_arg "Fkp.generate: alpha must be non-negative";
+  let points = Array.init n (fun _ -> Region.sample region rng) in
+  let g = Graph.create n in
+  let hops = Array.make n 0 in
+  for v = 1 to n - 1 do
+    let best = ref 0 in
+    let best_cost = ref infinity in
+    for u = 0 to v - 1 do
+      let c = (alpha *. Point.distance points.(u) points.(v)) +. float_of_int hops.(u) in
+      if c < !best_cost then begin
+        best_cost := c;
+        best := u
+      end
+    done;
+    Graph.add_edge g v !best;
+    hops.(v) <- hops.(!best) + 1
+  done;
+  (g, points)

@@ -1,0 +1,18 @@
+(** The FKP heuristically-optimized trade-off model (Fabrikant, Koutsoupias &
+    Papadimitriou, 2002), cited in §3 as the precursor of optimization-driven
+    synthesis "but their cost function did not have a strong analogue to
+    real-life costs".
+
+    Vertices arrive one at a time at uniform random positions; each attaches
+    to the existing vertex minimizing α·d(u, v) + h_v, where h_v is v's hop
+    count to the root. Small α gives stars, large α gives geometric trees —
+    a one-parameter HOT family used as a Table 1 reference point. *)
+
+val generate :
+  n:int ->
+  alpha:float ->
+  region:Cold_geom.Region.t ->
+  Cold_prng.Prng.t ->
+  Cold_graph.Graph.t * Cold_geom.Point.t array
+(** [generate ~n ~alpha ~region rng] returns the attachment tree (vertex 0 is
+    the root) and the sampled positions. Requires [n >= 1], [alpha >= 0]. *)

@@ -1,0 +1,61 @@
+module Graph = Cold_graph.Graph
+module Prng = Cold_prng.Prng
+module Dist = Cold_prng.Dist
+
+let power_law_weights ~n ~exponent ~average =
+  if exponent <= 1.0 then invalid_arg "Plrg.power_law_weights: exponent must exceed 1";
+  if n < 1 then invalid_arg "Plrg.power_law_weights: n must be positive";
+  let gamma = 1.0 /. (exponent -. 1.0) in
+  let w = Array.init n (fun i -> (float_of_int (i + 1)) ** (-.gamma)) in
+  let mean = Array.fold_left ( +. ) 0.0 w /. float_of_int n in
+  Array.map (fun x -> x *. average /. mean) w
+
+let power_law_degrees ~n ~exponent ~min_degree rng =
+  if exponent <= 1.0 || min_degree < 1 then invalid_arg "Plrg.power_law_degrees";
+  let draw () =
+    let d = Dist.pareto rng ~shape:(exponent -. 1.0) ~scale:(float_of_int min_degree) in
+    (* Degrees are capped at n-1 in a simple graph. *)
+    min (n - 1) (int_of_float (Float.floor d))
+  in
+  let deg = Array.init n (fun _ -> draw ()) in
+  let sum = Array.fold_left ( + ) 0 deg in
+  if sum mod 2 = 1 then deg.(0) <- deg.(0) + 1;
+  deg
+
+let chung_lu weights rng =
+  let n = Array.length weights in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let g = Graph.create n in
+  if total > 0.0 then
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        let p = Float.min 1.0 (weights.(u) *. weights.(v) /. total) in
+        if Dist.bernoulli rng ~p then Graph.add_edge g u v
+      done
+    done;
+  g
+
+let configuration degrees rng =
+  Array.iter (fun d -> if d < 0 then invalid_arg "Plrg.configuration: negative degree") degrees;
+  let sum = Array.fold_left ( + ) 0 degrees in
+  if sum mod 2 = 1 then invalid_arg "Plrg.configuration: odd degree sum";
+  let n = Array.length degrees in
+  let stubs = Array.make sum 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun v d ->
+      for _ = 1 to d do
+        stubs.(!k) <- v;
+        incr k
+      done)
+    degrees;
+  Dist.shuffle rng stubs;
+  let g = Graph.create n in
+  let i = ref 0 in
+  while !i + 1 < sum do
+    let u = stubs.(!i) and v = stubs.(!i + 1) in
+    (* Erased variant: drop self-loops and parallel edges. *)
+    if u <> v then Graph.add_edge g u v;
+    i := !i + 2
+  done;
+  g

@@ -1,0 +1,27 @@
+(** Power-Law Random Graphs (Aiello–Chung–Lu) — Table 1's PLRG row.
+
+    Two classic constructions over a power-law degree/weight sequence with
+    exponent β:
+    - the Chung–Lu model, where link {u,v} appears independently with
+      probability min(1, w_u·w_v / Σw);
+    - the configuration model, which realizes an explicit degree sequence by
+      uniform stub matching (self-loops and duplicate edges are discarded,
+      the usual "erased" variant). *)
+
+val power_law_weights : n:int -> exponent:float -> average:float -> float array
+(** [power_law_weights ~n ~exponent ~average] is a deterministic Zipf-like
+    weight sequence w_i ∝ (i+1)^(−1/(exponent−1)), rescaled so the mean is
+    [average]. Requires [exponent > 1]. *)
+
+val power_law_degrees :
+  n:int -> exponent:float -> min_degree:int -> Cold_prng.Prng.t -> int array
+(** Random degree sequence: P(D ≥ d) = (min_degree/d)^(exponent−1). The sum
+    is forced even by incrementing one entry if needed. *)
+
+val chung_lu : float array -> Cold_prng.Prng.t -> Cold_graph.Graph.t
+(** [chung_lu weights rng] draws a Chung–Lu graph. *)
+
+val configuration : int array -> Cold_prng.Prng.t -> Cold_graph.Graph.t
+(** [configuration degrees rng] matches stubs uniformly; collisions are
+    erased so realized degrees can undershoot the request. Raises
+    [Invalid_argument] on negative degrees or odd sum. *)

@@ -1,0 +1,24 @@
+module Graph = Cold_graph.Graph
+module Point = Cold_geom.Point
+module Dist = Cold_prng.Dist
+
+let generate ~alpha ~beta points rng =
+  if alpha <= 0.0 then invalid_arg "Waxman.generate: alpha must be positive";
+  if beta < 0.0 || beta > 1.0 then invalid_arg "Waxman.generate: beta out of range";
+  let n = Array.length points in
+  let g = Graph.create n in
+  let scale = ref 0.0 in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      scale := Float.max !scale (Point.distance points.(u) points.(v))
+    done
+  done;
+  if !scale > 0.0 then
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        let d = Point.distance points.(u) points.(v) in
+        let p = beta *. exp (-.d /. (alpha *. !scale)) in
+        if Dist.bernoulli rng ~p then Graph.add_edge g u v
+      done
+    done;
+  g

@@ -1,0 +1,12 @@
+(** Waxman random graphs: ER with geographic locality. Link {u,v} appears
+    with probability β·exp(−d(u,v) / (α·L)) where L is the largest pairwise
+    distance. One of Table 1's comparison models. *)
+
+val generate :
+  alpha:float ->
+  beta:float ->
+  Cold_geom.Point.t array ->
+  Cold_prng.Prng.t ->
+  Cold_graph.Graph.t
+(** Raises [Invalid_argument] unless [alpha > 0] and [beta ∈ [0, 1]]. For a
+    single point (L = 0) the result has no links. *)

@@ -1,0 +1,1 @@
+lib/context/context.ml: Array Cold_geom Cold_traffic

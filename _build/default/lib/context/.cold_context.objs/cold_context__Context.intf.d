@@ -1,0 +1,1 @@
+lib/context/context.mli: Cold_geom Cold_prng Cold_traffic

@@ -1,0 +1,1 @@
+lib/core/brute_force.ml: Array Cold_context Cold_graph Cost Option

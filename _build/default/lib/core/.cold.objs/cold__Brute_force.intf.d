@@ -1,0 +1,1 @@
+lib/core/brute_force.mli: Cold_context Cold_graph Cost

@@ -1,0 +1,1 @@
+lib/core/cost.ml: Cold_context Cold_graph Cold_net Format

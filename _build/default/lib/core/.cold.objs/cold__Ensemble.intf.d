@@ -1,0 +1,1 @@
+lib/core/ensemble.mli: Cold_context Cold_metrics Cold_net Cold_stats Synthesis

@@ -1,0 +1,1 @@
+lib/core/evolution.ml: Array Cold_context Cold_geom Cold_graph Cold_net Cold_prng Cold_traffic Cost Float Ga Heuristics List Repair

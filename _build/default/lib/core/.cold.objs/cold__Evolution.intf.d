@@ -1,0 +1,1 @@
+lib/core/evolution.mli: Cold_context Cold_net Cold_prng Cost Ga

@@ -1,0 +1,1 @@
+lib/core/ga.ml: Array Cold_context Cold_graph Cold_prng Cost Float List Operators Repair

@@ -1,0 +1,1 @@
+lib/core/heuristics.ml: Array Cold_context Cold_graph Cold_prng Cost List Option

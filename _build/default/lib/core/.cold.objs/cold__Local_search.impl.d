@@ -1,0 +1,1 @@
+lib/core/local_search.ml: Cold_context Cold_graph Cold_prng Cost Operators Repair

@@ -1,0 +1,1 @@
+lib/core/multi_as.mli: Cold_geom Cold_net Synthesis

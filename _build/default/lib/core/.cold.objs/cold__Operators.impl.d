@@ -1,0 +1,1 @@
+lib/core/operators.ml: Array Cold_context Cold_geom Cold_graph Cold_prng Float Repair

@@ -1,0 +1,1 @@
+lib/core/operators.mli: Cold_context Cold_graph Cold_prng

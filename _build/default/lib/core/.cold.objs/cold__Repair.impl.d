@@ -1,0 +1,1 @@
+lib/core/repair.ml: Cold_context Cold_graph List

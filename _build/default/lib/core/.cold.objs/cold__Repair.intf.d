@@ -1,0 +1,1 @@
+lib/core/repair.mli: Cold_context Cold_graph

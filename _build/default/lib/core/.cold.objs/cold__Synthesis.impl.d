@@ -1,0 +1,1 @@
+lib/core/synthesis.ml: Cold_context Cold_net Cold_prng Cost Ga Heuristics

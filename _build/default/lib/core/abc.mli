@@ -1,0 +1,54 @@
+(** Approximate Bayesian Computation for cost-parameter estimation.
+
+    The paper's stated future work (§8): "use statistical estimation
+    techniques, most notably ABC ... to map real networks to parameters ki,
+    to assist experimenters in determining appropriate values". This module
+    implements rejection-ABC: draw candidate (k0, k2, k3) from log-uniform
+    priors (k1 ≡ 1 by the scale-invariance of §3.2.3), synthesize a network
+    of the observed size, and accept the candidate when the synthetic
+    network's summary statistics fall within ε of the observation. *)
+
+type observation = {
+  n : int;
+  average_degree : float;
+  global_clustering : float;
+  cvnd : float;
+  diameter : float;
+}
+
+type prior = {
+  k0_range : float * float;  (** Log-uniform; default (1, 100). *)
+  k2_range : float * float;  (** Log-uniform; default (1e-5, 1e-2). *)
+  k3_range : float * float;  (** Log-uniform; default (0.1, 1000); a draw
+                                 below 1 is treated as k3 = 0 half the time
+                                 to keep mass at "no hub cost". *)
+}
+
+type posterior_sample = { params : Cost.params; distance : float }
+
+val observe : Cold_graph.Graph.t -> observation
+(** Summary statistics of a real (or reference) topology. *)
+
+val default_prior : prior
+
+val distance : observation -> observation -> float
+(** Normalized L2 distance over the four statistics (each scaled by the
+    observation's magnitude, so statistics with different units are
+    comparable). *)
+
+val infer :
+  ?prior:prior ->
+  ?trials:int ->
+  ?epsilon:float ->
+  ?ga:Ga.settings ->
+  observation ->
+  seed:int ->
+  posterior_sample list
+(** [infer obs ~seed] runs [trials] (default 200) simulations with reduced
+    GA settings (default: M = 40, T = 40) and returns accepted samples
+    (distance ≤ [epsilon], default 0.35) sorted by ascending distance.
+    Contexts are drawn fresh per trial with the observation's n. *)
+
+val posterior_mean : posterior_sample list -> Cost.params option
+(** Mean of accepted parameters (geometric mean for the log-scale ki);
+    [None] when no sample was accepted. *)

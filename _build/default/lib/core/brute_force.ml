@@ -1,0 +1,62 @@
+module Graph = Cold_graph.Graph
+module Union_find = Cold_graph.Union_find
+module Context = Cold_context.Context
+
+(* All C(n,2) vertex pairs in a fixed order. *)
+let pairs n =
+  let acc = ref [] in
+  for u = n - 1 downto 0 do
+    for v = n - 1 downto u + 1 do
+      acc := (u, v) :: !acc
+    done
+  done;
+  Array.of_list !acc
+
+(* Connectivity of an edge-subset given as a bitmask, via union-find. *)
+let mask_connected n pair_array mask =
+  let uf = Union_find.create n in
+  Array.iteri
+    (fun i (u, v) ->
+      if mask land (1 lsl i) <> 0 then ignore (Union_find.union uf u v))
+    pair_array;
+  Union_find.count uf = 1
+
+let graph_of_mask n pair_array mask =
+  let g = Graph.create n in
+  Array.iteri
+    (fun i (u, v) -> if mask land (1 lsl i) <> 0 then Graph.add_edge g u v)
+    pair_array;
+  g
+
+let optimal ?(max_n = 8) params ctx =
+  let n = Context.n ctx in
+  if n < 2 then invalid_arg "Brute_force.optimal: need at least 2 PoPs";
+  if n > max_n then invalid_arg "Brute_force.optimal: too many PoPs to enumerate";
+  let pair_array = pairs n in
+  let bits = Array.length pair_array in
+  let best = ref None in
+  for mask = 0 to (1 lsl bits) - 1 do
+    (* A connected graph needs at least n-1 edges: cheap popcount prune. *)
+    let rec popcount m acc = if m = 0 then acc else popcount (m lsr 1) (acc + (m land 1)) in
+    if popcount mask 0 >= n - 1 && mask_connected n pair_array mask then begin
+      let g = graph_of_mask n pair_array mask in
+      let c = Cost.evaluate params ctx g in
+      match !best with
+      | None -> best := Some (g, c)
+      | Some (_, bc) -> if c < bc then best := Some (g, c)
+    end
+  done;
+  Option.get !best
+
+let count_connected n =
+  if n < 1 || n > 6 then invalid_arg "Brute_force.count_connected: n must be in 1..6";
+  if n = 1 then 1
+  else begin
+    let pair_array = pairs n in
+    let bits = Array.length pair_array in
+    let count = ref 0 in
+    for mask = 0 to (1 lsl bits) - 1 do
+      if mask_connected n pair_array mask then incr count
+    done;
+    !count
+  end

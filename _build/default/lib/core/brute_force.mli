@@ -1,0 +1,21 @@
+(** Exhaustive search for the true optimal topology (§5).
+
+    The paper validates its GA by checking that "for networks of up to 8 PoPs
+    the GA always finds the real optimal solution". This module enumerates
+    all 2^C(n,2) graphs on [n] labelled vertices, skips disconnected ones,
+    and returns the cheapest. Feasible only for small [n] (n = 7 is ~2M
+    graphs); guarded at [n <= 8]. *)
+
+val optimal :
+  ?max_n:int ->
+  Cost.params ->
+  Cold_context.Context.t ->
+  Cold_graph.Graph.t * float
+(** [optimal params ctx] is the exact optimum and its cost. Raises
+    [Invalid_argument] if the context exceeds [max_n] (default 8) or has
+    fewer than 2 PoPs. *)
+
+val count_connected : int -> int
+(** [count_connected n] is the number of connected labelled graphs on [n]
+    vertices, by direct enumeration ([n <= 6]) — a test oracle (4 ⇒ 38,
+    5 ⇒ 728). *)

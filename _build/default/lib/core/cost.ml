@@ -1,0 +1,52 @@
+module Graph = Cold_graph.Graph
+module Context = Cold_context.Context
+module Routing = Cold_net.Routing
+
+type params = { k0 : float; k1 : float; k2 : float; k3 : float }
+
+type breakdown = {
+  existence : float;
+  length : float;
+  bandwidth : float;
+  hub : float;
+  total : float;
+}
+
+let params ?(k0 = 10.0) ?(k1 = 1.0) ?(k2 = 1e-4) ?(k3 = 0.0) () =
+  if k0 < 0.0 || k1 < 0.0 || k2 < 0.0 || k3 < 0.0 then
+    invalid_arg "Cost.params: costs must be non-negative";
+  { k0; k1; k2; k3 }
+
+let infeasible =
+  { existence = infinity; length = infinity; bandwidth = infinity;
+    hub = infinity; total = infinity }
+
+let evaluate_breakdown p ctx g =
+  if Graph.node_count g <> Context.n ctx then
+    invalid_arg "Cost.evaluate: graph size does not match context";
+  let length u v = Context.distance ctx u v in
+  match Routing.route g ~length ~tm:ctx.Context.tm with
+  | exception Routing.Disconnected -> infeasible
+  | loads ->
+    let existence = p.k0 *. float_of_int (Graph.edge_count g) in
+    let len = Graph.fold_edges g (fun acc u v -> acc +. length u v) 0.0 in
+    let bandwidth = p.k2 *. Routing.total_volume_length loads ~length in
+    let hub = p.k3 *. float_of_int (Graph.core_count g) in
+    let length_cost = p.k1 *. len in
+    {
+      existence;
+      length = length_cost;
+      bandwidth;
+      hub;
+      total = existence +. length_cost +. bandwidth +. hub;
+    }
+
+let evaluate p ctx g = (evaluate_breakdown p ctx g).total
+
+let pp_params fmt p =
+  Format.fprintf fmt "{k0=%g; k1=%g; k2=%g; k3=%g}" p.k0 p.k1 p.k2 p.k3
+
+let pp_breakdown fmt b =
+  Format.fprintf fmt
+    "total=%.4f (existence=%.4f length=%.4f bandwidth=%.4f hub=%.4f)" b.total
+    b.existence b.length b.bandwidth b.hub

@@ -1,0 +1,46 @@
+(** The COLD cost model (§3.2).
+
+    A candidate PoP-level topology G is scored by
+
+    {v cost(G) = Σ_{i∈E} (k0 + k1·ℓi + k2·ℓi·wi) + Σ_{j: deg(j)>1} k3 v}
+
+    where ℓi is the Euclidean link length, wi the bandwidth the link must
+    carry under shortest-path routing of the context's traffic matrix, and
+    the last sum is the {e hub (complexity) cost} over core PoPs (§3.2.2,
+    §7 — the term required to reach CVND > 1). A topology that cannot carry
+    the traffic (disconnected) costs [infinity].
+
+    Costs are relative — only three degrees of freedom matter — so the
+    conventional normalization fixes k1 = 1 and, following §6, k0 = 10. *)
+
+type params = {
+  k0 : float;  (** Per-link existence cost. Dominant ⇒ spanning trees. *)
+  k1 : float;  (** Per-unit-length cost. Dominant ⇒ minimum spanning tree. *)
+  k2 : float;  (** Per-unit (length × bandwidth) cost. Dominant ⇒ clique. *)
+  k3 : float;  (** Per-hub complexity cost. Dominant ⇒ hub-and-spoke. *)
+}
+
+type breakdown = {
+  existence : float;  (** Σ k0. *)
+  length : float;  (** Σ k1·ℓ. *)
+  bandwidth : float;  (** Σ k2·ℓ·w. *)
+  hub : float;  (** Σ k3 over core PoPs. *)
+  total : float;
+}
+
+val params : ?k0:float -> ?k1:float -> ?k2:float -> ?k3:float -> unit -> params
+(** Defaults: k0 = 10, k1 = 1, k2 = 1e-4, k3 = 0 — the paper's §6 baseline.
+    Raises [Invalid_argument] on negative values. *)
+
+val evaluate : params -> Cold_context.Context.t -> Cold_graph.Graph.t -> float
+(** [evaluate p ctx g] is the total cost; [infinity] if [g] is disconnected
+    (traffic cannot be carried). Pure: depends only on arguments. *)
+
+val evaluate_breakdown :
+  params -> Cold_context.Context.t -> Cold_graph.Graph.t -> breakdown
+(** Like {!evaluate}, with per-term decomposition; every component is
+    [infinity] when infeasible. *)
+
+val pp_params : Format.formatter -> params -> unit
+
+val pp_breakdown : Format.formatter -> breakdown -> unit

@@ -1,0 +1,56 @@
+module Prng = Cold_prng.Prng
+module Context = Cold_context.Context
+module Network = Cold_net.Network
+module Summary = Cold_metrics.Summary
+module Graph = Cold_graph.Graph
+
+type t = { networks : Network.t array; summaries : Summary.t array }
+
+let finish networks =
+  {
+    networks;
+    summaries = Array.map (fun n -> Summary.compute n.Network.graph) networks;
+  }
+
+let generate ?(on_progress = fun _ -> ()) cfg spec ~count ~seed =
+  if count < 0 then invalid_arg "Ensemble.generate";
+  let root = Prng.create seed in
+  let networks =
+    Array.init count (fun i ->
+        let rng = Prng.split_at root i in
+        let ctx = Context.generate spec rng in
+        let net = Synthesis.design cfg ctx rng in
+        on_progress i;
+        net)
+  in
+  finish networks
+
+let same_context cfg ctx ~count ~seed =
+  if count < 0 then invalid_arg "Ensemble.same_context";
+  let root = Prng.create seed in
+  let networks =
+    Array.init count (fun i ->
+        let rng = Prng.split_at root i in
+        Synthesis.design cfg ctx rng)
+  in
+  finish networks
+
+let statistic t f = Array.map f t.summaries
+
+let mean_ci t f ~seed =
+  Cold_stats.Bootstrap.mean_ci (Prng.create seed) (statistic t f)
+
+let distinct_topologies t =
+  let n = Array.length t.networks in
+  let distinct = ref 0 in
+  for i = 0 to n - 1 do
+    let duplicate = ref false in
+    for j = 0 to i - 1 do
+      if
+        (not !duplicate)
+        && Graph.equal t.networks.(i).Network.graph t.networks.(j).Network.graph
+      then duplicate := true
+    done;
+    if not !duplicate then incr distinct
+  done;
+  !distinct

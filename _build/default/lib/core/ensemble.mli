@@ -1,0 +1,47 @@
+(** Ensembles of synthesized networks.
+
+    The whole point of topology synthesis is to produce {e many} networks
+    "similar but varied enough to perform statistical analysis of results"
+    (§1, requirement 1). An ensemble draws k independent contexts from one
+    spec (child PRNG streams split per trial, so members are reproducible
+    and order-independent) and designs each. Summary statistics with
+    bootstrap confidence intervals come out alongside. *)
+
+type t = {
+  networks : Cold_net.Network.t array;
+  summaries : Cold_metrics.Summary.t array;
+}
+
+val generate :
+  ?on_progress:(int -> unit) ->
+  Synthesis.config ->
+  Cold_context.Context.spec ->
+  count:int ->
+  seed:int ->
+  t
+(** [generate cfg spec ~count ~seed] synthesizes [count] networks.
+    [on_progress i] is called after network [i] completes. *)
+
+val same_context :
+  Synthesis.config ->
+  Cold_context.Context.t ->
+  count:int ->
+  seed:int ->
+  t
+(** [same_context cfg ctx ~count ~seed] designs [count] networks for a single
+    fixed context (different GA streams) — the paper's "fixed context,
+    multiple topologies" simulation mode (§3.3). *)
+
+val statistic : t -> (Cold_metrics.Summary.t -> float) -> float array
+(** Extract one statistic across the ensemble. *)
+
+val mean_ci :
+  t ->
+  (Cold_metrics.Summary.t -> float) ->
+  seed:int ->
+  Cold_stats.Bootstrap.interval
+(** Bootstrap 95 % CI of an ensemble statistic's mean. *)
+
+val distinct_topologies : t -> int
+(** Number of pairwise non-identical (as labelled graphs) topologies — a
+    cheap verification of requirement 1 ("distinct by construction"). *)

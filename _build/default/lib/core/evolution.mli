@@ -1,0 +1,58 @@
+(** Incremental network evolution.
+
+    "Networks are rarely designed from scratch — they evolve" (§3). This
+    module grows an existing design: new PoPs join the geography, traffic
+    grows, and the operator re-optimizes {e subject to what is already in the
+    ground} — installed links may be kept or (at a price) decommissioned,
+    which is how real backbones accrete their shape. Comparing an evolved
+    network against a greenfield design for the same final context measures
+    the {e cost of legacy}, a question COLD's meaningful parameters make
+    directly expressible. *)
+
+type step = {
+  new_pops : int;  (** PoPs added this step. *)
+  traffic_growth : float;  (** Multiplier on the traffic scale, >= 0. *)
+}
+
+type config = {
+  params : Cost.params;
+  decommission_cost : float;
+      (** One-off cost per removed installed link (digging it up / breaking a
+          contract). [infinity] freezes installed links. *)
+  ga : Ga.settings;
+}
+
+type state = {
+  context : Cold_context.Context.t;
+  network : Cold_net.Network.t;
+  installed : (int * int) list;  (** Links inherited by the next step. *)
+  cumulative_decommissions : int;
+}
+
+val default_config : ?params:Cost.params -> unit -> config
+(** Decommission cost 50, reduced GA (M = T = 50). *)
+
+val greenfield : config -> Cold_context.Context.t -> Cold_prng.Prng.t -> state
+(** Plain COLD design of the context — evolution's starting point. *)
+
+val evolve : config -> state -> step -> Cold_prng.Prng.t -> state
+(** [evolve cfg state step rng] extends the geography by [step.new_pops]
+    uniform PoPs (with fresh populations), scales traffic, and re-optimizes.
+    The optimization cost charges [decommission_cost] for every installed
+    link absent from a candidate, so designs keep legacy links unless
+    removing them pays. Raises [Invalid_argument] on negative growth. *)
+
+val run :
+  config ->
+  initial_n:int ->
+  steps:step list ->
+  seed:int ->
+  state list
+(** [run cfg ~initial_n ~steps ~seed] is the full trajectory: greenfield
+    design of [initial_n] PoPs, then one {!evolve} per step. Returns all
+    states, oldest first. *)
+
+val legacy_penalty : config -> state -> Cold_prng.Prng.t -> float
+(** [legacy_penalty cfg state rng] is (evolved cost − greenfield cost) /
+    greenfield cost for [state]'s context: how much the inherited plant
+    costs relative to designing from scratch (>= 0 up to optimizer noise). *)

@@ -1,0 +1,146 @@
+module Graph = Cold_graph.Graph
+module Mst = Cold_graph.Mst
+module Prng = Cold_prng.Prng
+module Dist = Cold_prng.Dist
+module Context = Cold_context.Context
+
+type settings = {
+  population_size : int;
+  generations : int;
+  num_saved : int;
+  num_crossover : int;
+  num_mutation : int;
+  tournament_pool : int;
+  tournament_winners : int;
+  node_mutation_prob : float;
+  init_edge_factor : float;
+}
+
+type result = {
+  best : Graph.t;
+  best_cost : float;
+  final_population : (Graph.t * float) array;
+  history : float array;
+  evaluations : int;
+}
+
+let default_settings =
+  {
+    population_size = 100;
+    generations = 100;
+    num_saved = 20;
+    num_crossover = 50;
+    num_mutation = 30;
+    tournament_pool = 10;
+    tournament_winners = 2;
+    node_mutation_prob = 0.5;
+    init_edge_factor = 1.5;
+  }
+
+let validate s =
+  if s.population_size < 2 then invalid_arg "Ga: population_size must be >= 2";
+  if s.generations < 0 then invalid_arg "Ga: generations must be >= 0";
+  if s.num_saved < 1 then invalid_arg "Ga: num_saved must be >= 1";
+  if s.num_crossover < 0 || s.num_mutation < 0 then
+    invalid_arg "Ga: operator counts must be non-negative";
+  if s.num_saved + s.num_crossover + s.num_mutation <> s.population_size then
+    invalid_arg "Ga: num_saved + num_crossover + num_mutation must equal population_size";
+  if s.tournament_winners < 1 || s.tournament_pool < s.tournament_winners then
+    invalid_arg "Ga: need tournament_pool >= tournament_winners >= 1";
+  if s.node_mutation_prob < 0.0 || s.node_mutation_prob > 1.0 then
+    invalid_arg "Ga: node_mutation_prob out of range";
+  if s.init_edge_factor <= 0.0 then invalid_arg "Ga: init_edge_factor must be positive"
+
+let erdos_renyi_repaired ctx ~p rng =
+  let n = Context.n ctx in
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Dist.bernoulli rng ~p then Graph.add_edge g u v
+    done
+  done;
+  ignore (Repair.repair ctx g);
+  g
+
+let initial_population ~seeds settings ~objective ctx rng evaluations =
+  let n = Context.n ctx in
+  let evaluate g =
+    incr evaluations;
+    (g, objective g)
+  in
+  let mst = Mst.mst_graph ~n ~weight:(fun u v -> Context.distance ctx u v) in
+  let clique = Graph.complete n in
+  let fixed = evaluate mst :: evaluate clique :: List.map evaluate seeds in
+  let fixed = Array.of_list fixed in
+  let pairs = float_of_int (n * (n - 1) / 2) in
+  let p = Float.min 1.0 (settings.init_edge_factor *. float_of_int n /. pairs) in
+  let random_count = max 0 (settings.population_size - Array.length fixed) in
+  let randoms =
+    Array.init random_count (fun _ -> evaluate (erdos_renyi_repaired ctx ~p rng))
+  in
+  let pop = Array.append fixed randoms in
+  (* If seeds overflow the population, keep the cheapest M. *)
+  Array.sort (fun (_, a) (_, b) -> compare a b) pop;
+  if Array.length pop > settings.population_size then
+    Array.sub pop 0 settings.population_size
+  else pop
+
+let run_custom ?(seeds = []) settings ~objective ctx rng =
+  validate settings;
+  let n = Context.n ctx in
+  if n < 2 then invalid_arg "Ga.run: need at least 2 PoPs";
+  List.iter
+    (fun g ->
+      if Graph.node_count g <> n then
+        invalid_arg "Ga.run: seed topology size does not match context")
+    seeds;
+  let evaluations = ref 0 in
+  let evaluate g =
+    incr evaluations;
+    (g, objective g)
+  in
+  let pop = ref (initial_population ~seeds settings ~objective ctx rng evaluations) in
+  (* Population is kept sorted ascending by cost. *)
+  let history = Array.make (settings.generations + 1) infinity in
+  history.(0) <- snd !pop.(0);
+  for gen = 1 to settings.generations do
+    let prev = !pop in
+    let next =
+      Array.make settings.population_size prev.(0)
+    in
+    (* Elites survive unchanged (they are never mutated in place). *)
+    for i = 0 to settings.num_saved - 1 do
+      next.(i) <- prev.(i)
+    done;
+    for i = 0 to settings.num_crossover - 1 do
+      let parents =
+        Operators.tournament ~pool:settings.tournament_pool
+          ~winners:settings.tournament_winners prev rng
+      in
+      let child = Operators.crossover ctx ~parents rng in
+      next.(settings.num_saved + i) <- evaluate child
+    done;
+    for i = 0 to settings.num_mutation - 1 do
+      let idx = Operators.select_inverse_cost prev rng in
+      let mutant = Graph.copy (fst prev.(idx)) in
+      if Dist.bernoulli rng ~p:settings.node_mutation_prob then
+        Operators.node_mutation ctx mutant rng
+      else Operators.link_mutation ctx mutant rng;
+      next.(settings.num_saved + settings.num_crossover + i) <- evaluate mutant
+    done;
+    Array.sort (fun (_, a) (_, b) -> compare a b) next;
+    pop := next;
+    history.(gen) <- snd next.(0)
+  done;
+  let (best, best_cost) = !pop.(0) in
+  {
+    best;
+    best_cost;
+    final_population = !pop;
+    history;
+    evaluations = !evaluations;
+  }
+
+let run ?seeds settings params ctx rng =
+  run_custom ?seeds settings ~objective:(fun g -> Cost.evaluate params ctx g) ctx
+    rng

@@ -1,0 +1,70 @@
+(** The genetic algorithm (§4, §5).
+
+    Each generation holds [population_size] candidate topologies with their
+    costs. The next generation is the [num_saved] cheapest survivors, plus
+    [num_crossover] children of tournament-selected parents, plus
+    [num_mutation] mutants. The paper fixes T = M = 100 as a good
+    speed/quality trade-off; those are the defaults here.
+
+    The initial population contains the distance MST, the full clique, any
+    caller-provided seed topologies (the "initialised GA" of Fig 3 seeds the
+    greedy-heuristic solutions), and Erdős–Rényi graphs repaired to
+    connectivity with link probability chosen so the expected number of
+    links is [init_edge_factor · n]. *)
+
+type settings = {
+  population_size : int;  (** M; default 100. *)
+  generations : int;  (** T; default 100. *)
+  num_saved : int;  (** Elite survivors per generation; default 20. *)
+  num_crossover : int;  (** Children per generation; default 50. *)
+  num_mutation : int;  (** Mutants per generation; default 30. *)
+  tournament_pool : int;  (** b in §4.1.1; default 10. *)
+  tournament_winners : int;  (** a in §4.1.1; default 2. *)
+  node_mutation_prob : float;
+      (** Probability a mutation is a node (leaf-ification) mutation rather
+          than a link mutation; default 0.5. *)
+  init_edge_factor : float;
+      (** Expected links in each random initial topology, as a multiple of
+          n; default 1.5. *)
+}
+
+type result = {
+  best : Cold_graph.Graph.t;
+  best_cost : float;
+  final_population : (Cold_graph.Graph.t * float) array;
+      (** Final generation sorted by ascending cost — the paper notes one GA
+          run yields a whole population of solutions (§3.3, "non-exclusive"). *)
+  history : float array;  (** Best cost after each generation (length T+1,
+                              starting with the initial population). *)
+  evaluations : int;  (** Number of cost evaluations performed. *)
+}
+
+val default_settings : settings
+
+val validate : settings -> unit
+(** Raises [Invalid_argument] unless
+    [num_saved + num_crossover + num_mutation = population_size] and all
+    counts are sane. *)
+
+val run :
+  ?seeds:Cold_graph.Graph.t list ->
+  settings ->
+  Cost.params ->
+  Cold_context.Context.t ->
+  Cold_prng.Prng.t ->
+  result
+(** [run ?seeds settings params ctx rng] evolves topologies for [ctx].
+    Deterministic given the rng state. All returned topologies are
+    connected. *)
+
+val run_custom :
+  ?seeds:Cold_graph.Graph.t list ->
+  settings ->
+  objective:(Cold_graph.Graph.t -> float) ->
+  Cold_context.Context.t ->
+  Cold_prng.Prng.t ->
+  result
+(** Like {!run} but minimizing an arbitrary objective — the hook through
+    which extensions add costs (§2 "extensibility"; e.g. the legacy-link
+    charges of {!Evolution}). The objective should return [infinity] for
+    topologies it deems infeasible. *)

@@ -1,0 +1,238 @@
+module Graph = Cold_graph.Graph
+module Mst = Cold_graph.Mst
+module Prng = Cold_prng.Prng
+module Dist = Cold_prng.Dist
+module Context = Cold_context.Context
+
+type algorithm =
+  | Complete
+  | Mst_hubs
+  | Greedy_attachment
+  | Random_greedy of { permutations : int }
+
+let name = function
+  | Complete -> "complete"
+  | Mst_hubs -> "mst"
+  | Greedy_attachment -> "greedy attachment"
+  | Random_greedy _ -> "random greedy"
+
+let all ~permutations =
+  [ Random_greedy { permutations }; Complete; Mst_hubs; Greedy_attachment ]
+
+let mst_topology ctx =
+  Mst.mst_graph ~n:(Context.n ctx) ~weight:(fun u v -> Context.distance ctx u v)
+
+let clique_topology ctx = Graph.complete (Context.n ctx)
+
+(* Attach every non-hub to its nearest hub. [hubs] is a bool array. *)
+let attach_leaves ctx g hubs =
+  let n = Context.n ctx in
+  for v = 0 to n - 1 do
+    if not hubs.(v) then begin
+      let best = ref (-1) in
+      for h = 0 to n - 1 do
+        if hubs.(h) then
+          if !best < 0 || Context.distance ctx v h < Context.distance ctx v !best
+          then best := h
+      done;
+      if !best >= 0 then Graph.add_edge g v !best
+    end
+  done
+
+(* Wire the hub set as a clique. *)
+let wire_clique g hub_list =
+  List.iter
+    (fun h ->
+      List.iter (fun h' -> if h < h' then Graph.add_edge g h h') hub_list)
+    hub_list
+
+(* Wire the hub set as a distance MST. *)
+let wire_mst ctx g hub_list =
+  let hubs = Array.of_list hub_list in
+  let k = Array.length hubs in
+  if k > 1 then begin
+    let weight a b = Context.distance ctx hubs.(a) hubs.(b) in
+    List.iter
+      (fun (a, b) -> Graph.add_edge g hubs.(a) hubs.(b))
+      (Mst.prim_complete ~n:k ~weight)
+  end
+
+let build_clique_style ctx hubs =
+  let g = Graph.create (Context.n ctx) in
+  let hub_list = ref [] in
+  Array.iteri (fun v is_hub -> if is_hub then hub_list := v :: !hub_list) hubs;
+  wire_clique g !hub_list;
+  attach_leaves ctx g hubs;
+  g
+
+let build_mst_style ctx hubs =
+  let g = Graph.create (Context.n ctx) in
+  let hub_list = ref [] in
+  Array.iteri (fun v is_hub -> if is_hub then hub_list := v :: !hub_list) hubs;
+  wire_mst ctx g (List.rev !hub_list);
+  attach_leaves ctx g hubs;
+  g
+
+let best_star params ctx =
+  let n = Context.n ctx in
+  if n < 1 then invalid_arg "Heuristics.best_star: empty context";
+  let best = ref None in
+  for hub = 0 to n - 1 do
+    let hubs = Array.make n false in
+    hubs.(hub) <- true;
+    let g = build_clique_style ctx hubs in
+    let c = Cost.evaluate params ctx g in
+    match !best with
+    | None -> best := Some (g, c)
+    | Some (_, bc) -> if c < bc then best := Some (g, c)
+  done;
+  Option.get !best
+
+(* Greedy-attachment wiring: connect new hub [h] to existing hubs, cheapest
+   feasible link first, keep adding links while total cost decreases. The
+   leaves are re-attached after each trial, so we rebuild candidate graphs
+   from the hub structure. [inter_edges] is the current inter-hub edge set. *)
+let build_with_edges ctx hubs inter_edges =
+  let g = Graph.create (Context.n ctx) in
+  List.iter (fun (a, b) -> Graph.add_edge g a b) inter_edges;
+  attach_leaves ctx g hubs;
+  g
+
+let greedy_attach params ctx hubs inter_edges new_hub =
+  (* Candidate endpoints: existing hubs. *)
+  let targets = ref [] in
+  Array.iteri (fun v is_hub -> if is_hub && v <> new_hub then targets := v :: !targets) hubs;
+  (* First link: the one giving the cheapest network; then keep adding while
+     cost decreases. *)
+  let rec add_links edges cost targets =
+    let best = ref None in
+    List.iter
+      (fun t ->
+        let trial_edges = (min new_hub t, max new_hub t) :: edges in
+        let g = build_with_edges ctx hubs trial_edges in
+        let c = Cost.evaluate params ctx g in
+        match !best with
+        | None -> best := Some (t, c)
+        | Some (_, bc) -> if c < bc then best := Some (t, c))
+      targets;
+    match !best with
+    | Some (t, c) when c < cost || cost = infinity ->
+      let edges = (min new_hub t, max new_hub t) :: edges in
+      add_links edges c (List.filter (fun x -> x <> t) targets)
+    | _ -> (edges, cost)
+  in
+  add_links inter_edges infinity !targets
+
+(* The generic driver: repeatedly promote the leaf whose promotion reduces
+   cost the most, using [promote] to produce (graph, cost, new inter-hub
+   edges) for a candidate. Stops when no promotion helps. *)
+let drive params ctx ~initial_hub ~wire =
+  let n = Context.n ctx in
+  let hubs = Array.make n false in
+  hubs.(initial_hub) <- true;
+  let inter_edges = ref [] in
+  let current = ref (build_with_edges ctx hubs !inter_edges) in
+  let current_cost = ref (Cost.evaluate params ctx !current) in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let best = ref None in
+    for candidate = 0 to n - 1 do
+      if not hubs.(candidate) then begin
+        hubs.(candidate) <- true;
+        let (g, c, edges) = wire hubs !inter_edges candidate in
+        hubs.(candidate) <- false;
+        match !best with
+        | None -> best := Some (candidate, g, c, edges)
+        | Some (_, _, bc, _) -> if c < bc then best := Some (candidate, g, c, edges)
+      end
+    done;
+    match !best with
+    | Some (candidate, g, c, edges) when c < !current_cost ->
+      hubs.(candidate) <- true;
+      inter_edges := edges;
+      current := g;
+      current_cost := c;
+      improved := true
+    | _ -> ()
+  done;
+  (!current, !current_cost)
+
+(* The hub of the best single-hub star: its max-degree node. *)
+let star_hub star =
+  let n = Graph.node_count star in
+  let best = ref 0 in
+  for v = 1 to n - 1 do
+    if Graph.degree star v > Graph.degree star !best then best := v
+  done;
+  !best
+
+let run_complete params ctx =
+  let (star, star_cost) = best_star params ctx in
+  let wire hubs _edges _candidate =
+    let g = build_clique_style ctx hubs in
+    (* Clique wiring is recomputed wholesale; edge list unused downstream. *)
+    (g, Cost.evaluate params ctx g, [])
+  in
+  let (g, c) = drive params ctx ~initial_hub:(star_hub star) ~wire in
+  if c <= star_cost then (g, c) else (star, star_cost)
+
+let run_mst params ctx =
+  let (star, star_cost) = best_star params ctx in
+  let wire hubs _edges _candidate =
+    let g = build_mst_style ctx hubs in
+    (g, Cost.evaluate params ctx g, [])
+  in
+  let (g, c) = drive params ctx ~initial_hub:(star_hub star) ~wire in
+  if c <= star_cost then (g, c) else (star, star_cost)
+
+let run_greedy_attachment params ctx =
+  let (star, star_cost) = best_star params ctx in
+  let wire hubs edges candidate =
+    let (edges', c) = greedy_attach params ctx hubs edges candidate in
+    (build_with_edges ctx hubs edges', c, edges')
+  in
+  let (g, c) = drive params ctx ~initial_hub:(star_hub star) ~wire in
+  if c <= star_cost then (g, c) else (star, star_cost)
+
+let run_random_greedy ~permutations params ctx rng =
+  let n = Context.n ctx in
+  let (star, star_cost) = best_star params ctx in
+  let initial_hub = star_hub star in
+  let best_overall = ref (star, star_cost) in
+  for _ = 1 to max 1 permutations do
+    let hubs = Array.make n false in
+    hubs.(initial_hub) <- true;
+    let inter_edges = ref [] in
+    let cost = ref (Cost.evaluate params ctx (build_with_edges ctx hubs !inter_edges)) in
+    let order = Dist.permutation rng n in
+    Array.iter
+      (fun candidate ->
+        if not hubs.(candidate) then begin
+          hubs.(candidate) <- true;
+          let (edges', c) = greedy_attach params ctx hubs !inter_edges candidate in
+          if c < !cost then begin
+            inter_edges := edges';
+            cost := c
+          end
+          else hubs.(candidate) <- false
+        end)
+      order;
+    let g = build_with_edges ctx hubs !inter_edges in
+    let c = Cost.evaluate params ctx g in
+    if c < snd !best_overall then best_overall := (g, c)
+  done;
+  !best_overall
+
+let run alg params ctx rng =
+  if Context.n ctx < 2 then invalid_arg "Heuristics.run: need at least 2 PoPs";
+  match alg with
+  | Complete -> run_complete params ctx
+  | Mst_hubs -> run_mst params ctx
+  | Greedy_attachment -> run_greedy_attachment params ctx
+  | Random_greedy { permutations } -> run_random_greedy ~permutations params ctx rng
+
+let seed_set ?(permutations = 10) params ctx rng =
+  let (star, _) = best_star params ctx in
+  star
+  :: List.map (fun alg -> fst (run alg params ctx rng)) (all ~permutations)

@@ -1,0 +1,96 @@
+module Graph = Cold_graph.Graph
+module Prng = Cold_prng.Prng
+module Dist = Cold_prng.Dist
+module Context = Cold_context.Context
+
+type settings = {
+  iterations : int;
+  initial_temperature : float;
+  cooling : float;
+  node_move_prob : float;
+}
+
+type result = {
+  best : Graph.t;
+  best_cost : float;
+  accepted : int;
+  evaluations : int;
+}
+
+let default_settings =
+  {
+    iterations = 4000;
+    initial_temperature = 0.03;
+    (* ~1000x decay over the run: cooling^iterations = 1e-3. *)
+    cooling = exp (log 1e-3 /. 4000.0);
+    node_move_prob = 0.2;
+  }
+
+let hill_climb_settings = { default_settings with initial_temperature = 0.0 }
+
+(* Propose a neighbour of [g] (a fresh graph): toggle one random pair, or
+   turn a random hub into a leaf. Repairs connectivity. *)
+let propose ctx g rng ~node_move_prob =
+  let candidate = Graph.copy g in
+  if Dist.bernoulli rng ~p:node_move_prob then
+    Operators.node_mutation ctx candidate rng
+  else begin
+    let n = Graph.node_count candidate in
+    let rec pick () =
+      let u = Prng.int rng n and v = Prng.int rng n in
+      if u = v then pick () else (u, v)
+    in
+    let (u, v) = pick () in
+    if Graph.mem_edge candidate u v then Graph.remove_edge candidate u v
+    else Graph.add_edge candidate u v;
+    ignore (Repair.repair ctx candidate)
+  end;
+  candidate
+
+let run ?initial settings params ctx rng =
+  if settings.iterations < 0 then invalid_arg "Local_search.run: negative iterations";
+  if settings.cooling <= 0.0 || settings.cooling > 1.0 then
+    invalid_arg "Local_search.run: cooling must be in (0, 1]";
+  let n = Context.n ctx in
+  if n < 2 then invalid_arg "Local_search.run: need at least 2 PoPs";
+  let current =
+    match initial with
+    | Some g ->
+      if Graph.node_count g <> n then
+        invalid_arg "Local_search.run: initial topology size mismatch";
+      Graph.copy g
+    | None ->
+      Cold_graph.Mst.mst_graph ~n ~weight:(fun u v -> Context.distance ctx u v)
+  in
+  let evaluations = ref 0 in
+  let evaluate g =
+    incr evaluations;
+    Cost.evaluate params ctx g
+  in
+  let current = ref current in
+  let current_cost = ref (evaluate !current) in
+  let best = ref !current in
+  let best_cost = ref !current_cost in
+  let temperature = ref (settings.initial_temperature *. !current_cost) in
+  let accepted = ref 0 in
+  for _ = 1 to settings.iterations do
+    let candidate = propose ctx !current rng ~node_move_prob:settings.node_move_prob in
+    let cost = evaluate candidate in
+    let delta = cost -. !current_cost in
+    let accept =
+      delta <= 0.0
+      || (!temperature > 0.0 && Prng.float rng < exp (-.delta /. !temperature))
+    in
+    if accept then begin
+      current := candidate;
+      current_cost := cost;
+      incr accepted;
+      if cost < !best_cost then begin
+        best := candidate;
+        best_cost := cost
+      end
+    end;
+    temperature := !temperature *. settings.cooling
+  done;
+  { best = !best; best_cost = !best_cost; accepted = !accepted;
+    evaluations = !evaluations }

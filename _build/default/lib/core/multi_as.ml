@@ -1,0 +1,117 @@
+module Prng = Cold_prng.Prng
+module Dist = Cold_prng.Dist
+module Point = Cold_geom.Point
+module Region = Cold_geom.Region
+module Point_process = Cold_geom.Point_process
+module Population = Cold_traffic.Population
+module Context = Cold_context.Context
+
+type as_network = {
+  as_id : int;
+  cities : int array;
+  network : Cold_net.Network.t;
+}
+
+type interconnect = { a : int; b : int; city : int }
+
+type t = {
+  city_points : Point.t array;
+  ases : as_network array;
+  interconnects : interconnect list;
+}
+
+type config = {
+  cities : int;
+  ases : int;
+  presence : float;
+  peering_cost : float;
+  min_interconnects : int;
+  synthesis : Synthesis.config;
+}
+
+let default_config ?(ases = 3) ?(cities = 40) () =
+  {
+    cities;
+    ases;
+    presence = 0.5;
+    peering_cost = 5.0;
+    min_interconnects = 2;
+    synthesis = Synthesis.default_config ();
+  }
+
+let draw_presence cfg rng =
+  (* Retry until at least 2 cities are selected, so each AS is a network. *)
+  let rec go attempts =
+    if attempts > 1000 then invalid_arg "Multi_as: presence too low to place ASes";
+    let picked = ref [] in
+    for c = cfg.cities - 1 downto 0 do
+      if Dist.bernoulli rng ~p:cfg.presence then picked := c :: !picked
+    done;
+    if List.length !picked >= 2 then Array.of_list !picked else go (attempts + 1)
+  in
+  go 0
+
+let synthesize cfg ~seed =
+  if cfg.cities < 2 || cfg.ases < 1 then invalid_arg "Multi_as.synthesize";
+  if cfg.presence <= 0.0 || cfg.presence > 1.0 then
+    invalid_arg "Multi_as.synthesize: presence out of range";
+  let root = Prng.create seed in
+  let geo_rng = Prng.split_at root 0 in
+  let city_points =
+    Point_process.generate Point_process.Uniform ~region:Context.default_region
+      ~n:cfg.cities geo_rng
+  in
+  let ases =
+    Array.init cfg.ases (fun a ->
+        let rng = Prng.split_at root (a + 1) in
+        let cities = draw_presence cfg rng in
+        let points = Array.map (fun c -> city_points.(c)) cities in
+        let pops =
+          Population.generate Population.default ~n:(Array.length cities) rng
+        in
+        let ctx = Context.of_points_and_populations points pops in
+        let network = Synthesis.design cfg.synthesis ctx rng in
+        { as_id = a; cities; network })
+  in
+  (* Interconnect each AS pair at their shared cities. Cities are ranked by
+     combined local population (gravity proxy for inter-AS traffic) per unit
+     peering cost; the top min_interconnects are taken. *)
+  let interconnects = ref [] in
+  let city_of_pop (asn : as_network) = asn.cities in
+  for a = 0 to cfg.ases - 1 do
+    for b = a + 1 to cfg.ases - 1 do
+      let in_b = Hashtbl.create 16 in
+      Array.iteri (fun i c -> Hashtbl.replace in_b c i) (city_of_pop ases.(b));
+      let shared = ref [] in
+      Array.iteri
+        (fun i c ->
+          match Hashtbl.find_opt in_b c with
+          | Some j -> shared := (c, i, j) :: !shared
+          | None -> ())
+        (city_of_pop ases.(a));
+      let pop_of asn i =
+        (Cold_traffic.Gravity.populations
+           asn.network.Cold_net.Network.context.Context.tm).(i)
+      in
+      let ranked =
+        List.sort
+          (fun (_, i1, j1) (_, i2, j2) ->
+            compare
+              (-.(pop_of ases.(a) i1 +. pop_of ases.(b) j1) /. cfg.peering_cost)
+              (-.(pop_of ases.(a) i2 +. pop_of ases.(b) j2) /. cfg.peering_cost))
+          !shared
+      in
+      List.iteri
+        (fun rank (c, _, _) ->
+          if rank < cfg.min_interconnects then
+            interconnects := { a; b; city = c } :: !interconnects)
+        ranked
+    done
+  done;
+  { city_points; ases; interconnects = List.rev !interconnects }
+
+let shared_cities (t : t) a b =
+  let in_b = Hashtbl.create 16 in
+  Array.iter (fun c -> Hashtbl.replace in_b c ()) t.ases.(b).cities;
+  Array.to_list t.ases.(a).cities
+  |> List.filter (fun c -> Hashtbl.mem in_b c)

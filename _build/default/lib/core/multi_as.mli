@@ -1,0 +1,52 @@
+(** Multi-AS extension (§2, "Extensibility").
+
+    The paper sketches how COLD "could naturally be extended to multiple
+    ASes. Imagine the PoPs are in fact cities, in which different networks
+    may have presence. PoP interconnects in same cities could then be
+    assigned a cost, and we could run the optimization with respect to this
+    additional cost."
+
+    This module implements that sketch: a set of shared cities is generated
+    once; each AS has presence in a random subset and designs its own
+    network with its own cost parameters; ASes are then interconnected at
+    shared cities, choosing interconnect cities greedily to minimize
+    [peering_cost] per interconnect plus the gravity-weighted inter-AS
+    traffic detour, with at least [min_interconnects] per AS pair. *)
+
+type as_network = {
+  as_id : int;
+  cities : int array;  (** City index of each of the AS's PoPs. *)
+  network : Cold_net.Network.t;
+}
+
+type interconnect = {
+  a : int;  (** First AS id. *)
+  b : int;  (** Second AS id. *)
+  city : int;  (** Shared city where the ASes peer. *)
+}
+
+type t = {
+  city_points : Cold_geom.Point.t array;
+  ases : as_network array;
+  interconnects : interconnect list;
+}
+
+type config = {
+  cities : int;  (** Number of cities in the shared geography. *)
+  ases : int;
+  presence : float;  (** Probability an AS is present in a city; ∈ (0, 1]. *)
+  peering_cost : float;  (** Cost per interconnect (the §2 "additional cost"). *)
+  min_interconnects : int;  (** Redundancy floor per AS pair with shared cities. *)
+  synthesis : Synthesis.config;
+}
+
+val default_config : ?ases:int -> ?cities:int -> unit -> config
+(** 3 ASes over 40 cities, presence 0.5, peering cost 5, 2 interconnects. *)
+
+val synthesize : config -> seed:int -> t
+(** Generates the shared geography, per-AS networks and interconnects.
+    Deterministic in [seed]. Each AS is guaranteed at least 2 PoPs
+    (presence draws are retried). *)
+
+val shared_cities : t -> int -> int -> int list
+(** Cities where both ASes have presence. *)

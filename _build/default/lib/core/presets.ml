@@ -1,0 +1,36 @@
+type preset = { name : string; description : string; params : Cost.params }
+
+let startup =
+  {
+    name = "startup";
+    description =
+      "burgeoning market: connect everything as cheaply as possible (near-MST trees)";
+    params = Cost.params ~k0:10.0 ~k1:1.0 ~k2:2.5e-5 ~k3:0.0 ();
+  }
+
+let mature_carrier =
+  {
+    name = "mature-carrier";
+    description =
+      "bandwidth economics dominate: meshy low-diameter core, high average degree";
+    params = Cost.params ~k0:10.0 ~k1:1.0 ~k2:1.6e-3 ~k3:0.0 ();
+  }
+
+let consolidated_operator =
+  {
+    name = "consolidated-operator";
+    description =
+      "operational complexity taxed hard: few hubs, hub-and-spoke periphery, CVND > 1";
+    params = Cost.params ~k0:10.0 ~k1:1.0 ~k2:1.0e-4 ~k3:300.0 ();
+  }
+
+let regional_isp =
+  {
+    name = "regional-isp";
+    description = "small hub set with local meshing: the most common Zoo shape";
+    params = Cost.params ~k0:10.0 ~k1:1.0 ~k2:4.0e-4 ~k3:30.0 ();
+  }
+
+let all = [ startup; mature_carrier; consolidated_operator; regional_isp ]
+
+let find name = List.find_opt (fun p -> p.name = name) all

@@ -1,0 +1,36 @@
+(** Named cost-parameter archetypes.
+
+    The paper's introduction motivates tuning with an economic narrative: "a
+    newly formed network servicing a burgeoning market in a developing
+    country wishes primarily to provide connectivity as quickly and as
+    cheaply as possible. As the market matures there is an incentive to
+    increase the level of service…". These presets encode that narrative
+    (and the shapes observed in the Topology Zoo) as starting points; they
+    are ordinary {!Cost.params} values under the library's calibrated units
+    (see DESIGN.md), not magic. *)
+
+type preset = {
+  name : string;
+  description : string;
+  params : Cost.params;
+}
+
+val startup : preset
+(** Connectivity as cheaply as possible: link costs dominate, no hub
+    aversion ⇒ near-MST trees. *)
+
+val mature_carrier : preset
+(** Bandwidth-distance costs matter ⇒ meshy cores, moderate redundancy,
+    higher clustering, low diameter. *)
+
+val consolidated_operator : preset
+(** Heavy operational-complexity aversion ⇒ few hubs, hub-and-spoke
+    periphery, CVND above 1. *)
+
+val regional_isp : preset
+(** In-between: a small hub set with local meshing. *)
+
+val all : preset list
+
+val find : string -> preset option
+(** Lookup by [name] (exact match). *)

@@ -1,0 +1,15 @@
+module Graph = Cold_graph.Graph
+module Mst = Cold_graph.Mst
+module Traversal = Cold_graph.Traversal
+module Context = Cold_context.Context
+
+let repair ctx g =
+  if Graph.node_count g <> Context.n ctx then
+    invalid_arg "Repair.repair: graph size does not match context";
+  let weight u v = Context.distance ctx u v in
+  let added = Mst.spanning_connector g ~weight in
+  List.iter (fun (u, v) -> Graph.add_edge g u v) added;
+  List.length added
+
+let is_feasible ctx g =
+  Graph.node_count g = Context.n ctx && Traversal.is_connected g

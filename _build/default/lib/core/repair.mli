@@ -1,0 +1,13 @@
+(** Connectivity repair (§4.1.3).
+
+    Crossover and mutation can disconnect a candidate. COLD then finds all
+    connected components and the shortest link between each pair of
+    components, and adds a minimum spanning tree (in physical link distance)
+    over the components. The repaired graph is always connected. *)
+
+val repair : Cold_context.Context.t -> Cold_graph.Graph.t -> int
+(** [repair ctx g] connects [g] in place; returns the number of links added
+    (0 if already connected). *)
+
+val is_feasible : Cold_context.Context.t -> Cold_graph.Graph.t -> bool
+(** [is_feasible ctx g]: connected and of matching size. *)

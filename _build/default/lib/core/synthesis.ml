@@ -1,0 +1,39 @@
+module Prng = Cold_prng.Prng
+module Context = Cold_context.Context
+module Network = Cold_net.Network
+module Capacity = Cold_net.Capacity
+
+type config = {
+  params : Cost.params;
+  ga : Ga.settings;
+  seed_with_heuristics : bool;
+  heuristic_permutations : int;
+  capacity : Capacity.policy;
+}
+
+let default_config ?(params = Cost.params ()) () =
+  {
+    params;
+    ga = Ga.default_settings;
+    seed_with_heuristics = true;
+    heuristic_permutations = 10;
+    capacity = Capacity.default;
+  }
+
+let design_ga cfg ctx rng =
+  let seeds =
+    if cfg.seed_with_heuristics then
+      Heuristics.seed_set ~permutations:cfg.heuristic_permutations cfg.params
+        ctx rng
+    else []
+  in
+  Ga.run ~seeds cfg.ga cfg.params ctx rng
+
+let design cfg ctx rng =
+  let result = design_ga cfg ctx rng in
+  Network.build ~policy:cfg.capacity ctx result.Ga.best
+
+let synthesize cfg spec ~seed =
+  let rng = Prng.create seed in
+  let ctx = Context.generate spec rng in
+  design cfg ctx rng

@@ -1,0 +1,38 @@
+(** End-to-end COLD synthesis: context in, network out.
+
+    This is the library's front door. It packages the full §3 pipeline:
+    generate (or accept) a context, run the greedy heuristics, seed the GA
+    with their solutions (the "initialised GA", the paper's recommended and
+    uniformly best configuration), and return the designed {e network} with
+    capacities and routing. *)
+
+type config = {
+  params : Cost.params;
+  ga : Ga.settings;
+  seed_with_heuristics : bool;
+      (** Run the §5 greedy heuristics first and put their solutions in the
+          initial GA population. Default [true] — the paper's initialised GA
+          "outperforms all of its competitors over all parameter ranges
+          tested". *)
+  heuristic_permutations : int;  (** Random-greedy restarts. Default 10. *)
+  capacity : Cold_net.Capacity.policy;
+}
+
+val default_config : ?params:Cost.params -> unit -> config
+(** T = M = 100 GA, heuristic seeding on, capacity over-provisioning 2. *)
+
+val design :
+  config -> Cold_context.Context.t -> Cold_prng.Prng.t -> Cold_net.Network.t
+(** [design cfg ctx rng] optimizes a topology for the given context and
+    builds the final network (topology, capacities, routes). *)
+
+val design_ga :
+  config -> Cold_context.Context.t -> Cold_prng.Prng.t -> Ga.result
+(** Like {!design} but exposing the raw GA result (final population, cost
+    history) for analysis. *)
+
+val synthesize :
+  config -> Cold_context.Context.spec -> seed:int -> Cold_net.Network.t
+(** [synthesize cfg spec ~seed] draws a fresh random context from [spec]
+    (deterministically from [seed]) and designs a network for it — one
+    complete COLD sample. *)

@@ -1,0 +1,1 @@
+lib/dk/dk.ml: Cold_graph Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/dk/dk.mli: Cold_graph

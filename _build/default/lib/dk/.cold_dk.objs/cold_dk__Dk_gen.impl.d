@@ -1,0 +1,1 @@
+lib/dk/dk_gen.ml: Array Cold_graph Cold_prng Dk Hashtbl List Option

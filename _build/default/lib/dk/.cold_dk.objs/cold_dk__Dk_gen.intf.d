@@ -1,0 +1,1 @@
+lib/dk/dk_gen.mli: Cold_graph Cold_prng

@@ -1,0 +1,1 @@
+lib/dk/iso.ml: Array Cold_graph Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/dk/iso.mli: Cold_graph

@@ -1,0 +1,1 @@
+lib/dk/rewire.ml: Cold_graph Cold_prng Dk

@@ -1,0 +1,1 @@
+lib/dk/rewire.mli: Cold_graph Cold_prng

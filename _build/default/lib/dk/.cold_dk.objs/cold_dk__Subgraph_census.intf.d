@@ -1,0 +1,1 @@
+lib/dk/subgraph_census.mli: Cold_graph

@@ -1,0 +1,76 @@
+module Graph = Cold_graph.Graph
+
+type zero_k = float
+
+type one_k = (int * int) list
+
+type two_k = ((int * int) * int) list
+
+type three_k = {
+  wedges : ((int * int * int) * int) list;
+  triangles : ((int * int * int) * int) list;
+}
+
+let zero_k g =
+  let n = Graph.node_count g in
+  if n = 0 then 0.0 else 2.0 *. float_of_int (Graph.edge_count g) /. float_of_int n
+
+let one_k g =
+  let tbl = Hashtbl.create 16 in
+  for v = 0 to Graph.node_count g - 1 do
+    let d = Graph.degree g v in
+    Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
+  done;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let two_k g =
+  let tbl = Hashtbl.create 64 in
+  Graph.iter_edges g (fun u v ->
+      let du = Graph.degree g u and dv = Graph.degree g v in
+      let key = (min du dv, max du dv) in
+      Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)));
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let three_k g =
+  let wedge_tbl = Hashtbl.create 256 in
+  let tri_tbl = Hashtbl.create 256 in
+  let bump tbl key =
+    Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+  in
+  let n = Graph.node_count g in
+  (* Wedges: centre c with neighbour pair (a, b), a < b. *)
+  for c = 0 to n - 1 do
+    Graph.iter_neighbors g c (fun a ->
+        Graph.iter_neighbors g c (fun b ->
+            if a < b then begin
+              let da = Graph.degree g a and db = Graph.degree g b in
+              let dc = Graph.degree g c in
+              let lo = min da db and hi = max da db in
+              if Graph.mem_edge g a b then begin
+                (* Count each triangle once: at its smallest vertex id. *)
+                if c < a && c < b then begin
+                  let s = List.sort compare [ da; db; dc ] in
+                  match s with
+                  | [ x; y; z ] -> bump tri_tbl (x, y, z)
+                  | _ -> assert false
+                end
+              end
+              else bump wedge_tbl (lo, dc, hi)
+            end))
+  done;
+  {
+    wedges = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) wedge_tbl []);
+    triangles = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tri_tbl []);
+  }
+
+let equal_one_k (a : one_k) b = a = b
+
+let equal_two_k (a : two_k) b = a = b
+
+let equal_three_k (a : three_k) b = a.wedges = b.wedges && a.triangles = b.triangles
+
+let two_k_entry_count g = List.length (two_k g)
+
+let three_k_entry_count g =
+  let t = three_k g in
+  List.length t.wedges + List.length t.triangles

@@ -1,0 +1,50 @@
+(** dK-distributions (Mahadevan et al., §2 of the paper).
+
+    The dK-distribution of a graph records, for each isomorphism class of
+    connected degree-labelled subgraphs of size d, how many times it occurs.
+    d = 0 is the average degree, d = 1 the degree distribution, d = 2 the
+    joint degree distribution (fixing assortativity), d = 3 wedge/triangle
+    profiles (fixing clustering). The paper's critique — which this library
+    makes measurable — is that these "distributions" are huge parameter
+    lists, not single statistics, and can over-constrain generation to the
+    point where only graphs isomorphic to the input match (Fig 2). *)
+
+type zero_k = float
+(** Average degree. *)
+
+type one_k = (int * int) list
+(** Sorted [(degree, node count)] pairs. *)
+
+type two_k = ((int * int) * int) list
+(** Sorted [((d_u, d_v), edge count)] with d_u <= d_v: the joint degree
+    distribution. *)
+
+type three_k = {
+  wedges : ((int * int * int) * int) list;
+      (** [((d_end1, d_centre, d_end2), count)] with d_end1 <= d_end2, for
+          paths of length 2 that are NOT part of that entry (open wedges are
+          counted regardless of closure; triangles are tallied separately,
+          as in Mahadevan et al.'s wedge/triangle decomposition). *)
+  triangles : ((int * int * int) * int) list;
+      (** [((d_a, d_b, d_c), count)] with d_a <= d_b <= d_c. *)
+}
+
+val zero_k : Cold_graph.Graph.t -> zero_k
+
+val one_k : Cold_graph.Graph.t -> one_k
+
+val two_k : Cold_graph.Graph.t -> two_k
+
+val three_k : Cold_graph.Graph.t -> three_k
+
+val equal_one_k : one_k -> one_k -> bool
+
+val equal_two_k : two_k -> two_k -> bool
+
+val equal_three_k : three_k -> three_k -> bool
+
+val two_k_entry_count : Cold_graph.Graph.t -> int
+(** Number of distinct (d_u, d_v) classes — the 2K parameter count. *)
+
+val three_k_entry_count : Cold_graph.Graph.t -> int
+(** Distinct wedge classes + distinct triangle classes. *)

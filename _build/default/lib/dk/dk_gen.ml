@@ -1,0 +1,109 @@
+module Graph = Cold_graph.Graph
+module Prng = Cold_prng.Prng
+module Dist = Cold_prng.Dist
+
+(* One stub-matching pass for a plain degree sequence; None if wedged. *)
+let try_degree_sequence degrees rng =
+  let n = Array.length degrees in
+  let sum = Array.fold_left ( + ) 0 degrees in
+  let stubs = Array.make sum 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun v d ->
+      for _ = 1 to d do
+        stubs.(!k) <- v;
+        incr k
+      done)
+    degrees;
+  Dist.shuffle rng stubs;
+  let g = Graph.create n in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i + 1 < sum do
+    let u = stubs.(!i) and v = stubs.(!i + 1) in
+    if u = v || Graph.mem_edge g u v then ok := false
+    else begin
+      Graph.add_edge g u v;
+      i := !i + 2
+    end
+  done;
+  if !ok then Some g else None
+
+let degree_sequence_graph ?(attempts = 100) degrees rng =
+  Array.iter
+    (fun d -> if d < 0 then invalid_arg "Dk_gen: negative degree")
+    degrees;
+  if Array.fold_left ( + ) 0 degrees mod 2 = 1 then
+    invalid_arg "Dk_gen: odd degree sum";
+  let rec go k =
+    if k = 0 then None
+    else
+      match try_degree_sequence degrees rng with
+      | Some g -> Some g
+      | None -> go (k - 1)
+  in
+  go (max 1 attempts)
+
+(* One class-wise matching pass for a JDD target; None if wedged. *)
+let try_two_k ~degrees ~jdd rng =
+  let n = Array.length degrees in
+  let g = Graph.create n in
+  let free = Array.copy degrees in
+  (* Nodes per degree class. *)
+  let class_members = Hashtbl.create 16 in
+  Array.iteri
+    (fun v d ->
+      Hashtbl.replace class_members d
+        (v :: Option.value ~default:[] (Hashtbl.find_opt class_members d)))
+    degrees;
+  let members d = Array.of_list (Option.value ~default:[] (Hashtbl.find_opt class_members d)) in
+  (* Process JDD entries in random order; within an entry place edges one at
+     a time between random free-stub nodes of the two classes. *)
+  let entries = Array.of_list jdd in
+  Dist.shuffle rng entries;
+  let pick_free d ~avoid ~not_adjacent_to =
+    let cands =
+      Array.to_list (members d)
+      |> List.filter (fun v ->
+             free.(v) > 0 && v <> avoid
+             &&
+             match not_adjacent_to with
+             | Some u -> not (Graph.mem_edge g u v)
+             | None -> true)
+    in
+    match cands with
+    | [] -> None
+    | _ ->
+      let arr = Array.of_list cands in
+      Some arr.(Prng.int rng (Array.length arr))
+  in
+  let ok = ref true in
+  Array.iter
+    (fun ((a, b), count) ->
+      for _ = 1 to count do
+        if !ok then begin
+          match pick_free a ~avoid:(-1) ~not_adjacent_to:None with
+          | None -> ok := false
+          | Some u -> (
+            match pick_free b ~avoid:u ~not_adjacent_to:(Some u) with
+            | None -> ok := false
+            | Some v ->
+              Graph.add_edge g u v;
+              free.(u) <- free.(u) - 1;
+              free.(v) <- free.(v) - 1)
+        end
+      done)
+    entries;
+  if !ok && Array.for_all (fun f -> f = 0) free then Some g else None
+
+let two_k_graph ?(attempts = 100) reference rng =
+  let degrees = Graph.degree_sequence reference in
+  let jdd = Dk.two_k reference in
+  let rec go k =
+    if k = 0 then None
+    else
+      match try_two_k ~degrees ~jdd rng with
+      | Some g -> Some g
+      | None -> go (k - 1)
+  in
+  go (max 1 attempts)

@@ -1,0 +1,26 @@
+(** dK-series {e construction}: sample a fresh random graph with a
+    prescribed 1K (degree sequence) or 2K (joint degree) distribution.
+
+    {!Rewire} randomizes an existing graph while preserving dK properties;
+    this module builds a graph from the distribution alone, the way
+    Mahadevan et al.'s generators do — stub matching within degree classes,
+    with bounded restarts when the greedy matching wedges. Together they
+    make the Table 1 dK row a real generator, not a strawman.
+
+    Generated graphs are simple but {e not necessarily connected} — exactly
+    the gap the paper pounces on (criterion 2): matching a dK-distribution
+    does not make a network. *)
+
+val degree_sequence_graph :
+  ?attempts:int -> int array -> Cold_prng.Prng.t -> Cold_graph.Graph.t option
+(** [degree_sequence_graph degrees rng] samples a simple graph realizing
+    [degrees] exactly (uniform stub matching with restarts, default 100
+    attempts); [None] if the sequence resisted (e.g. non-graphical).
+    Raises [Invalid_argument] on negative entries or odd sum. *)
+
+val two_k_graph :
+  ?attempts:int -> Cold_graph.Graph.t -> Cold_prng.Prng.t -> Cold_graph.Graph.t option
+(** [two_k_graph reference rng] samples a simple graph with exactly the
+    degree sequence {e and} joint degree distribution of [reference]
+    (class-wise stub matching, restarts on wedging; default 100 attempts).
+    The result is guaranteed 2K-equal to the reference when [Some]. *)

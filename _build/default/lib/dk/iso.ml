@@ -1,0 +1,89 @@
+module Graph = Cold_graph.Graph
+
+(* Per-vertex invariant: (degree, sorted neighbour degrees, triangle count).
+   Vertices can only map to vertices with equal invariants. *)
+let vertex_invariants g =
+  let n = Graph.node_count g in
+  Array.init n (fun v ->
+      let nbr_degs =
+        List.sort compare (List.map (Graph.degree g) (Graph.neighbors g v))
+      in
+      let triangles = ref 0 in
+      Graph.iter_neighbors g v (fun a ->
+          Graph.iter_neighbors g v (fun b ->
+              if a < b && Graph.mem_edge g a b then incr triangles));
+      (Graph.degree g v, nbr_degs, !triangles))
+
+let isomorphic g h =
+  let n = Graph.node_count g in
+  if n <> Graph.node_count h || Graph.edge_count g <> Graph.edge_count h then
+    false
+  else if n = 0 then true
+  else begin
+    let ig = vertex_invariants g and ih = vertex_invariants h in
+    let sorted a = List.sort compare (Array.to_list a) in
+    if sorted ig <> sorted ih then false
+    else begin
+      (* Backtracking: map g's vertices in order of rarest invariant first. *)
+      let order =
+        let counts = Hashtbl.create n in
+        Array.iter
+          (fun inv ->
+            Hashtbl.replace counts inv
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts inv)))
+          ig;
+        let vs = Array.init n (fun i -> i) in
+        Array.sort
+          (fun a b ->
+            compare
+              (Hashtbl.find counts ig.(a), a)
+              (Hashtbl.find counts ig.(b), b))
+          vs;
+        vs
+      in
+      let mapping = Array.make n (-1) in
+      let used = Array.make n false in
+      let rec assign idx =
+        if idx = n then true
+        else begin
+          let v = order.(idx) in
+          let ok = ref false in
+          let w = ref 0 in
+          while (not !ok) && !w < n do
+            let cand = !w in
+            incr w;
+            if (not used.(cand)) && ig.(v) = ih.(cand) then begin
+              (* Consistency with already-mapped neighbours. *)
+              let consistent = ref true in
+              for j = 0 to idx - 1 do
+                let u = order.(j) in
+                if !consistent
+                   && Graph.mem_edge g v u <> Graph.mem_edge h cand mapping.(u)
+                then consistent := false
+              done;
+              if !consistent then begin
+                mapping.(v) <- cand;
+                used.(cand) <- true;
+                if assign (idx + 1) then ok := true
+                else begin
+                  used.(cand) <- false;
+                  mapping.(v) <- -1
+                end
+              end
+            end
+          done;
+          !ok
+        end
+      in
+      assign 0
+    end
+  end
+
+let count_non_isomorphic graphs =
+  let representatives = ref [] in
+  List.iter
+    (fun g ->
+      if not (List.exists (fun r -> isomorphic g r) !representatives) then
+        representatives := g :: !representatives)
+    graphs;
+  List.length !representatives

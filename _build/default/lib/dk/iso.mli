@@ -1,0 +1,19 @@
+(** Graph isomorphism for small graphs.
+
+    The paper's over-constraint argument (Fig 2) is about {e isomorphism}:
+    "the only possible 3K graph that can match the input is isomorphic to the
+    input itself", and it stresses that this is hidden in practice because
+    isomorphism is hard to see. This module makes the claim checkable:
+    invariant screening (vertex count, degree sequence, sorted triangle and
+    neighbour-degree profiles) followed by backtracking search with degree
+    partitioning. Intended for the tens-of-vertices graphs the paper's
+    figures use — not a general-purpose VF2. *)
+
+val isomorphic : Cold_graph.Graph.t -> Cold_graph.Graph.t -> bool
+(** [isomorphic g h] decides whether some bijection of vertices maps the edge
+    set of [g] onto that of [h]. Exponential worst case; fast for the small,
+    structured graphs used here. *)
+
+val count_non_isomorphic : Cold_graph.Graph.t list -> int
+(** Number of isomorphism classes present in the list (pairwise testing —
+    quadratic in list length). *)

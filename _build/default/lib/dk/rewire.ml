@@ -1,0 +1,65 @@
+module Graph = Cold_graph.Graph
+module Traversal = Cold_graph.Traversal
+module Prng = Cold_prng.Prng
+
+type constraint_level = K1 | K2 | K3
+
+let random_edge g rng =
+  let m = Graph.edge_count g in
+  if m = 0 then None
+  else begin
+    let target = Prng.int rng m in
+    let found = ref None in
+    let i = ref 0 in
+    Graph.iter_edges g (fun u v ->
+        if !i = target then found := Some (u, v);
+        incr i);
+    !found
+  end
+
+let rewire ?(require_connected = true) ~level ~attempts g rng =
+  if attempts < 0 then invalid_arg "Rewire.rewire: negative attempts";
+  let accepted = ref 0 in
+  let degrees_ok u v x y =
+    match level with
+    | K1 -> true
+    | K2 | K3 ->
+      (* Swapping {u,v},{x,y} → {u,y},{x,v} keeps the JDD iff the endpoints
+         that change partners have equal degrees. *)
+      Graph.degree g v = Graph.degree g y || Graph.degree g u = Graph.degree g x
+  in
+  let three_k_before = if level = K3 then Some (Dk.three_k g) else None in
+  for _ = 1 to attempts do
+    match (random_edge g rng, random_edge g rng) with
+    | Some (u, v), Some (x, y)
+      when u <> x && u <> y && v <> x && v <> y
+           && (not (Graph.mem_edge g u y))
+           && not (Graph.mem_edge g x v) ->
+      if degrees_ok u v x y then begin
+        Graph.remove_edge g u v;
+        Graph.remove_edge g x y;
+        Graph.add_edge g u y;
+        Graph.add_edge g x v;
+        let ok_connect = (not require_connected) || Traversal.is_connected g in
+        let ok_3k =
+          match three_k_before with
+          | None -> true
+          | Some before -> Dk.equal_three_k before (Dk.three_k g)
+        in
+        if ok_connect && ok_3k then incr accepted
+        else begin
+          (* Revert. *)
+          Graph.remove_edge g u y;
+          Graph.remove_edge g x v;
+          Graph.add_edge g u v;
+          Graph.add_edge g x y
+        end
+      end
+    | _ -> ()
+  done;
+  !accepted
+
+let sample ?require_connected ~level ~attempts g rng =
+  let copy = Graph.copy g in
+  ignore (rewire ?require_connected ~level ~attempts copy rng);
+  copy

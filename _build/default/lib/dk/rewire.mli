@@ -1,0 +1,38 @@
+(** dK-preserving random rewiring — the standard way to sample "another graph
+    with the same dK-distribution", and the machinery behind Fig 2(c).
+
+    All rewiring is by double-edge swaps: edges {u,v} and {x,y} become
+    {u,y} and {x,v}. A plain swap preserves the degree sequence (1K); if
+    additionally deg v = deg y (or symmetrically deg u = deg x) the joint
+    degree distribution (2K) is preserved; a candidate 2K swap accepted only
+    when the wedge/triangle profile is unchanged preserves 3K.
+
+    The number of accepted moves is returned: the paper's over-constraint
+    argument (Fig 2, "the only possible 3K graph that can match the input is
+    isomorphic to the input itself") manifests as 3K acceptance collapsing
+    to swaps that produce isomorphic graphs — or to zero — on structured
+    inputs. *)
+
+type constraint_level = K1 | K2 | K3
+
+val rewire :
+  ?require_connected:bool ->
+  level:constraint_level ->
+  attempts:int ->
+  Cold_graph.Graph.t ->
+  Cold_prng.Prng.t ->
+  int
+(** [rewire ~level ~attempts g rng] mutates [g] in place with up to
+    [attempts] candidate swaps and returns the number accepted.
+    [require_connected] (default [true], matching dK generation practice —
+    the dK-distribution is defined on connected graphs) rejects swaps that
+    disconnect the graph. *)
+
+val sample :
+  ?require_connected:bool ->
+  level:constraint_level ->
+  attempts:int ->
+  Cold_graph.Graph.t ->
+  Cold_prng.Prng.t ->
+  Cold_graph.Graph.t
+(** Non-destructive {!rewire}: returns a rewired copy. *)

@@ -1,0 +1,149 @@
+module Graph = Cold_graph.Graph
+
+(* All 24 permutations of [0;1;2;3]. *)
+let perms4 =
+  let rec insert x = function
+    | [] -> [ [ x ] ]
+    | y :: rest as l -> (x :: l) :: List.map (fun r -> y :: r) (insert x rest)
+  in
+  let rec permutations = function
+    | [] -> [ [] ]
+    | x :: rest -> List.concat_map (insert x) (permutations rest)
+  in
+  List.map Array.of_list (permutations [ 0; 1; 2; 3 ])
+
+(* Canonical key of a 4-vertex induced subgraph: lexicographically smallest
+   (edge-bitmask, degree-label tuple) over all vertex orderings. Edge bits
+   are pairs (0,1),(0,2),(0,3),(1,2),(1,3),(2,3). *)
+let canonical4 adj labels =
+  let bit_pairs = [| (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) |] in
+  let best = ref None in
+  List.iter
+    (fun perm ->
+      let mask = ref 0 in
+      Array.iteri
+        (fun i (a, b) ->
+          if adj.(perm.(a)).(perm.(b)) then mask := !mask lor (1 lsl i))
+        bit_pairs;
+      let key =
+        (!mask, labels.(perm.(0)), labels.(perm.(1)), labels.(perm.(2)), labels.(perm.(3)))
+      in
+      match !best with
+      | None -> best := Some key
+      | Some b -> if key < b then best := Some key)
+    perms4;
+  Option.get !best
+
+let iter_connected_triples g f =
+  let n = Graph.node_count g in
+  (* Every connected triple contains a centre adjacent to the other two. To
+     enumerate each triple exactly once, visit unordered triples {a,b,c} with
+     a<b<c and check induced connectivity directly. O(n·deg²) via wedges
+     would double-count triangles; direct check is simpler and still fast. *)
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      for c = b + 1 to n - 1 do
+        let ab = Graph.mem_edge g a b
+        and ac = Graph.mem_edge g a c
+        and bc = Graph.mem_edge g b c in
+        let edges = Bool.to_int ab + Bool.to_int ac + Bool.to_int bc in
+        if edges >= 2 then f a b c ab ac bc
+      done
+    done
+  done
+
+let distinct2 g =
+  let keys = Hashtbl.create 64 in
+  Graph.iter_edges g (fun u v ->
+      let du = Graph.degree g u and dv = Graph.degree g v in
+      Hashtbl.replace keys (min du dv, max du dv) ());
+  Hashtbl.length keys
+
+let distinct3 g =
+  let keys = Hashtbl.create 256 in
+  iter_connected_triples g (fun a b c ab ac bc ->
+      let da = Graph.degree g a and db = Graph.degree g b and dc = Graph.degree g c in
+      let key =
+        if ab && ac && bc then begin
+          (* Triangle: sorted degree triple. *)
+          match List.sort compare [ da; db; dc ] with
+          | [ x; y; z ] -> (1, x, y, z)
+          | _ -> assert false
+        end
+        else begin
+          (* Path: centre is the vertex on both edges. *)
+          let centre, e1, e2 =
+            if ab && ac then (da, db, dc)
+            else if ab && bc then (db, da, dc)
+            else (dc, da, db)
+          in
+          (0, centre, min e1 e2, max e1 e2)
+        end
+      in
+      Hashtbl.replace keys key ());
+  Hashtbl.length keys
+
+let iter_connected_quads g f =
+  let n = Graph.node_count g in
+  let adj = Array.make_matrix 4 4 false in
+  let labels = Array.make 4 0 in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      for c = b + 1 to n - 1 do
+        for d = c + 1 to n - 1 do
+          let vs = [| a; b; c; d |] in
+          let edge_count = ref 0 in
+          for i = 0 to 3 do
+            for j = 0 to 3 do
+              let e = i <> j && Graph.mem_edge g vs.(i) vs.(j) in
+              adj.(i).(j) <- e;
+              if i < j && e then incr edge_count
+            done
+          done;
+          if !edge_count >= 3 then begin
+            (* Connectivity of 4 vertices: BFS from 0 over the 4x4 matrix. *)
+            let seen = Array.make 4 false in
+            let rec dfs i =
+              seen.(i) <- true;
+              for j = 0 to 3 do
+                if adj.(i).(j) && not seen.(j) then dfs j
+              done
+            in
+            dfs 0;
+            if Array.for_all Fun.id seen then begin
+              for i = 0 to 3 do
+                labels.(i) <- Graph.degree g vs.(i)
+              done;
+              f adj labels
+            end
+          end
+        done
+      done
+    done
+  done
+
+let distinct4 g =
+  let keys = Hashtbl.create 1024 in
+  iter_connected_quads g (fun adj labels ->
+      Hashtbl.replace keys (canonical4 adj labels) ());
+  Hashtbl.length keys
+
+let distinct g ~d =
+  match d with
+  | 2 -> distinct2 g
+  | 3 -> distinct3 g
+  | 4 -> distinct4 g
+  | _ -> invalid_arg "Subgraph_census.distinct: d must be 2, 3 or 4"
+
+let connected_subgraph_count g ~d =
+  match d with
+  | 2 -> Graph.edge_count g
+  | 3 ->
+    let c = ref 0 in
+    iter_connected_triples g (fun _ _ _ _ _ _ -> incr c);
+    !c
+  | 4 ->
+    let c = ref 0 in
+    iter_connected_quads g (fun _ _ -> incr c);
+    !c
+  | _ -> invalid_arg "Subgraph_census.connected_subgraph_count: d must be 2, 3 or 4"

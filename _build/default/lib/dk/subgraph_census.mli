@@ -1,0 +1,20 @@
+(** Census of distinct degree-labelled connected subgraphs — the parameter
+    count of a dK-distribution.
+
+    Fig 1 of the paper shows that the number of distinct labelled subgraphs
+    (i.e. of dK parameters) "grows rapidly both with the size of the graph
+    and with d", overtaking the number of nodes and even of possible edges —
+    the core of the paper's simplicity critique. This module measures that
+    count exactly for d = 2, 3, 4 by exhaustive enumeration with
+    brute-force canonicalization (subgraphs up to size 4 have at most 4! = 24
+    labelings, so exact isomorphism is cheap). *)
+
+val distinct : Cold_graph.Graph.t -> d:int -> int
+(** [distinct g ~d] is the number of isomorphism classes of connected
+    [d]-vertex induced subgraphs of [g], where vertices are labelled by their
+    degree {e in g}. Supported d: 2, 3, 4 ([Invalid_argument] otherwise).
+    O(n^d) — intended for n up to a few hundred. *)
+
+val connected_subgraph_count : Cold_graph.Graph.t -> d:int -> int
+(** Total number (with multiplicity) of connected induced [d]-subgraphs —
+    the normalizing bulk of the dK-distribution. Same d support. *)

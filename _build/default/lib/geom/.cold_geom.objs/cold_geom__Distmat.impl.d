@@ -1,0 +1,1 @@
+lib/geom/distmat.ml: Array Point

@@ -1,0 +1,1 @@
+lib/geom/point_process.ml: Array Cold_prng Float List Point Region

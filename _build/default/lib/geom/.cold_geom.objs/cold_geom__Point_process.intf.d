@@ -1,0 +1,1 @@
+lib/geom/point_process.mli: Cold_prng Point Region

@@ -1,0 +1,1 @@
+lib/geom/region.ml: Cold_prng Float Point

@@ -1,0 +1,1 @@
+lib/geom/region.mli: Cold_prng Point

@@ -1,0 +1,37 @@
+type t = { n : int; data : float array }
+(* Upper triangle, row-major: entry (i, j) with i < j lives at
+   [i*n - i*(i+1)/2 + (j - i - 1)]. *)
+
+let index t i j =
+  let i, j = if i < j then (i, j) else (j, i) in
+  (i * t.n) - (i * (i + 1) / 2) + (j - i - 1)
+
+let of_points pts =
+  let n = Array.length pts in
+  let data = Array.make (n * (n - 1) / 2) 0.0 in
+  let t = { n; data } in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      data.(index t i j) <- Point.distance pts.(i) pts.(j)
+    done
+  done;
+  t
+
+let size t = t.n
+
+let get t i j =
+  if i < 0 || j < 0 || i >= t.n || j >= t.n then invalid_arg "Distmat.get";
+  if i = j then 0.0 else t.data.(index t i j)
+
+let max_distance t = Array.fold_left max 0.0 t.data
+
+let nearest t i ~except =
+  if i < 0 || i >= t.n then invalid_arg "Distmat.nearest";
+  let best = ref None in
+  for j = 0 to t.n - 1 do
+    if j <> i && not (except j) then
+      match !best with
+      | None -> best := Some j
+      | Some b -> if get t i j < get t i b then best := Some j
+  done;
+  !best

@@ -1,0 +1,15 @@
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+
+let distance_sq p q =
+  let dx = p.x -. q.x and dy = p.y -. q.y in
+  (dx *. dx) +. (dy *. dy)
+
+let distance p q = sqrt (distance_sq p q)
+
+let midpoint p q = { x = (p.x +. q.x) /. 2.0; y = (p.y +. q.y) /. 2.0 }
+
+let equal p q = p.x = q.x && p.y = q.y
+
+let pp fmt p = Format.fprintf fmt "(%.4f, %.4f)" p.x p.y

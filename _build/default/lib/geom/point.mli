@@ -1,0 +1,22 @@
+(** Points in the plane. PoP locations live on a 2-D region (by default the
+    unit square, §3.1 of the paper); all link lengths in the cost model are
+    Euclidean distances between such points. *)
+
+type t = { x : float; y : float }
+
+val make : float -> float -> t
+
+val distance : t -> t -> float
+(** [distance p q] is the Euclidean distance between [p] and [q]. *)
+
+val distance_sq : t -> t -> float
+(** [distance_sq p q] is the squared Euclidean distance (no [sqrt]); use it
+    for nearest-neighbour comparisons. *)
+
+val midpoint : t -> t -> t
+
+val equal : t -> t -> bool
+(** Exact float equality on both coordinates. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(x, y)] with 4 decimal places. *)

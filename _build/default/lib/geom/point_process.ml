@@ -1,0 +1,67 @@
+module Prng = Cold_prng.Prng
+module Dist = Cold_prng.Dist
+
+type spec =
+  | Uniform
+  | Bursty of { clusters : int; sigma : float }
+  | Jittered_grid of { jitter : float }
+
+let generate_uniform ~region ~n g = Array.init n (fun _ -> Region.sample region g)
+
+let generate_bursty ~clusters ~sigma ~region ~n g =
+  if clusters <= 0 then invalid_arg "Point_process: clusters must be positive";
+  if sigma < 0.0 then invalid_arg "Point_process: sigma must be non-negative";
+  let parents = Array.init clusters (fun _ -> Region.sample region g) in
+  let rec scatter parent =
+    let dx = Dist.normal g ~mean:0.0 ~stddev:sigma in
+    let dy = Dist.normal g ~mean:0.0 ~stddev:sigma in
+    let p = Point.make (parent.Point.x +. dx) (parent.Point.y +. dy) in
+    if Region.contains region p then p else scatter parent
+  in
+  Array.init n (fun _ -> scatter parents.(Prng.int g clusters))
+
+let generate_jittered_grid ~jitter ~region ~n g =
+  (* Lay a near-square grid over the region's bounding box and keep the
+     first n in-region cells; jitter each point within its cell. *)
+  let side = int_of_float (Float.ceil (sqrt (float_of_int n))) in
+  let w, h =
+    match region with
+    | Region.Unit_square -> (1.0, 1.0)
+    | Region.Rectangle { width; height } -> (width, height)
+    | Region.Disk { radius } -> (2.0 *. radius, 2.0 *. radius)
+  in
+  let cell_w = w /. float_of_int side and cell_h = h /. float_of_int side in
+  let points = ref [] in
+  let count = ref 0 in
+  (* Visit cells in row-major order, wrapping if rejections (disk) leave us
+     short; the wrap re-jitters already-visited cells. *)
+  let attempts = ref 0 in
+  while !count < n && !attempts < 100 * n do
+    let idx = !attempts mod (side * side) in
+    incr attempts;
+    let i = idx mod side and j = idx / side in
+    let cx = (float_of_int i +. 0.5) *. cell_w in
+    let cy = (float_of_int j +. 0.5) *. cell_h in
+    let jx = Dist.uniform g ~lo:(-.jitter) ~hi:jitter *. cell_w in
+    let jy = Dist.uniform g ~lo:(-.jitter) ~hi:jitter *. cell_h in
+    let p = Point.make (cx +. jx) (cy +. jy) in
+    if Region.contains region p then begin
+      points := p :: !points;
+      incr count
+    end
+  done;
+  if !count < n then invalid_arg "Point_process: could not place points in region";
+  Array.of_list (List.rev !points)
+
+let generate spec ~region ~n g =
+  if n < 0 then invalid_arg "Point_process.generate: n must be non-negative";
+  match spec with
+  | Uniform -> generate_uniform ~region ~n g
+  | Bursty { clusters; sigma } -> generate_bursty ~clusters ~sigma ~region ~n g
+  | Jittered_grid { jitter } -> generate_jittered_grid ~jitter ~region ~n g
+
+let poisson spec ~region ~intensity g =
+  if intensity < 0.0 then
+    invalid_arg "Point_process.poisson: intensity must be non-negative";
+  let n = Dist.poisson g ~mean:(intensity *. Region.area region) in
+  generate spec ~region ~n g

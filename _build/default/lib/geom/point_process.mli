@@ -1,0 +1,34 @@
+(** 2-D point processes for PoP locations (§3.1).
+
+    The paper's default context draws [n] PoP locations independently and
+    uniformly on the unit square (a binomial/conditional-Poisson process). To
+    support the §7 sensitivity ablation the module also provides a {e bursty}
+    (Thomas cluster) process, in which cluster centres are uniform and points
+    scatter around them with Gaussian dispersion, and a {e jittered-grid}
+    process that is {e more} regular than Poisson. All processes return
+    exactly [n] points inside the region. *)
+
+type spec =
+  | Uniform
+      (** Independent uniform locations: the paper's default model. *)
+  | Bursty of { clusters : int; sigma : float }
+      (** Thomas cluster process conditioned on [n] total points:
+          [clusters] uniform parents, each point is attached to a uniformly
+          chosen parent and displaced by an isotropic Gaussian with standard
+          deviation [sigma] (resampled until it falls inside the region). *)
+  | Jittered_grid of { jitter : float }
+      (** Points on a near-square grid, each perturbed uniformly by up to
+          [jitter] cell-widths — an under-dispersed contrast case. *)
+
+val generate :
+  spec -> region:Region.t -> n:int -> Cold_prng.Prng.t -> Point.t array
+(** [generate spec ~region ~n g] draws [n] points. Raises [Invalid_argument]
+    if [n < 0], or for [Bursty] with [clusters <= 0] or [sigma < 0]. *)
+
+val poisson :
+  spec -> region:Region.t -> intensity:float -> Cold_prng.Prng.t -> Point.t array
+(** [poisson spec ~region ~intensity g] draws the {e unconditioned} process:
+    the point count is Poisson([intensity] · area). The paper conditions on
+    n (its default "is a 2D Poisson process conditional on the number of
+    PoPs"); this variant serves studies where the PoP count itself should
+    fluctuate. Raises [Invalid_argument] on negative intensity. *)

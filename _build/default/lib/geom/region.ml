@@ -1,0 +1,49 @@
+module Prng = Cold_prng.Prng
+
+type t =
+  | Unit_square
+  | Rectangle of { width : float; height : float }
+  | Disk of { radius : float }
+
+let unit_square = Unit_square
+
+let rectangle ~aspect ~area =
+  if aspect <= 0.0 || area <= 0.0 then
+    invalid_arg "Region.rectangle: aspect and area must be positive";
+  (* width / height = aspect, width * height = area *)
+  let height = sqrt (area /. aspect) in
+  let width = aspect *. height in
+  Rectangle { width; height }
+
+let disk ~radius =
+  if radius <= 0.0 then invalid_arg "Region.disk: radius must be positive";
+  Disk { radius }
+
+let rec sample region g =
+  match region with
+  | Unit_square -> Point.make (Prng.float g) (Prng.float g)
+  | Rectangle { width; height } ->
+    Point.make (Prng.float g *. width) (Prng.float g *. height)
+  | Disk { radius } ->
+    let x = Prng.float g *. 2.0 *. radius and y = Prng.float g *. 2.0 *. radius in
+    let p = Point.make x y in
+    let centre = Point.make radius radius in
+    if Point.distance p centre <= radius then p else sample region g
+
+let diameter = function
+  | Unit_square -> sqrt 2.0
+  | Rectangle { width; height } -> sqrt ((width *. width) +. (height *. height))
+  | Disk { radius } -> 2.0 *. radius
+
+let contains region p =
+  match region with
+  | Unit_square -> p.Point.x >= 0.0 && p.Point.x <= 1.0 && p.Point.y >= 0.0 && p.Point.y <= 1.0
+  | Rectangle { width; height } ->
+    p.Point.x >= 0.0 && p.Point.x <= width && p.Point.y >= 0.0 && p.Point.y <= height
+  | Disk { radius } ->
+    Point.distance p (Point.make radius radius) <= radius
+
+let area = function
+  | Unit_square -> 1.0
+  | Rectangle { width; height } -> width *. height
+  | Disk { radius } -> Float.pi *. radius *. radius

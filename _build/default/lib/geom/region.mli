@@ -1,0 +1,34 @@
+(** Regions on which PoP locations are drawn.
+
+    The paper's default is the unit square; §3.1 and §7 also experiment with
+    rectangles of different aspect ratios (a region "had to be quite long and
+    thin before it changed the resulting networks significantly") and with
+    disks. A region knows how to sample a uniform point and how to report its
+    maximum chord, which the Waxman baseline needs. *)
+
+type t =
+  | Unit_square
+  | Rectangle of { width : float; height : float }
+      (** Axis-aligned rectangle anchored at the origin. *)
+  | Disk of { radius : float }  (** Disk centred at ([radius], [radius]). *)
+
+val unit_square : t
+
+val rectangle : aspect:float -> area:float -> t
+(** [rectangle ~aspect ~area] is a rectangle with width/height ratio [aspect]
+    and the given area, so regions of different shapes remain comparable in
+    PoP density. Raises [Invalid_argument] on non-positive arguments. *)
+
+val disk : radius:float -> t
+
+val sample : t -> Cold_prng.Prng.t -> Point.t
+(** [sample region g] draws a uniform point on [region] (rejection sampling
+    for the disk). *)
+
+val diameter : t -> float
+(** [diameter region] is the length of the longest chord (diagonal for
+    rectangles, 2r for disks). *)
+
+val contains : t -> Point.t -> bool
+
+val area : t -> float

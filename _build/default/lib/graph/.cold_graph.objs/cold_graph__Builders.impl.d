@@ -1,0 +1,1 @@
+lib/graph/builders.ml: Array Cold_prng Graph

@@ -1,0 +1,1 @@
+lib/graph/robustness.ml: Array Graph List Traversal

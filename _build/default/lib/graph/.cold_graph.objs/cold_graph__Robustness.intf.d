@@ -1,0 +1,1 @@
+lib/graph/robustness.mli: Graph

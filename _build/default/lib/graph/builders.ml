@@ -1,0 +1,116 @@
+module Prng = Cold_prng.Prng
+
+let path n =
+  let g = Graph.create n in
+  for v = 0 to n - 2 do
+    Graph.add_edge g v (v + 1)
+  done;
+  g
+
+let cycle n =
+  if n < 3 then invalid_arg "Builders.cycle: need at least 3 vertices";
+  let g = path n in
+  Graph.add_edge g 0 (n - 1);
+  g
+
+let star n =
+  let g = Graph.create n in
+  for v = 1 to n - 1 do
+    Graph.add_edge g 0 v
+  done;
+  g
+
+let double_star n =
+  if n < 2 then invalid_arg "Builders.double_star: need at least 2 vertices";
+  let g = Graph.create n in
+  Graph.add_edge g 0 1;
+  for v = 2 to n - 1 do
+    Graph.add_edge g (v mod 2) v
+  done;
+  g
+
+let ladder k =
+  if k < 1 then invalid_arg "Builders.ladder";
+  let g = Graph.create (2 * k) in
+  for i = 0 to k - 2 do
+    Graph.add_edge g i (i + 1);
+    Graph.add_edge g (k + i) (k + i + 1)
+  done;
+  for i = 0 to k - 1 do
+    Graph.add_edge g i (k + i)
+  done;
+  g
+
+let balanced_tree ~branching ~depth =
+  if branching < 1 || depth < 0 then invalid_arg "Builders.balanced_tree";
+  (* Number of nodes: 1 + b + b^2 + ... + b^depth. *)
+  let rec count d acc pow = if d > depth then acc else count (d + 1) (acc + pow) (pow * branching) in
+  let n = count 0 0 1 in
+  let g = Graph.create n in
+  (* Children of node i are b*i+1 .. b*i+b (heap numbering). *)
+  for v = 1 to n - 1 do
+    Graph.add_edge g ((v - 1) / branching) v
+  done;
+  g
+
+let wheel n =
+  if n < 4 then invalid_arg "Builders.wheel: need at least 4 vertices";
+  let g = Graph.create n in
+  for v = 1 to n - 2 do
+    Graph.add_edge g v (v + 1)
+  done;
+  Graph.add_edge g 1 (n - 1);
+  for v = 1 to n - 1 do
+    Graph.add_edge g 0 v
+  done;
+  g
+
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Builders.grid";
+  let g = Graph.create (rows * cols) in
+  let id r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then Graph.add_edge g (id r c) (id r (c + 1));
+      if r + 1 < rows then Graph.add_edge g (id r c) (id (r + 1) c)
+    done
+  done;
+  g
+
+let random_tree n g =
+  if n <= 0 then invalid_arg "Builders.random_tree";
+  if n = 1 then Graph.create 1
+  else if n = 2 then Graph.of_edges 2 [ (0, 1) ]
+  else begin
+    (* Decode a uniform Prüfer sequence of length n-2. *)
+    let seq = Array.init (n - 2) (fun _ -> Prng.int g n) in
+    let deg = Array.make n 1 in
+    Array.iter (fun v -> deg.(v) <- deg.(v) + 1) seq;
+    let t = Graph.create n in
+    let deg = deg in
+    Array.iter
+      (fun v ->
+        (* Attach the smallest current leaf to v. *)
+        let leaf = ref (-1) in
+        (try
+           for u = 0 to n - 1 do
+             if deg.(u) = 1 then begin
+               leaf := u;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        Graph.add_edge t !leaf v;
+        deg.(!leaf) <- 0;
+        deg.(v) <- deg.(v) - 1)
+      seq;
+    (* Join the last two remaining leaves. *)
+    let rest = ref [] in
+    for u = n - 1 downto 0 do
+      if deg.(u) = 1 then rest := u :: !rest
+    done;
+    (match !rest with
+    | [ a; b ] -> Graph.add_edge t a b
+    | _ -> assert false);
+    t
+  end

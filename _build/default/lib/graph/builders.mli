@@ -1,0 +1,34 @@
+(** Parametric graph families: references for tests, cost-term sanity checks
+    (§3.2.3: trees, cliques, stars are the single-cost optima) and building
+    blocks of the synthetic topology zoo. *)
+
+val path : int -> Graph.t
+(** [path n]: vertices in a line, [n-1] edges. *)
+
+val cycle : int -> Graph.t
+(** [cycle n]: ring; requires [n >= 3]. *)
+
+val star : int -> Graph.t
+(** [star n]: vertex 0 is the hub; all others are leaves. *)
+
+val double_star : int -> Graph.t
+(** [double_star n]: two adjacent hubs (0 and 1) splitting [n-2] leaves as
+    evenly as possible — a common ISP shape in the Topology Zoo. *)
+
+val ladder : int -> Graph.t
+(** [ladder k]: two parallel paths of [k] vertices joined by rungs
+    ([n = 2k]). *)
+
+val balanced_tree : branching:int -> depth:int -> Graph.t
+(** [balanced_tree ~branching ~depth]: rooted tree with fan-out [branching];
+    [depth 0] is a single vertex. *)
+
+val wheel : int -> Graph.t
+(** [wheel n]: cycle on [n-1] vertices plus a centre adjacent to all;
+    requires [n >= 4]. *)
+
+val grid : rows:int -> cols:int -> Graph.t
+(** [grid ~rows ~cols]: 2-D lattice. *)
+
+val random_tree : int -> Cold_prng.Prng.t -> Graph.t
+(** [random_tree n g]: uniform labelled random tree via Prüfer sequence. *)

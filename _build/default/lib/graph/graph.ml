@@ -1,0 +1,127 @@
+type t = {
+  n : int;
+  adj : Bytes.t; (* n*n bytes; adj[u*n+v] = '\001' iff edge present *)
+  deg : int array;
+  mutable m : int;
+}
+
+let check_vertex g v name =
+  if v < 0 || v >= g.n then invalid_arg ("Graph." ^ name ^ ": vertex out of range")
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative size";
+  { n; adj = Bytes.make (n * n) '\000'; deg = Array.make n 0; m = 0 }
+
+let node_count g = g.n
+
+let edge_count g = g.m
+
+let copy g = { n = g.n; adj = Bytes.copy g.adj; deg = Array.copy g.deg; m = g.m }
+
+let mem_edge g u v =
+  check_vertex g u "mem_edge";
+  check_vertex g v "mem_edge";
+  u <> v && Bytes.unsafe_get g.adj ((u * g.n) + v) = '\001'
+
+let add_edge g u v =
+  check_vertex g u "add_edge";
+  check_vertex g v "add_edge";
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  if Bytes.unsafe_get g.adj ((u * g.n) + v) = '\000' then begin
+    Bytes.unsafe_set g.adj ((u * g.n) + v) '\001';
+    Bytes.unsafe_set g.adj ((v * g.n) + u) '\001';
+    g.deg.(u) <- g.deg.(u) + 1;
+    g.deg.(v) <- g.deg.(v) + 1;
+    g.m <- g.m + 1
+  end
+
+let remove_edge g u v =
+  check_vertex g u "remove_edge";
+  check_vertex g v "remove_edge";
+  if u <> v && Bytes.unsafe_get g.adj ((u * g.n) + v) = '\001' then begin
+    Bytes.unsafe_set g.adj ((u * g.n) + v) '\000';
+    Bytes.unsafe_set g.adj ((v * g.n) + u) '\000';
+    g.deg.(u) <- g.deg.(u) - 1;
+    g.deg.(v) <- g.deg.(v) - 1;
+    g.m <- g.m - 1
+  end
+
+let complete n =
+  let g = create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      add_edge g u v
+    done
+  done;
+  g
+
+let degree g v =
+  check_vertex g v "degree";
+  g.deg.(v)
+
+let is_leaf g v = degree g v <= 1
+
+let core_nodes g =
+  let rec collect v acc =
+    if v < 0 then acc
+    else collect (v - 1) (if g.deg.(v) > 1 then v :: acc else acc)
+  in
+  collect (g.n - 1) []
+
+let core_count g =
+  let c = ref 0 in
+  for v = 0 to g.n - 1 do
+    if g.deg.(v) > 1 then incr c
+  done;
+  !c
+
+let iter_neighbors g v f =
+  check_vertex g v "iter_neighbors";
+  let row = v * g.n in
+  for u = 0 to g.n - 1 do
+    if Bytes.unsafe_get g.adj (row + u) = '\001' then f u
+  done
+
+let fold_neighbors g v f init =
+  check_vertex g v "fold_neighbors";
+  let acc = ref init in
+  iter_neighbors g v (fun u -> acc := f !acc u);
+  !acc
+
+let neighbors g v = List.rev (fold_neighbors g v (fun acc u -> u :: acc) [])
+
+let iter_edges g f =
+  for u = 0 to g.n - 1 do
+    let row = u * g.n in
+    for v = u + 1 to g.n - 1 do
+      if Bytes.unsafe_get g.adj (row + v) = '\001' then f u v
+    done
+  done
+
+let fold_edges g f init =
+  let acc = ref init in
+  iter_edges g (fun u v -> acc := f !acc u v);
+  !acc
+
+let edges g = List.rev (fold_edges g (fun acc u v -> (u, v) :: acc) [])
+
+let of_edges n es =
+  let g = create n in
+  List.iter (fun (u, v) -> add_edge g u v) es;
+  g
+
+let degree_sequence g = Array.copy g.deg
+
+let equal g h = g.n = h.n && g.m = h.m && Bytes.equal g.adj h.adj
+
+let remove_all_edges_of g v =
+  check_vertex g v "remove_all_edges_of";
+  iter_neighbors g v (fun u -> remove_edge g u v)
+
+let pp fmt g =
+  Format.fprintf fmt "n=%d m=%d edges=[" g.n g.m;
+  let first = ref true in
+  iter_edges g (fun u v ->
+      if !first then first := false else Format.fprintf fmt "; ";
+      Format.fprintf fmt "(%d,%d)" u v);
+  Format.fprintf fmt "]"

@@ -1,0 +1,88 @@
+(** Undirected simple graphs on a fixed vertex set [0 .. n-1].
+
+    This is the chromosome type of the COLD genetic algorithm (§4: "each
+    candidate topology ... is stored as an n by n adjacency matrix") and the
+    substrate for every topology statistic. The representation is a dense
+    byte adjacency matrix plus a degree array: PoP-level networks are small
+    (the paper: "it is rare to see a network with more than a 100 PoPs"), and
+    dense adjacency gives O(1) membership, O(n) neighbour iteration and O(n²)
+    copy — the operations the GA performs millions of times.
+
+    Self-loops are forbidden; parallel edges cannot be represented. Mutation
+    is in-place; use {!copy} when genetic operators must not alias. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty graph on [n] vertices. Raises [Invalid_argument]
+    if [n < 0]. *)
+
+val complete : int -> t
+(** [complete n] is the clique K_n. *)
+
+val copy : t -> t
+
+val node_count : t -> int
+
+val edge_count : t -> int
+
+val mem_edge : t -> int -> int -> bool
+(** [mem_edge g u v] is [true] iff the edge [{u,v}] is present.
+    [mem_edge g u u] is [false]. Raises [Invalid_argument] on out-of-range
+    vertices. *)
+
+val add_edge : t -> int -> int -> unit
+(** [add_edge g u v] inserts [{u,v}]; no-op if present. Raises
+    [Invalid_argument] if [u = v] or out of range. *)
+
+val remove_edge : t -> int -> int -> unit
+(** [remove_edge g u v] deletes [{u,v}]; no-op if absent. *)
+
+val degree : t -> int -> int
+
+val is_leaf : t -> int -> bool
+(** [is_leaf g v] is [degree g v <= 1]: the paper's leaf PoPs have exactly
+    one link, and isolated vertices also count as non-core. *)
+
+val core_nodes : t -> int list
+(** Vertices with degree > 1 — the paper's set N_C incurring the k3 hub
+    cost (§3.2.2). Ascending order. *)
+
+val core_count : t -> int
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** [iter_neighbors g v f] applies [f] to each neighbour of [v] in ascending
+    order. *)
+
+val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val neighbors : t -> int -> int list
+(** Ascending list of neighbours. *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** [iter_edges g f] applies [f u v] once per edge with [u < v], in
+    lexicographic order. *)
+
+val fold_edges : t -> ('a -> int -> int -> 'a) -> 'a -> 'a
+
+val edges : t -> (int * int) list
+(** Lexicographically ordered [(u, v)] pairs with [u < v]. *)
+
+val of_edges : int -> (int * int) list -> t
+(** [of_edges n es] builds a graph on [n] vertices with the given edges.
+    Duplicate edges collapse. Raises [Invalid_argument] on self-loops or
+    out-of-range endpoints. *)
+
+val degree_sequence : t -> int array
+(** [degree_sequence g] is the per-vertex degree array (indexed by vertex,
+    not sorted). *)
+
+val equal : t -> t -> bool
+(** Structural equality: same vertex count and same edge set. *)
+
+val remove_all_edges_of : t -> int -> unit
+(** [remove_all_edges_of g v] detaches vertex [v] entirely (used by the
+    node-mutation operator that turns a hub into a leaf, §4.1.2). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [n=<n> m=<m> edges=[(u,v); …]]. *)

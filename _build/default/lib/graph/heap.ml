@@ -1,0 +1,69 @@
+type t = {
+  mutable prio : float array;
+  mutable vert : int array;
+  mutable len : int;
+}
+
+let create ~capacity =
+  let capacity = max capacity 1 in
+  { prio = Array.make capacity 0.0; vert = Array.make capacity 0; len = 0 }
+
+let is_empty h = h.len = 0
+
+let size h = h.len
+
+let less h i j =
+  h.prio.(i) < h.prio.(j) || (h.prio.(i) = h.prio.(j) && h.vert.(i) < h.vert.(j))
+
+let swap h i j =
+  let p = h.prio.(i) and v = h.vert.(i) in
+  h.prio.(i) <- h.prio.(j);
+  h.vert.(i) <- h.vert.(j);
+  h.prio.(j) <- p;
+  h.vert.(j) <- v
+
+let grow h =
+  let cap = Array.length h.prio in
+  let prio = Array.make (2 * cap) 0.0 and vert = Array.make (2 * cap) 0 in
+  Array.blit h.prio 0 prio 0 h.len;
+  Array.blit h.vert 0 vert 0 h.len;
+  h.prio <- prio;
+  h.vert <- vert
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less h i parent then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < h.len && less h l i then l else i in
+  let smallest = if r < h.len && less h r smallest then r else smallest in
+  if smallest <> i then begin
+    swap h i smallest;
+    sift_down h smallest
+  end
+
+let push h ~priority v =
+  if h.len = Array.length h.prio then grow h;
+  h.prio.(h.len) <- priority;
+  h.vert.(h.len) <- v;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let pop_min h =
+  if h.len = 0 then None
+  else begin
+    let p = h.prio.(0) and v = h.vert.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.prio.(0) <- h.prio.(h.len);
+      h.vert.(0) <- h.vert.(h.len);
+      sift_down h 0
+    end;
+    Some (p, v)
+  end

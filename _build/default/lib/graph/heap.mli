@@ -1,0 +1,19 @@
+(** Binary min-heap keyed by float priorities, specialised for Dijkstra and
+    Prim. Uses lazy deletion: {!push} may insert a vertex multiple times and
+    consumers skip stale pops (cheaper than decrease-key at these sizes). *)
+
+type t
+
+val create : capacity:int -> t
+(** [create ~capacity] pre-allocates; the heap grows if exceeded. *)
+
+val is_empty : t -> bool
+
+val size : t -> int
+
+val push : t -> priority:float -> int -> unit
+(** [push h ~priority v] inserts vertex [v] with [priority]. *)
+
+val pop_min : t -> (float * int) option
+(** [pop_min h] removes and returns the entry with the smallest priority
+    (ties broken by smaller vertex id, making consumers deterministic). *)

@@ -1,0 +1,78 @@
+let prim_complete ~n ~weight =
+  if n <= 1 then []
+  else begin
+    let in_tree = Array.make n false in
+    let best_w = Array.make n infinity in
+    let best_to = Array.make n (-1) in
+    in_tree.(0) <- true;
+    for v = 1 to n - 1 do
+      best_w.(v) <- weight 0 v;
+      best_to.(v) <- 0
+    done;
+    let edges = ref [] in
+    for _ = 1 to n - 1 do
+      (* Pick the cheapest fringe vertex; ties to the smaller id. *)
+      let u = ref (-1) in
+      for v = 0 to n - 1 do
+        if (not in_tree.(v)) && (!u < 0 || best_w.(v) < best_w.(!u)) then u := v
+      done;
+      let u = !u in
+      in_tree.(u) <- true;
+      let a = min u best_to.(u) and b = max u best_to.(u) in
+      edges := (a, b) :: !edges;
+      for v = 0 to n - 1 do
+        if not in_tree.(v) then begin
+          let w = weight u v in
+          if w < best_w.(v) then begin
+            best_w.(v) <- w;
+            best_to.(v) <- u
+          end
+        end
+      done
+    done;
+    List.rev !edges
+  end
+
+let mst_graph ~n ~weight = Graph.of_edges n (prim_complete ~n ~weight)
+
+let spanning_connector g ~weight =
+  let (comp, k) = Traversal.connected_components g in
+  if k <= 1 then []
+  else begin
+    let members = Traversal.component_members (comp, k) in
+    (* Shortest vertex pair between each pair of components. *)
+    let best_pair = Array.make_matrix k k (-1, -1) in
+    let best_w = Array.make_matrix k k infinity in
+    Array.iteri
+      (fun a ma ->
+        Array.iteri
+          (fun b mb ->
+            if a < b then begin
+              List.iter
+                (fun u ->
+                  List.iter
+                    (fun v ->
+                      let w = weight u v in
+                      if w < best_w.(a).(b) then begin
+                        best_w.(a).(b) <- w;
+                        best_pair.(a).(b) <- (u, v)
+                      end)
+                    mb)
+                ma
+            end)
+          members)
+      members;
+    let meta_weight a b =
+      let a, b = if a < b then (a, b) else (b, a) in
+      best_w.(a).(b)
+    in
+    let meta_edges = prim_complete ~n:k ~weight:meta_weight in
+    List.map
+      (fun (a, b) ->
+        let (u, v) = best_pair.(a).(b) in
+        if u < v then (u, v) else (v, u))
+      meta_edges
+  end
+
+let connect g ~weight =
+  List.iter (fun (u, v) -> Graph.add_edge g u v) (spanning_connector g ~weight)

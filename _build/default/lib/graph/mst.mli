@@ -1,0 +1,26 @@
+(** Minimum spanning trees and the minimum spanning connector.
+
+    The MST over PoP distances is a GA seed topology and the optimal network
+    when the per-length cost k1 dominates (§3.2.3). The {e spanning
+    connector} implements §4.1.3: when crossover or mutation disconnects a
+    candidate, the components are re-joined by the cheapest set of
+    inter-component links (an MST over the component meta-graph where each
+    meta-edge is the shortest vertex pair between two components). *)
+
+val prim_complete : n:int -> weight:(int -> int -> float) -> (int * int) list
+(** [prim_complete ~n ~weight] is the MST edge list of the complete graph on
+    [n] vertices under [weight] (symmetric, positive). O(n²). Empty for
+    [n <= 1]. Deterministic: ties break to smaller vertex ids. *)
+
+val mst_graph : n:int -> weight:(int -> int -> float) -> Graph.t
+(** [mst_graph ~n ~weight] is {!prim_complete} materialised as a graph. *)
+
+val spanning_connector :
+  Graph.t -> weight:(int -> int -> float) -> (int * int) list
+(** [spanning_connector g ~weight] is the list of edges (possibly empty) that,
+    added to [g], make it connected at minimum total [weight], connecting
+    whole components via their closest vertex pairs. O(k² + n²) for [k]
+    components. *)
+
+val connect : Graph.t -> weight:(int -> int -> float) -> unit
+(** [connect g ~weight] adds the spanning connector edges to [g] in place. *)

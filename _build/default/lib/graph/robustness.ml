@@ -1,0 +1,111 @@
+(* Tarjan low-link DFS, iterative to survive deep path graphs. *)
+let dfs_low_links g ~on_bridge ~on_articulation =
+  let n = Graph.node_count g in
+  let disc = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let parent = Array.make n (-1) in
+  let child_count = Array.make n 0 in
+  let is_articulation = Array.make n false in
+  let timer = ref 0 in
+  (* Explicit stack of (vertex, remaining neighbours). *)
+  for root = 0 to n - 1 do
+    if disc.(root) < 0 then begin
+      let stack = ref [ (root, Graph.neighbors g root) ] in
+      disc.(root) <- !timer;
+      low.(root) <- !timer;
+      incr timer;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (v, remaining) :: rest -> (
+          match remaining with
+          | [] ->
+            stack := rest;
+            (* Post-visit: propagate low-link to the parent and classify. *)
+            let p = parent.(v) in
+            if p >= 0 then begin
+              if low.(v) < low.(p) then low.(p) <- low.(v);
+              if low.(v) > disc.(p) then on_bridge (min p v) (max p v);
+              if parent.(p) >= 0 && low.(v) >= disc.(p) then
+                is_articulation.(p) <- true
+            end
+          | u :: more ->
+            stack := (v, more) :: rest;
+            if disc.(u) < 0 then begin
+              parent.(u) <- v;
+              child_count.(v) <- child_count.(v) + 1;
+              disc.(u) <- !timer;
+              low.(u) <- !timer;
+              incr timer;
+              stack := (u, Graph.neighbors g u) :: !stack
+            end
+            else if u <> parent.(v) && disc.(u) < low.(v) then
+              low.(v) <- disc.(u))
+      done;
+      if child_count.(root) > 1 then is_articulation.(root) <- true
+    end
+  done;
+  for v = 0 to n - 1 do
+    if is_articulation.(v) then on_articulation v
+  done
+
+let bridges g =
+  let acc = ref [] in
+  dfs_low_links g
+    ~on_bridge:(fun u v -> acc := (u, v) :: !acc)
+    ~on_articulation:(fun _ -> ());
+  List.sort compare !acc
+
+let articulation_points g =
+  let acc = ref [] in
+  dfs_low_links g
+    ~on_bridge:(fun _ _ -> ())
+    ~on_articulation:(fun v -> acc := v :: !acc);
+  List.rev !acc
+
+let is_two_edge_connected g =
+  Graph.node_count g <= 1 || (Traversal.is_connected g && bridges g = [])
+
+let core_number g =
+  let n = Graph.node_count g in
+  let core = Graph.degree_sequence g in
+  (* Peel vertices in order of current degree using bucket queues. *)
+  let max_deg = Array.fold_left max 0 core in
+  let buckets = Array.make (max_deg + 1) [] in
+  Array.iteri (fun v d -> buckets.(d) <- v :: buckets.(d)) core;
+  let removed = Array.make n false in
+  let current = Array.copy core in
+  for d = 0 to max_deg do
+    (* Buckets gain members as degrees drop; iterate until the bucket is
+       stable at this level. *)
+    let rec drain () =
+      match buckets.(d) with
+      | [] -> ()
+      | v :: rest ->
+        buckets.(d) <- rest;
+        if (not removed.(v)) && current.(v) <= d then begin
+          removed.(v) <- true;
+          core.(v) <- d;
+          Graph.iter_neighbors g v (fun u ->
+              if (not removed.(u)) && current.(u) > d then begin
+                current.(u) <- current.(u) - 1;
+                if current.(u) <= d then buckets.(d) <- u :: buckets.(d)
+                else buckets.(current.(u)) <- u :: buckets.(current.(u))
+              end)
+        end;
+        drain ()
+    in
+    drain ()
+  done;
+  core
+
+let k_core g ~k =
+  if k < 0 then invalid_arg "Robustness.k_core: negative k";
+  let core = core_number g in
+  let acc = ref [] in
+  for v = Graph.node_count g - 1 downto 0 do
+    if core.(v) >= k then acc := v :: !acc
+  done;
+  !acc
+
+let degeneracy g = Array.fold_left max 0 (core_number g)

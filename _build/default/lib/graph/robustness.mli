@@ -1,0 +1,32 @@
+(** Structural robustness primitives: bridges, articulation points (cut
+    vertices) and k-core decomposition.
+
+    A PoP-level link in the paper may hide redundant router-level links, but
+    the PoP-level graph's bridges and cut vertices still identify where a
+    single fibre conduit or site failure splits the network — the inputs to
+    the resilience analyses in {!Cold_net.Resilience}. Computed with one
+    Tarjan DFS (O(n + m)). *)
+
+val bridges : Graph.t -> (int * int) list
+(** Edges whose removal disconnects their component; [(u, v)] with [u < v],
+    lexicographic order. Every edge of a tree is a bridge. *)
+
+val articulation_points : Graph.t -> int list
+(** Vertices whose removal disconnects their component, ascending. The hub of
+    a star is one; no vertex of a cycle is. *)
+
+val is_two_edge_connected : Graph.t -> bool
+(** Connected and bridge-free: every link failure leaves the network whole —
+    the classic backbone survivability requirement. Trivial graphs
+    (n <= 1) count as two-edge-connected. *)
+
+val core_number : Graph.t -> int array
+(** [core_number g].(v) is the largest k such that [v] belongs to the k-core
+    (the maximal subgraph of minimum degree k). Leaves get 1, isolated
+    vertices 0. Batagelj–Zaveršnik peeling, O(n + m). *)
+
+val k_core : Graph.t -> k:int -> int list
+(** Vertices of the k-core, ascending (possibly empty). *)
+
+val degeneracy : Graph.t -> int
+(** Maximum core number — the graph's degeneracy. *)

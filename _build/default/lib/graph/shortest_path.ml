@@ -1,0 +1,52 @@
+type tree = { dist : float array; pred : int array; order : int array }
+
+let dijkstra g ~length ~source =
+  let n = Graph.node_count g in
+  if source < 0 || source >= n then invalid_arg "Shortest_path.dijkstra";
+  let dist = Array.make n infinity in
+  let pred = Array.make n (-1) in
+  let settled = Array.make n false in
+  let order = Array.make n (-1) in
+  let count = ref 0 in
+  let heap = Heap.create ~capacity:(2 * n) in
+  dist.(source) <- 0.0;
+  Heap.push heap ~priority:0.0 source;
+  let rec drain () =
+    match Heap.pop_min heap with
+    | None -> ()
+    | Some (d, u) ->
+      if not settled.(u) && d <= dist.(u) then begin
+        settled.(u) <- true;
+        order.(!count) <- u;
+        incr count;
+        Graph.iter_neighbors g u (fun v ->
+            if not settled.(v) then begin
+              let nd = d +. length u v in
+              if nd < dist.(v) then begin
+                dist.(v) <- nd;
+                pred.(v) <- u;
+                Heap.push heap ~priority:nd v
+              end
+              else if nd = dist.(v) && pred.(v) >= 0 && u < pred.(v) then
+                (* Deterministic tie-break: prefer the smaller predecessor. *)
+                pred.(v) <- u
+            end)
+      end;
+      drain ()
+  in
+  drain ();
+  { dist; pred; order = Array.sub order 0 !count }
+
+let path t v =
+  if v < 0 || v >= Array.length t.dist then invalid_arg "Shortest_path.path";
+  if t.dist.(v) = infinity then None
+  else begin
+    let rec walk v acc = if t.pred.(v) < 0 then v :: acc else walk t.pred.(v) (v :: acc) in
+    Some (walk v [])
+  end
+
+let apsp_hops g =
+  Array.init (Graph.node_count g) (fun s -> Traversal.bfs_hops g s)
+
+let apsp_lengths g ~length =
+  Array.init (Graph.node_count g) (fun s -> (dijkstra g ~length ~source:s).dist)

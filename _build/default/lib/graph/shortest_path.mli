@@ -1,0 +1,31 @@
+(** Weighted single-source shortest paths (Dijkstra) with deterministic
+    tie-breaking.
+
+    COLD routes all traffic over length-shortest paths (§3.2.1), and the
+    per-link bandwidth wi in the cost function is the traffic accumulated on
+    each link by that routing — so shortest-path trees are evaluated once per
+    candidate topology per source, making this the GA's hot path (the O(n³)
+    in Fig 4). Ties are broken towards the smaller predecessor id so that
+    routing (and therefore cost) is a pure function of the topology. *)
+
+type tree = {
+  dist : float array;  (** [dist.(v)]: length of the shortest path, [infinity] if unreachable. *)
+  pred : int array;  (** [pred.(v)]: predecessor on the chosen path; [-1] for the source and unreachable vertices. *)
+  order : int array;  (** Vertices in settling order (ascending distance); length = number of reachable vertices. *)
+}
+
+val dijkstra : Graph.t -> length:(int -> int -> float) -> source:int -> tree
+(** [dijkstra g ~length ~source] computes the shortest-path tree. [length u v]
+    must be the positive length of edge [{u,v}]; it is queried only for
+    existing edges. *)
+
+val path : tree -> int -> int list option
+(** [path t v] is the source→[v] vertex sequence, or [None] if unreachable. *)
+
+val apsp_hops : Graph.t -> int array array
+(** [apsp_hops g] is the all-pairs hop-count matrix ([-1] when unreachable):
+    BFS from every source. *)
+
+val apsp_lengths : Graph.t -> length:(int -> int -> float) -> float array array
+(** [apsp_lengths g ~length] is the all-pairs weighted distance matrix
+    ([infinity] when unreachable). *)

@@ -1,0 +1,52 @@
+let bfs_hops g s =
+  let n = Graph.node_count g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(s) <- 0;
+  Queue.add s queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Graph.iter_neighbors g u (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+  done;
+  dist
+
+let connected_components g =
+  let n = Graph.node_count g in
+  let comp = Array.make n (-1) in
+  let next_id = ref 0 in
+  for s = 0 to n - 1 do
+    if comp.(s) < 0 then begin
+      let id = !next_id in
+      incr next_id;
+      let queue = Queue.create () in
+      comp.(s) <- id;
+      Queue.add s queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Graph.iter_neighbors g u (fun v ->
+            if comp.(v) < 0 then begin
+              comp.(v) <- id;
+              Queue.add v queue
+            end)
+      done
+    end
+  done;
+  (comp, !next_id)
+
+let is_connected g =
+  let n = Graph.node_count g in
+  n <= 1
+  ||
+  let dist = bfs_hops g 0 in
+  Array.for_all (fun d -> d >= 0) dist
+
+let component_members (comp, k) =
+  let members = Array.make k [] in
+  for v = Array.length comp - 1 downto 0 do
+    members.(comp.(v)) <- v :: members.(comp.(v))
+  done;
+  members

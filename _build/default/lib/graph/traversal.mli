@@ -1,0 +1,20 @@
+(** Breadth-first traversal: hop distances, connectivity, components.
+
+    Hop distances drive the paper's diameter statistic (Fig 6); components
+    feed the GA's connectivity-repair step (§4.1.3). *)
+
+val bfs_hops : Graph.t -> int -> int array
+(** [bfs_hops g s] is the array of hop counts from [s]; unreachable vertices
+    get [-1]. *)
+
+val is_connected : Graph.t -> bool
+(** [is_connected g] — the empty graph and the singleton graph count as
+    connected. *)
+
+val connected_components : Graph.t -> int array * int
+(** [connected_components g] is [(comp, k)] where [comp.(v)] is the component
+    id of [v] (ids are [0 .. k-1], assigned in order of smallest member). *)
+
+val component_members : int array * int -> int list array
+(** [component_members (comp, k)] lists each component's vertices
+    ascending. *)

@@ -1,0 +1,31 @@
+type t = { parent : int array; rank : int array; mutable sets : int }
+
+let create n =
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; sets = n }
+
+let rec find uf x =
+  let p = uf.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find uf p in
+    uf.parent.(x) <- root;
+    root
+  end
+
+let union uf a b =
+  let ra = find uf a and rb = find uf b in
+  if ra = rb then false
+  else begin
+    (if uf.rank.(ra) < uf.rank.(rb) then uf.parent.(ra) <- rb
+     else if uf.rank.(ra) > uf.rank.(rb) then uf.parent.(rb) <- ra
+     else begin
+       uf.parent.(rb) <- ra;
+       uf.rank.(ra) <- uf.rank.(ra) + 1
+     end);
+    uf.sets <- uf.sets - 1;
+    true
+  end
+
+let same uf a b = find uf a = find uf b
+
+let count uf = uf.sets

@@ -1,0 +1,19 @@
+(** Disjoint-set forest with path compression and union by rank; used by
+    Kruskal-style constructions and by the connectivity repair step. *)
+
+type t
+
+val create : int -> t
+(** [create n] puts each of [0 .. n-1] in its own set. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> bool
+(** [union uf a b] merges the sets of [a] and [b]; returns [false] if they
+    were already the same set. *)
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Number of disjoint sets remaining. *)

@@ -1,0 +1,1 @@
+lib/metrics/assortativity.ml: Cold_graph

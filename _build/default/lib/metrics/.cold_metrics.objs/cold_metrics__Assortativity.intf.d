@@ -1,0 +1,1 @@
+lib/metrics/assortativity.mli: Cold_graph

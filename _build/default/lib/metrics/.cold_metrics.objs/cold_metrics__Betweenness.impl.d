@@ -1,0 +1,1 @@
+lib/metrics/betweenness.ml: Array Cold_graph Hashtbl List Option Queue Stack

@@ -1,0 +1,1 @@
+lib/metrics/betweenness.mli: Cold_graph

@@ -1,0 +1,1 @@
+lib/metrics/clustering.ml: Cold_graph

@@ -1,0 +1,1 @@
+lib/metrics/clustering.mli: Cold_graph

@@ -1,0 +1,1 @@
+lib/metrics/degree.ml: Cold_graph Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/metrics/distance_metrics.ml: Array Cold_graph

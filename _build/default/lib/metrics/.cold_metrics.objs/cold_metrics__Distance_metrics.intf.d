@@ -1,0 +1,1 @@
+lib/metrics/distance_metrics.mli: Cold_graph

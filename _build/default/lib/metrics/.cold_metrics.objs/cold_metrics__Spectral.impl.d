@@ -1,0 +1,1 @@
+lib/metrics/spectral.ml: Array Cold_graph Float

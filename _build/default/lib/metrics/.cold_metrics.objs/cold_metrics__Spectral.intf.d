@@ -1,0 +1,1 @@
+lib/metrics/spectral.mli: Cold_graph

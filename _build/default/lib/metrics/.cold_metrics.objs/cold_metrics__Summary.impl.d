@@ -1,0 +1,1 @@
+lib/metrics/summary.ml: Assortativity Clustering Cold_graph Degree Distance_metrics Format Printf

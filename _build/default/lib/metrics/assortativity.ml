@@ -1,0 +1,20 @@
+module Graph = Cold_graph.Graph
+
+let degree_assortativity g =
+  let m = Graph.edge_count g in
+  if m = 0 then nan
+  else begin
+    (* Newman (2002): treat each edge as two ordered stubs. *)
+    let sum_xy = ref 0.0 and sum_x = ref 0.0 and sum_x2 = ref 0.0 in
+    Graph.iter_edges g (fun u v ->
+        let du = float_of_int (Graph.degree g u) in
+        let dv = float_of_int (Graph.degree g v) in
+        sum_xy := !sum_xy +. (2.0 *. du *. dv);
+        sum_x := !sum_x +. du +. dv;
+        sum_x2 := !sum_x2 +. (du *. du) +. (dv *. dv));
+    let inv = 1.0 /. (2.0 *. float_of_int m) in
+    let mean = inv *. !sum_x in
+    let num = (inv *. !sum_xy) -. (mean *. mean) in
+    let den = (inv *. !sum_x2) -. (mean *. mean) in
+    if den = 0.0 then nan else num /. den
+  end

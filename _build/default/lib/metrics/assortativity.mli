@@ -1,0 +1,8 @@
+(** Degree assortativity (Newman's r): the Pearson correlation of the degrees
+    at either end of an edge. The 2K-distribution fixes exactly this
+    statistic (§2), so it is used to validate the dK machinery and appears in
+    the extended statistics the paper mentions examining. *)
+
+val degree_assortativity : Cold_graph.Graph.t -> float
+(** [degree_assortativity g] ∈ [-1, 1]; [nan] when undefined (fewer than one
+    edge or zero variance, e.g. regular graphs). *)

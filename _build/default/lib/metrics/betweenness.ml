@@ -1,0 +1,66 @@
+module Graph = Cold_graph.Graph
+
+(* Brandes (2001), unweighted BFS variant. *)
+let brandes g ~on_node ~on_edge =
+  let n = Graph.node_count g in
+  let sigma = Array.make n 0.0 in
+  let dist = Array.make n (-1) in
+  let delta = Array.make n 0.0 in
+  let preds = Array.make n [] in
+  let stack = Stack.create () in
+  let queue = Queue.create () in
+  for s = 0 to n - 1 do
+    Array.fill sigma 0 n 0.0;
+    Array.fill dist 0 n (-1);
+    Array.fill delta 0 n 0.0;
+    Array.fill preds 0 n [];
+    sigma.(s) <- 1.0;
+    dist.(s) <- 0;
+    Queue.add s queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Stack.push u stack;
+      Graph.iter_neighbors g u (fun v ->
+          if dist.(v) < 0 then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v queue
+          end;
+          if dist.(v) = dist.(u) + 1 then begin
+            sigma.(v) <- sigma.(v) +. sigma.(u);
+            preds.(v) <- u :: preds.(v)
+          end)
+    done;
+    while not (Stack.is_empty stack) do
+      let w = Stack.pop stack in
+      List.iter
+        (fun u ->
+          let c = sigma.(u) /. sigma.(w) *. (1.0 +. delta.(w)) in
+          on_edge u w c;
+          delta.(u) <- delta.(u) +. c)
+        preds.(w);
+      if w <> s then on_node w delta.(w)
+    done
+  done
+
+let nodes g =
+  let n = Graph.node_count g in
+  let bc = Array.make n 0.0 in
+  brandes g
+    ~on_node:(fun v d -> bc.(v) <- bc.(v) +. d)
+    ~on_edge:(fun _ _ _ -> ());
+  (* Each unordered pair was counted twice (once from each endpoint). *)
+  Array.map (fun x -> x /. 2.0) bc
+
+let edges g =
+  let tbl = Hashtbl.create (Graph.edge_count g) in
+  brandes g
+    ~on_node:(fun _ _ -> ())
+    ~on_edge:(fun u w c ->
+      let key = (min u w, max u w) in
+      Hashtbl.replace tbl key (c +. Option.value ~default:0.0 (Hashtbl.find_opt tbl key)));
+  Graph.fold_edges g
+    (fun acc u v ->
+      let c = Option.value ~default:0.0 (Hashtbl.find_opt tbl (u, v)) in
+      ((u, v), c /. 2.0) :: acc)
+    []
+  |> List.rev

@@ -1,0 +1,11 @@
+(** Shortest-path betweenness centrality (Brandes' algorithm, unweighted).
+    Listed among the "much larger set of network features" the paper examined
+    (§6); exposed for users who tune against it. *)
+
+val nodes : Cold_graph.Graph.t -> float array
+(** [nodes g].(v) is the betweenness of vertex [v]: the sum over pairs
+    (s,t) of the fraction of shortest s–t paths through [v]. Endpoints are
+    excluded. Each unordered pair is counted once. *)
+
+val edges : Cold_graph.Graph.t -> ((int * int) * float) list
+(** Per-edge betweenness, keyed by [(u, v)] with [u < v]. *)

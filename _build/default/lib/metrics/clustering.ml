@@ -1,0 +1,45 @@
+module Graph = Cold_graph.Graph
+
+let triangle_count g =
+  let count = ref 0 in
+  (* For each edge (u,v) count common neighbours w > v to count each
+     triangle once (u < v < w). *)
+  Graph.iter_edges g (fun u v ->
+      Graph.iter_neighbors g u (fun w ->
+          if w > v && Graph.mem_edge g v w then incr count));
+  !count
+
+let wedge_count g =
+  let count = ref 0 in
+  for v = 0 to Graph.node_count g - 1 do
+    let d = Graph.degree g v in
+    count := !count + (d * (d - 1) / 2)
+  done;
+  !count
+
+let global g =
+  let wedges = wedge_count g in
+  if wedges = 0 then 0.0
+  else 3.0 *. float_of_int (triangle_count g) /. float_of_int wedges
+
+let local_coefficient g v =
+  let d = Graph.degree g v in
+  if d < 2 then 0.0
+  else begin
+    let links = ref 0 in
+    Graph.iter_neighbors g v (fun a ->
+        Graph.iter_neighbors g v (fun b ->
+            if a < b && Graph.mem_edge g a b then incr links));
+    float_of_int !links /. float_of_int (d * (d - 1) / 2)
+  end
+
+let average_local g =
+  let n = Graph.node_count g in
+  if n = 0 then 0.0
+  else begin
+    let total = ref 0.0 in
+    for v = 0 to n - 1 do
+      total := !total +. local_coefficient g v
+    done;
+    !total /. float_of_int n
+  end

@@ -1,0 +1,22 @@
+(** Clustering coefficients (Fig 7).
+
+    The paper's "graph-wide clustering" is the {e global} clustering
+    coefficient: the fraction of connected triples (wedges) that are closed
+    into triangles. Trees score 0, cliques score 1. *)
+
+val triangle_count : Cold_graph.Graph.t -> int
+(** Number of distinct triangles. *)
+
+val wedge_count : Cold_graph.Graph.t -> int
+(** Number of connected vertex triples centred anywhere:
+    Σ_v C(deg v, 2). *)
+
+val global : Cold_graph.Graph.t -> float
+(** [global g] = 3·triangles / wedges; 0 if there are no wedges. *)
+
+val local_coefficient : Cold_graph.Graph.t -> int -> float
+(** [local_coefficient g v]: fraction of neighbour pairs of [v] that are
+    adjacent; 0 when [deg v < 2]. *)
+
+val average_local : Cold_graph.Graph.t -> float
+(** Watts–Strogatz average of local coefficients over all vertices. *)

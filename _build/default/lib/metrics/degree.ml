@@ -1,0 +1,59 @@
+module Graph = Cold_graph.Graph
+
+let average g =
+  let n = Graph.node_count g in
+  if n = 0 then 0.0 else 2.0 *. float_of_int (Graph.edge_count g) /. float_of_int n
+
+let coefficient_of_variation g =
+  let n = Graph.node_count g in
+  if n = 0 then 0.0
+  else begin
+    let mean = average g in
+    if mean = 0.0 then 0.0
+    else begin
+      let var = ref 0.0 in
+      for v = 0 to n - 1 do
+        let d = float_of_int (Graph.degree g v) -. mean in
+        var := !var +. (d *. d)
+      done;
+      sqrt (!var /. float_of_int n) /. mean
+    end
+  end
+
+let distribution g =
+  let tbl = Hashtbl.create 16 in
+  for v = 0 to Graph.node_count g - 1 do
+    let d = Graph.degree g v in
+    Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
+  done;
+  List.sort compare (Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [])
+
+let hub_count = Graph.core_count
+
+let leaf_count g =
+  let c = ref 0 in
+  for v = 0 to Graph.node_count g - 1 do
+    if Graph.degree g v = 1 then incr c
+  done;
+  !c
+
+let leaf_fraction g =
+  let n = Graph.node_count g in
+  if n = 0 then 0.0 else float_of_int (leaf_count g) /. float_of_int n
+
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to Graph.node_count g - 1 do
+    best := max !best (Graph.degree g v)
+  done;
+  !best
+
+let entropy g =
+  let n = Graph.node_count g in
+  if n = 0 then 0.0
+  else
+    List.fold_left
+      (fun acc (_, count) ->
+        let p = float_of_int count /. float_of_int n in
+        acc -. (p *. log p))
+      0.0 (distribution g)

@@ -1,0 +1,30 @@
+(** Degree-based statistics.
+
+    These are the statistics the paper tunes and reports: average node degree
+    (Fig 5), the coefficient of variation of node degree — CVND, the paper's
+    "hubbiness" measure (Fig 8) — and the hub/leaf decomposition (Fig 9). *)
+
+val average : Cold_graph.Graph.t -> float
+(** [average g] is 2m/n; 0 for the empty vertex set. *)
+
+val coefficient_of_variation : Cold_graph.Graph.t -> float
+(** [coefficient_of_variation g] is the population standard deviation of the
+    degree sequence divided by its mean (CVND). 0 when the mean is 0. *)
+
+val distribution : Cold_graph.Graph.t -> (int * int) list
+(** [distribution g] is the sorted [(degree, count)] histogram. *)
+
+val hub_count : Cold_graph.Graph.t -> int
+(** Number of core PoPs: vertices of degree > 1 (Fig 9). *)
+
+val leaf_count : Cold_graph.Graph.t -> int
+(** Vertices of degree exactly 1. *)
+
+val leaf_fraction : Cold_graph.Graph.t -> float
+
+val max_degree : Cold_graph.Graph.t -> int
+
+val entropy : Cold_graph.Graph.t -> float
+(** Shannon entropy (nats) of the degree distribution — the graph-entropy
+    style statistic Li et al. use to expose PLRG flaws (§2). 0 for regular
+    graphs. *)

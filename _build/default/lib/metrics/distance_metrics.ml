@@ -1,0 +1,48 @@
+module Graph = Cold_graph.Graph
+module Traversal = Cold_graph.Traversal
+
+let eccentricity g v =
+  Array.fold_left max 0 (Traversal.bfs_hops g v)
+
+let diameter g =
+  let n = Graph.node_count g in
+  if n <= 1 then 0
+  else begin
+    let best = ref 0 in
+    try
+      for v = 0 to n - 1 do
+        let hops = Traversal.bfs_hops g v in
+        Array.iter
+          (fun d ->
+            if d < 0 then raise Exit;
+            if d > !best then best := d)
+          hops
+      done;
+      !best
+    with Exit -> -1
+  end
+
+let radius g =
+  let n = Graph.node_count g in
+  if n <= 1 then 0
+  else if not (Traversal.is_connected g) then -1
+  else begin
+    let best = ref max_int in
+    for v = 0 to n - 1 do
+      best := min !best (eccentricity g v)
+    done;
+    !best
+  end
+
+let average_shortest_path g =
+  let n = Graph.node_count g in
+  let total = ref 0 and pairs = ref 0 in
+  for v = 0 to n - 1 do
+    Array.iter
+      (fun d -> if d > 0 then begin
+          total := !total + d;
+          incr pairs
+        end)
+      (Traversal.bfs_hops g v)
+  done;
+  if !pairs = 0 then nan else float_of_int !total /. float_of_int !pairs

@@ -1,0 +1,17 @@
+(** Hop-distance statistics: diameter (Fig 6) and average shortest-path
+    length. Both are defined on the hop metric, matching the paper
+    ("the maximum number of hops between pairs of nodes"). *)
+
+val diameter : Cold_graph.Graph.t -> int
+(** [diameter g] is the largest hop distance between any reachable pair; [-1]
+    if [g] is disconnected (diameter undefined), 0 for trivial graphs. *)
+
+val average_shortest_path : Cold_graph.Graph.t -> float
+(** Mean hop distance over all ordered reachable pairs; [nan] if no pair is
+    reachable. *)
+
+val eccentricity : Cold_graph.Graph.t -> int -> int
+(** [eccentricity g v]: max hop distance from [v] to any reachable vertex. *)
+
+val radius : Cold_graph.Graph.t -> int
+(** Minimum eccentricity; [-1] if disconnected. *)

@@ -1,0 +1,61 @@
+module Graph = Cold_graph.Graph
+
+let norm v = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 v)
+
+let normalize v =
+  let n = norm v in
+  if n > 0.0 then Array.map (fun x -> x /. n) v else v
+
+(* Deterministic pseudo-random start vector, orthogonal enough to special
+   eigenvectors to converge. *)
+let start_vector n =
+  Array.init n (fun i ->
+      let x = float_of_int ((i * 2654435761) land 0xFFFF) /. 65536.0 in
+      x -. 0.5)
+
+let spectral_radius ?(iterations = 500) g =
+  let n = Graph.node_count g in
+  if n = 0 || Graph.edge_count g = 0 then 0.0
+  else begin
+    let v = ref (normalize (start_vector n)) in
+    let lambda = ref 0.0 in
+    for _ = 1 to iterations do
+      let w = Array.make n 0.0 in
+      for u = 0 to n - 1 do
+        Graph.iter_neighbors g u (fun x -> w.(u) <- w.(u) +. !v.(x))
+      done;
+      lambda := norm w;
+      if !lambda > 0.0 then v := normalize w
+    done;
+    !lambda
+  end
+
+let algebraic_connectivity ?(iterations = 500) g =
+  let n = Graph.node_count g in
+  if n <= 1 then 0.0
+  else begin
+    (* Power-iterate B = cI − L on the complement of span{1}; the dominant
+       eigenvalue there is c − λ₂. *)
+    let max_deg = ref 0 in
+    for v = 0 to n - 1 do
+      max_deg := max !max_deg (Graph.degree g v)
+    done;
+    let c = float_of_int (2 * !max_deg) +. 1.0 in
+    let deflate v =
+      let mean = Array.fold_left ( +. ) 0.0 v /. float_of_int n in
+      Array.map (fun x -> x -. mean) v
+    in
+    let v = ref (normalize (deflate (start_vector n))) in
+    let mu = ref 0.0 in
+    for _ = 1 to iterations do
+      let w = Array.make n 0.0 in
+      for u = 0 to n - 1 do
+        w.(u) <- (c -. float_of_int (Graph.degree g u)) *. !v.(u);
+        Graph.iter_neighbors g u (fun x -> w.(u) <- w.(u) +. !v.(x))
+      done;
+      let w = deflate w in
+      mu := norm w;
+      if !mu > 0.0 then v := normalize w
+    done;
+    Float.max 0.0 (c -. !mu)
+  end

@@ -1,0 +1,18 @@
+(** Spectral graph measures, computed with deflated power iteration (no
+    external linear algebra).
+
+    The algebraic connectivity (Fiedler value, λ₂ of the Laplacian) is a
+    standard robustness score for backbone designs — 0 iff disconnected,
+    larger when better connected — complementing the combinatorial measures
+    in {!Cold_graph.Robustness}. Iterative and approximate: tolerances suit
+    PoP-scale graphs (tens to hundreds of vertices). *)
+
+val spectral_radius : ?iterations:int -> Cold_graph.Graph.t -> float
+(** Largest adjacency eigenvalue (power iteration, default 500 rounds).
+    For a d-regular graph this is d; 0 for edgeless graphs. *)
+
+val algebraic_connectivity : ?iterations:int -> Cold_graph.Graph.t -> float
+(** λ₂ of the combinatorial Laplacian: 0 (within tolerance) iff the graph is
+    disconnected; n for the complete graph K_n; 2(1 − cos(π/n)) for the path
+    P_n. Power iteration on a spectral shift of L, deflated against the
+    constant vector. *)

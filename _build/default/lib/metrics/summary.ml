@@ -1,0 +1,58 @@
+module Graph = Cold_graph.Graph
+module Traversal = Cold_graph.Traversal
+
+type t = {
+  nodes : int;
+  edges : int;
+  connected : bool;
+  average_degree : float;
+  cvnd : float;
+  max_degree : int;
+  hubs : int;
+  leaves : int;
+  diameter : int;
+  average_shortest_path : float;
+  global_clustering : float;
+  average_local_clustering : float;
+  assortativity : float;
+  degree_entropy : float;
+}
+
+let compute g =
+  {
+    nodes = Graph.node_count g;
+    edges = Graph.edge_count g;
+    connected = Traversal.is_connected g;
+    average_degree = Degree.average g;
+    cvnd = Degree.coefficient_of_variation g;
+    max_degree = Degree.max_degree g;
+    hubs = Degree.hub_count g;
+    leaves = Degree.leaf_count g;
+    diameter = Distance_metrics.diameter g;
+    average_shortest_path = Distance_metrics.average_shortest_path g;
+    global_clustering = Clustering.global g;
+    average_local_clustering = Clustering.average_local g;
+    assortativity = Assortativity.degree_assortativity g;
+    degree_entropy = Degree.entropy g;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>nodes: %d@ edges: %d@ connected: %b@ average degree: %.3f@ \
+     CVND: %.3f@ max degree: %d@ hubs (deg>1): %d@ leaves: %d@ \
+     diameter (hops): %d@ avg shortest path: %.3f@ global clustering: %.3f@ \
+     avg local clustering: %.3f@ assortativity: %.3f@ degree entropy: %.3f@]"
+    t.nodes t.edges t.connected t.average_degree t.cvnd t.max_degree t.hubs
+    t.leaves t.diameter t.average_shortest_path t.global_clustering
+    t.average_local_clustering t.assortativity t.degree_entropy
+
+let to_csv_header =
+  "nodes,edges,connected,avg_degree,cvnd,max_degree,hubs,leaves,diameter,\
+   avg_shortest_path,global_clustering,avg_local_clustering,assortativity,\
+   degree_entropy"
+
+let to_csv_row t =
+  Printf.sprintf "%d,%d,%b,%.6f,%.6f,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f"
+    t.nodes t.edges t.connected t.average_degree t.cvnd t.max_degree t.hubs
+    t.leaves t.diameter t.average_shortest_path t.global_clustering
+    t.average_local_clustering t.assortativity t.degree_entropy

@@ -1,0 +1,29 @@
+(** One-shot bundle of every headline statistic for a topology — what the
+    benchmark harness and the CLI print per network. *)
+
+type t = {
+  nodes : int;
+  edges : int;
+  connected : bool;
+  average_degree : float;
+  cvnd : float;  (** Coefficient of variation of node degree (Fig 8). *)
+  max_degree : int;
+  hubs : int;  (** Core PoPs: degree > 1 (Fig 9). *)
+  leaves : int;
+  diameter : int;  (** Hop diameter; [-1] if disconnected (Fig 6). *)
+  average_shortest_path : float;
+  global_clustering : float;  (** Fig 7. *)
+  average_local_clustering : float;
+  assortativity : float;
+  degree_entropy : float;
+}
+
+val compute : Cold_graph.Graph.t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable rendering. *)
+
+val to_csv_header : string
+(** Comma-separated column names matching {!to_csv_row}. *)
+
+val to_csv_row : t -> string

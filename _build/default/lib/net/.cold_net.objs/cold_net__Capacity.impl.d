@@ -1,0 +1,1 @@
+lib/net/capacity.ml: Array Float List Routing

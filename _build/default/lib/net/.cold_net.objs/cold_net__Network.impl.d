@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Capacity Cold_context Cold_graph Format List Routing

@@ -1,0 +1,1 @@
+lib/net/network.mli: Capacity Cold_context Cold_graph Format Routing

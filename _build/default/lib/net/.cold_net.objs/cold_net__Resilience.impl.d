@@ -1,0 +1,1 @@
+lib/net/resilience.ml: Array Cold_context Cold_graph Cold_traffic List Network Routing

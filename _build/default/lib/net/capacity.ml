@@ -1,0 +1,51 @@
+type policy = { overprovision : float; module_size : float option }
+
+type t = { n : int; matrix : float array }
+
+let default = { overprovision = 2.0; module_size = None }
+
+let assign policy loads =
+  if policy.overprovision < 1.0 then
+    invalid_arg "Capacity.assign: overprovision must be >= 1";
+  (match policy.module_size with
+  | Some c when c <= 0.0 -> invalid_arg "Capacity.assign: module_size must be positive"
+  | _ -> ());
+  let round w =
+    match policy.module_size with
+    | None -> w
+    | Some c -> c *. Float.ceil (w /. c)
+  in
+  let seed = Routing.fold loads (fun acc u v w -> (u, v, w) :: acc) [] in
+  let n =
+    List.fold_left (fun acc (u, v, _) -> max acc (max u v + 1)) 0 seed
+  in
+  (* Size by the largest endpoint seen; capacity queries beyond that are 0. *)
+  let matrix = Array.make (max 1 (n * n)) 0.0 in
+  List.iter
+    (fun (u, v, w) ->
+      let c = round (policy.overprovision *. w) in
+      matrix.((u * n) + v) <- c;
+      matrix.((v * n) + u) <- c)
+    seed;
+  { n = max 1 n; matrix }
+
+let capacity t u v =
+  if u < 0 || v < 0 then invalid_arg "Capacity.capacity";
+  if u >= t.n || v >= t.n then 0.0 else t.matrix.((u * t.n) + v)
+
+let fold t f init =
+  let acc = ref init in
+  for u = 0 to t.n - 1 do
+    for v = u + 1 to t.n - 1 do
+      let c = t.matrix.((u * t.n) + v) in
+      if c > 0.0 then acc := f !acc u v c
+    done
+  done;
+  !acc
+
+let total t = fold t (fun acc _ _ c -> acc +. c) 0.0
+
+let utilization t loads =
+  let cap = total t in
+  if cap <= 0.0 then 0.0
+  else Routing.fold loads (fun acc _ _ w -> acc +. w) 0.0 /. cap

@@ -1,0 +1,39 @@
+(** Link capacity assignment.
+
+    Equation (1) of the paper introduces the over-provisioning factor [O]:
+    "the factor by which the capacity will exceed the required bandwidth,
+    constant across all links". Because it is constant it does not affect
+    which topology is optimal, so capacities are assigned {e after}
+    optimization. Optionally capacities are rounded up to multiples of a
+    module size (line cards come in discrete rates), which is how a
+    router-level implementation would provision the PoP-level design. *)
+
+type policy = {
+  overprovision : float;  (** The paper's O; must be >= 1. *)
+  module_size : float option;
+      (** When [Some c], capacities round up to multiples of [c]. *)
+}
+
+type t
+(** Per-link capacities. *)
+
+val default : policy
+(** O = 2.0, no modular rounding. *)
+
+val assign : policy -> Routing.loads -> t
+(** [assign policy loads] gives every loaded link capacity
+    [O · load], rounded up per [module_size]. Raises [Invalid_argument] if
+    [overprovision < 1] or [module_size <= 0]. *)
+
+val capacity : t -> int -> int -> float
+(** [capacity c u v]; 0 for unloaded pairs. *)
+
+val utilization : t -> Routing.loads -> float
+(** [utilization c loads] is total load / total capacity (0 if no capacity);
+    with no rounding this is 1/O on every network. *)
+
+val fold : t -> ('a -> int -> int -> float -> 'a) -> 'a -> 'a
+(** Folds over links with positive capacity, [u < v], lexicographic. *)
+
+val total : t -> float
+(** Sum of link capacities. *)

@@ -1,0 +1,97 @@
+module Graph = Cold_graph.Graph
+module Traversal = Cold_graph.Traversal
+module Robustness = Cold_graph.Robustness
+module Context = Cold_context.Context
+module Gravity = Cold_traffic.Gravity
+
+type link_report = {
+  link : int * int;
+  stranded_fraction : float;
+  load_fraction : float;
+  is_bridge : bool;
+}
+
+let separated_demand tm comp =
+  let n = Gravity.size tm in
+  let stranded = ref 0.0 in
+  for s = 0 to n - 1 do
+    for d = s + 1 to n - 1 do
+      if comp.(s) <> comp.(d) then
+        stranded := !stranded +. Gravity.pair_demand tm s d
+    done
+  done;
+  !stranded
+
+let stranded_by_link_failure (net : Network.t) u v =
+  let g = net.Network.graph in
+  if not (Graph.mem_edge g u v) then 0.0
+  else begin
+    let tm = net.Network.context.Context.tm in
+    let total = Gravity.total tm in
+    if total <= 0.0 then 0.0
+    else begin
+      let broken = Graph.copy g in
+      Graph.remove_edge broken u v;
+      let (comp, k) = Traversal.connected_components broken in
+      if k = 1 then 0.0 else separated_demand tm comp /. total
+    end
+  end
+
+let stranded_by_node_failure (net : Network.t) v =
+  let g = net.Network.graph in
+  let n = Graph.node_count g in
+  if v < 0 || v >= n then invalid_arg "Resilience.stranded_by_node_failure";
+  let tm = net.Network.context.Context.tm in
+  let total = Gravity.total tm in
+  if total <= 0.0 then 0.0
+  else begin
+    (* Everything sourced or sunk at v is lost. *)
+    let own = Gravity.row_total tm v *. 2.0 in
+    let broken = Graph.copy g in
+    Graph.remove_all_edges_of broken v;
+    let (comp, _) = Traversal.connected_components broken in
+    let stranded = ref 0.0 in
+    for s = 0 to n - 1 do
+      for d = s + 1 to n - 1 do
+        if s <> v && d <> v && comp.(s) <> comp.(d) then
+          stranded := !stranded +. Gravity.pair_demand tm s d
+      done
+    done;
+    (own +. !stranded) /. total
+  end
+
+let link_reports (net : Network.t) =
+  let bridges = Robustness.bridges net.Network.graph in
+  let total_volume =
+    Routing.fold net.Network.loads (fun acc _ _ w -> acc +. w) 0.0
+  in
+  let reports =
+    Graph.fold_edges net.Network.graph
+      (fun acc u v ->
+        let load = Routing.load net.Network.loads u v in
+        {
+          link = (u, v);
+          stranded_fraction = stranded_by_link_failure net u v;
+          load_fraction = (if total_volume > 0.0 then load /. total_volume else 0.0);
+          is_bridge = List.mem (u, v) bridges;
+        }
+        :: acc)
+      []
+  in
+  List.sort
+    (fun a b ->
+      compare
+        (-.a.stranded_fraction, -.a.load_fraction, a.link)
+        (-.b.stranded_fraction, -.b.load_fraction, b.link))
+    reports
+
+let worst_link net =
+  match link_reports net with
+  | [] -> invalid_arg "Resilience.worst_link: network has no links"
+  | r :: _ -> r
+
+let single_points_of_failure (net : Network.t) =
+  Robustness.articulation_points net.Network.graph
+
+let survivable (net : Network.t) =
+  Robustness.is_two_edge_connected net.Network.graph

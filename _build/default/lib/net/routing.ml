@@ -1,0 +1,92 @@
+module Graph = Cold_graph.Graph
+module Shortest_path = Cold_graph.Shortest_path
+module Gravity = Cold_traffic.Gravity
+
+exception Disconnected
+
+type loads = {
+  n : int;
+  matrix : float array;  (* n*n, both (u,v) and (v,u) mirror the value *)
+  trees : Shortest_path.tree array;
+}
+
+let route ?(multipath = false) g ~length ~tm =
+  let n = Graph.node_count g in
+  if Gravity.size tm <> n then invalid_arg "Routing.route: size mismatch";
+  let matrix = Array.make (n * n) 0.0 in
+  let trees =
+    Array.init n (fun s -> Shortest_path.dijkstra g ~length ~source:s)
+  in
+  let subtree = Array.make n 0.0 in
+  let add_load u v w =
+    matrix.((u * n) + v) <- matrix.((u * n) + v) +. w;
+    matrix.((v * n) + u) <- matrix.((u * n) + v)
+  in
+  for s = 0 to n - 1 do
+    let tree = trees.(s) in
+    let dist = tree.Shortest_path.dist in
+    (* Every demand from s must be routable. *)
+    for d = 0 to n - 1 do
+      if Gravity.demand tm s d > 0.0 && dist.(d) = infinity then
+        raise Disconnected
+    done;
+    Array.fill subtree 0 n 0.0;
+    let order = tree.Shortest_path.order in
+    (* Reverse settling order: children are processed before parents, so each
+       vertex's inflow is complete when we push it one hop towards [s].
+       Demands s→d and d→s are both accumulated here (pair_demand), and the
+       outer loop runs over unordered pairs once via d > s filtering. *)
+    for i = Array.length order - 1 downto 0 do
+      let v = order.(i) in
+      if v <> s then begin
+        if v > s then
+          subtree.(v) <- subtree.(v) +. Gravity.pair_demand tm s v;
+        if subtree.(v) > 0.0 then begin
+          if multipath then begin
+            (* ECMP: every neighbour on a shortest path shares equally. *)
+            let on_path u =
+              dist.(u) +. length u v <= dist.(v) +. (1e-9 *. (1.0 +. dist.(v)))
+              && dist.(u) < dist.(v)
+            in
+            let preds = Graph.fold_neighbors g v (fun acc u -> if on_path u then u :: acc else acc) [] in
+            (* Degenerate geometries (zero-length links) can leave the strict
+               distance test empty; fall back to the tree predecessor. *)
+            let preds = if preds = [] then [ tree.Shortest_path.pred.(v) ] else preds in
+            let share = subtree.(v) /. float_of_int (List.length preds) in
+            List.iter
+              (fun u ->
+                add_load u v share;
+                if u <> s then subtree.(u) <- subtree.(u) +. share)
+              preds
+          end
+          else begin
+            let p = tree.Shortest_path.pred.(v) in
+            add_load p v subtree.(v);
+            if p <> s then subtree.(p) <- subtree.(p) +. subtree.(v)
+          end
+        end
+      end
+    done
+  done;
+  { n; matrix; trees }
+
+let load ld u v =
+  if u < 0 || v < 0 || u >= ld.n || v >= ld.n then invalid_arg "Routing.load";
+  ld.matrix.((u * ld.n) + v)
+
+let fold ld f init =
+  let acc = ref init in
+  for u = 0 to ld.n - 1 do
+    for v = u + 1 to ld.n - 1 do
+      let w = ld.matrix.((u * ld.n) + v) in
+      if w > 0.0 then acc := f !acc u v w
+    done
+  done;
+  !acc
+
+let total_volume_length ld ~length =
+  fold ld (fun acc u v w -> acc +. (w *. length u v)) 0.0
+
+let max_load ld = Array.fold_left max 0.0 ld.matrix
+
+let trees ld = ld.trees

@@ -1,0 +1,56 @@
+(** Shortest-path routing of a traffic matrix over a topology (§3.2.1).
+
+    The paper routes every demand over the length-shortest path — "the
+    natural choice ... which will minimize the length of routes, and hence
+    the bandwidth dependent component of cost", and also what ISPs actually
+    deploy. This module computes, for a candidate topology, the per-link
+    bandwidth [w] that appears in the k2 cost term, by building one
+    shortest-path tree per source and pushing each source's demands down the
+    tree in reverse settling order — O(n·(m log n + n)) per topology, the
+    dominant cost of the whole synthesis (Fig 4's n³).
+
+    Loads are undirected: demand s→d and d→s both accumulate on the same
+    links (shortest paths are symmetric under symmetric lengths and
+    deterministic tie-breaking). *)
+
+exception Disconnected
+(** Raised when some demand cannot be routed. A data network that cannot
+    carry its traffic matrix is infeasible (§1, requirement 2). *)
+
+type loads
+(** Per-link traffic volumes for one topology. *)
+
+val route :
+  ?multipath:bool ->
+  Cold_graph.Graph.t ->
+  length:(int -> int -> float) ->
+  tm:Cold_traffic.Gravity.t ->
+  loads
+(** [route g ~length ~tm] routes all demands. Raises {!Disconnected} if [g]
+    does not connect every positive demand (with positive populations, any
+    disconnection).
+
+    [multipath] (default [false]) selects ECMP load balancing — the "tweaks
+    … to allow load balancing" the paper notes real ISPs apply on top of
+    shortest-path routing: at every node, traffic towards a destination is
+    split equally across all next hops that lie on {e some} shortest path.
+    Path lengths (and therefore the k2 cost term) are unchanged — only the
+    per-link load distribution differs — so optimization under single-path
+    routing remains valid and ECMP is an evaluation-time choice. *)
+
+val load : loads -> int -> int -> float
+(** [load ld u v] is the total traffic on link [{u,v}] (0 if not a link). *)
+
+val fold : loads -> ('a -> int -> int -> float -> 'a) -> 'a -> 'a
+(** [fold ld f init] folds over links with positive load, [u < v],
+    lexicographic. *)
+
+val total_volume_length : loads -> length:(int -> int -> float) -> float
+(** [total_volume_length ld ~length] is Σ_links w·ℓ — equivalently
+    Σ_routes t_r·L_r of equation (1). *)
+
+val max_load : loads -> float
+
+val trees : loads -> Cold_graph.Shortest_path.tree array
+(** The per-source shortest-path trees used for routing — the "routing
+    matrix" output of the paper's algorithm (§4, Outputs). *)

@@ -1,0 +1,49 @@
+module Graph = Cold_graph.Graph
+module Context = Cold_context.Context
+module Gravity = Cold_traffic.Gravity
+
+let pair net s d =
+  let n = Graph.node_count net.Network.graph in
+  if s < 0 || d < 0 || s >= n || d >= n || s = d then
+    invalid_arg "Stretch.pair: bad endpoints";
+  let direct = Context.distance net.Network.context s d in
+  if direct <= 0.0 then invalid_arg "Stretch.pair: co-located PoPs";
+  Network.path_length net s d /. direct
+
+let distribution net =
+  let n = Graph.node_count net.Network.graph in
+  let acc = ref [] in
+  for s = n - 1 downto 0 do
+    for d = n - 1 downto s + 1 do
+      acc := pair net s d :: !acc
+    done
+  done;
+  Array.of_list !acc
+
+let average net =
+  let n = Graph.node_count net.Network.graph in
+  if n < 2 then nan
+  else begin
+    let tm = net.Network.context.Context.tm in
+    let num = ref 0.0 and den = ref 0.0 in
+    for s = 0 to n - 1 do
+      for d = s + 1 to n - 1 do
+        let w = Gravity.pair_demand tm s d in
+        num := !num +. (w *. pair net s d);
+        den := !den +. w
+      done
+    done;
+    if !den = 0.0 then nan else !num /. !den
+  end
+
+let maximum net =
+  let n = Graph.node_count net.Network.graph in
+  if n < 2 then invalid_arg "Stretch.maximum: need at least 2 PoPs";
+  let best = ref (neg_infinity, (0, 1)) in
+  for s = 0 to n - 1 do
+    for d = s + 1 to n - 1 do
+      let x = pair net s d in
+      if x > fst !best then best := (x, (s, d))
+    done
+  done;
+  !best

@@ -1,0 +1,24 @@
+(** Geographic path stretch — a latency proxy.
+
+    For a pair (s, d), stretch is the routed geographic length divided by the
+    straight-line distance: 1.0 means the network carries the pair as the
+    crow flies; trees and hub-and-spokes force detours. Simulation studies
+    use this as the latency side of the cost/performance trade-off that the
+    k2 knob controls (§6: low diameter / latency motivates meshiness). *)
+
+val pair : Network.t -> int -> int -> float
+(** [pair net s d] for [s <> d]; 1.0 when a direct link exists. Raises
+    [Invalid_argument] on equal or out-of-range endpoints, or when the PoPs
+    are co-located (zero distance). *)
+
+val average : Network.t -> float
+(** Demand-weighted mean stretch over all pairs (each unordered pair weighted
+    by its traffic). [nan] for single-PoP networks. *)
+
+val maximum : Network.t -> float * (int * int)
+(** Worst pair and its stretch. Raises [Invalid_argument] for networks with
+    fewer than 2 PoPs. *)
+
+val distribution : Network.t -> float array
+(** Per-unordered-pair stretch values, pair order (0,1), (0,2), … — feed to
+    {!Cold_stats.Histogram} or {!Cold_stats.Descriptive}. *)

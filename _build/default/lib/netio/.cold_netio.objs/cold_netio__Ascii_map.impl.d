@@ -1,0 +1,1 @@
+lib/netio/ascii_map.ml: Array Cold_context Cold_geom Cold_graph Cold_net Float String

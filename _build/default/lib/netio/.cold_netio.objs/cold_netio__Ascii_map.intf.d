@@ -1,0 +1,1 @@
+lib/netio/ascii_map.mli: Cold_geom Cold_graph Cold_net

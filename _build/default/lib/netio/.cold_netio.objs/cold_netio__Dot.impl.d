@@ -1,0 +1,1 @@
+lib/netio/dot.ml: Array Buffer Cold_context Cold_geom Cold_graph Cold_net Fun Printf

@@ -1,0 +1,1 @@
+lib/netio/dot.mli: Cold_graph Cold_net

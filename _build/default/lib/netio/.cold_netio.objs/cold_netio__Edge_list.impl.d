@@ -1,0 +1,1 @@
+lib/netio/edge_list.ml: Buffer Cold_graph Fun List Printf String

@@ -1,0 +1,1 @@
+lib/netio/edge_list.mli: Cold_graph

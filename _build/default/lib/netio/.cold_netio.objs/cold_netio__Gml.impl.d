@@ -1,0 +1,1 @@
+lib/netio/gml.ml: Array Buffer Cold_context Cold_geom Cold_graph Cold_net Printf

@@ -1,0 +1,1 @@
+lib/netio/gml.mli: Cold_graph Cold_net

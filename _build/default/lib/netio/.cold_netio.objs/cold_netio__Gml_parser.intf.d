@@ -1,0 +1,1 @@
+lib/netio/gml_parser.mli: Cold_graph

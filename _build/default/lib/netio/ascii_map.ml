@@ -1,0 +1,62 @@
+module Graph = Cold_graph.Graph
+module Point = Cold_geom.Point
+module Network = Cold_net.Network
+module Context = Cold_context.Context
+
+let render_graph ?(width = 60) ?(height = 24) points g =
+  if Array.length points <> Graph.node_count g then
+    invalid_arg "Ascii_map.render_graph: size mismatch";
+  if width < 8 || height < 4 then invalid_arg "Ascii_map: canvas too small";
+  let n = Array.length points in
+  let canvas = Array.make_matrix height width ' ' in
+  if n = 0 then String.concat "\n" (Array.to_list (Array.map (fun r -> String.init width (fun c -> r.(c))) canvas))
+  else begin
+    (* Bounding box with a small margin. *)
+    let min_x = ref infinity and max_x = ref neg_infinity in
+    let min_y = ref infinity and max_y = ref neg_infinity in
+    Array.iter
+      (fun p ->
+        min_x := Float.min !min_x p.Point.x;
+        max_x := Float.max !max_x p.Point.x;
+        min_y := Float.min !min_y p.Point.y;
+        max_y := Float.max !max_y p.Point.y)
+      points;
+    let span v lo hi = if hi -. lo <= 0.0 then 0.5 else (v -. lo) /. (hi -. lo) in
+    let col p = min (width - 1) (int_of_float (span p.Point.x !min_x !max_x *. float_of_int (width - 1))) in
+    (* Screen y grows downward. *)
+    let row p =
+      min (height - 1)
+        (int_of_float ((1.0 -. span p.Point.y !min_y !max_y) *. float_of_int (height - 1)))
+    in
+    (* Links first so node markers overwrite them. *)
+    let plot_line (r0, c0) (r1, c1) =
+      let steps = max (abs (r1 - r0)) (abs (c1 - c0)) in
+      for s = 0 to steps do
+        let t = if steps = 0 then 0.0 else float_of_int s /. float_of_int steps in
+        let r = r0 + int_of_float (Float.round (t *. float_of_int (r1 - r0))) in
+        let c = c0 + int_of_float (Float.round (t *. float_of_int (c1 - c0))) in
+        if canvas.(r).(c) = ' ' then canvas.(r).(c) <- '.'
+      done
+    in
+    Graph.iter_edges g (fun u v ->
+        plot_line (row points.(u), col points.(u)) (row points.(v), col points.(v)));
+    (* Node markers and (best-effort) labels. *)
+    for v = 0 to n - 1 do
+      let r = row points.(v) and c = col points.(v) in
+      canvas.(r).(c) <- (if Graph.degree g v > 1 then '#' else 'o');
+      let label = string_of_int v in
+      if String.length label <= 2 && c + String.length label < width then
+        String.iteri
+          (fun i ch ->
+            if canvas.(r).(c + 1 + i) = ' ' || canvas.(r).(c + 1 + i) = '.' then
+              canvas.(r).(c + 1 + i) <- ch)
+          label
+    done;
+    let rows =
+      Array.to_list (Array.map (fun r -> String.init width (fun c -> r.(c))) canvas)
+    in
+    String.concat "\n" (rows @ [ "legend: # hub PoP (degree > 1), o leaf PoP, . link" ])
+  end
+
+let render ?width ?height (net : Network.t) =
+  render_graph ?width ?height net.Network.context.Context.points net.Network.graph

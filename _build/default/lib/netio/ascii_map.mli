@@ -1,0 +1,18 @@
+(** Terminal rendering of a network's geography: PoPs plotted on a character
+    grid at their coordinates (hubs as [#], leaves as [o]), links drawn as
+    line segments. Crude by construction — it exists so examples and the CLI
+    can show a topology without Graphviz. *)
+
+val render : ?width:int -> ?height:int -> Cold_net.Network.t -> string
+(** [render net] is a [width] × [height] character picture (defaults 60 × 24)
+    with a one-line legend. Node ids ≤ 2 digits are printed next to their
+    marker where space allows. *)
+
+val render_graph :
+  ?width:int ->
+  ?height:int ->
+  Cold_geom.Point.t array ->
+  Cold_graph.Graph.t ->
+  string
+(** Same, from bare points + topology. Raises [Invalid_argument] if sizes
+    disagree. *)

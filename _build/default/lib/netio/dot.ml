@@ -1,0 +1,42 @@
+module Graph = Cold_graph.Graph
+module Network = Cold_net.Network
+module Capacity = Cold_net.Capacity
+module Context = Cold_context.Context
+
+let of_graph ?(name = "topology") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  for v = 0 to Graph.node_count g - 1 do
+    Buffer.add_string buf (Printf.sprintf "  %d;\n" v)
+  done;
+  Graph.iter_edges g (fun u v ->
+      Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_network ?(name = "network") (net : Network.t) =
+  let g = net.Network.graph in
+  let ctx = net.Network.context in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n  node [fontsize=10];\n" name);
+  for v = 0 to Graph.node_count g - 1 do
+    let p = ctx.Context.points.(v) in
+    let shape = if Graph.degree g v > 1 then "box" else "circle" in
+    Buffer.add_string buf
+      (Printf.sprintf "  %d [pos=\"%.1f,%.1f!\", shape=%s];\n" v
+         (p.Cold_geom.Point.x *. 500.0)
+         (p.Cold_geom.Point.y *. 500.0)
+         shape)
+  done;
+  Graph.iter_edges g (fun u v ->
+      let cap = Capacity.capacity net.Network.capacities u v in
+      Buffer.add_string buf
+        (Printf.sprintf "  %d -- %d [label=\"%.0f\"];\n" u v cap));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ~path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

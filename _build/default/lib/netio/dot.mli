@@ -1,0 +1,13 @@
+(** Graphviz DOT export. Networks come out with geographic positions (for
+    [neato -n]), link capacities as labels and leaf/core styling, so a
+    synthesized topology can be eyeballed directly. *)
+
+val of_graph : ?name:string -> Cold_graph.Graph.t -> string
+(** Bare topology. *)
+
+val of_network : ?name:string -> Cold_net.Network.t -> string
+(** Topology with positions ([pos="x,y!"]), capacity edge labels, and core
+    PoPs drawn as boxes. *)
+
+val write_file : path:string -> string -> unit
+(** Writes any DOT string to [path]. *)

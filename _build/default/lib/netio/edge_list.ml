@@ -1,0 +1,58 @@
+module Graph = Cold_graph.Graph
+
+let to_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d\n" (Graph.node_count g) (Graph.edge_count g));
+  Graph.iter_edges g (fun u v -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
+  Buffer.contents buf
+
+let of_string s =
+  let meaningful =
+    String.split_on_char '\n' s
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+  in
+  match meaningful with
+  | [] -> failwith "Edge_list.of_string: empty input"
+  | (header_line, header) :: rest ->
+    let parse_two line text =
+      match String.split_on_char ' ' text |> List.filter (( <> ) "") with
+      | [ a; b ] -> (
+        match (int_of_string_opt a, int_of_string_opt b) with
+        | Some x, Some y -> (x, y)
+        | _ -> failwith (Printf.sprintf "Edge_list.of_string: line %d: not integers" line))
+      | _ -> failwith (Printf.sprintf "Edge_list.of_string: line %d: expected two fields" line)
+    in
+    let (n, m) = parse_two header_line header in
+    if n < 0 || m < 0 then
+      failwith (Printf.sprintf "Edge_list.of_string: line %d: negative header" header_line);
+    let g = Graph.create n in
+    List.iter
+      (fun (line, text) ->
+        let (u, v) = parse_two line text in
+        if u < 0 || v < 0 || u >= n || v >= n then
+          failwith (Printf.sprintf "Edge_list.of_string: line %d: vertex out of range" line);
+        if u = v then
+          failwith (Printf.sprintf "Edge_list.of_string: line %d: self-loop" line);
+        Graph.add_edge g u v)
+      rest;
+    if Graph.edge_count g <> m then
+      failwith
+        (Printf.sprintf "Edge_list.of_string: header claims %d edges, found %d" m
+           (Graph.edge_count g));
+    g
+
+let write_file ~path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let read_file ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let size = in_channel_length ic in
+      of_string (really_input_string ic size))

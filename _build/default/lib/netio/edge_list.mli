@@ -1,0 +1,14 @@
+(** Plain edge-list serialization: a header line [n m] followed by one
+    [u v] pair per line. Round-trips exactly; the simplest interchange for
+    feeding topologies to simulators or re-importing reference graphs. *)
+
+val to_string : Cold_graph.Graph.t -> string
+
+val of_string : string -> Cold_graph.Graph.t
+(** Raises [Failure] with a line-numbered message on malformed input
+    (bad header, vertex out of range, self-loop, wrong edge count). Blank
+    lines and [#] comment lines are ignored. *)
+
+val write_file : path:string -> Cold_graph.Graph.t -> unit
+
+val read_file : path:string -> Cold_graph.Graph.t

@@ -1,0 +1,38 @@
+module Graph = Cold_graph.Graph
+module Network = Cold_net.Network
+module Capacity = Cold_net.Capacity
+module Context = Cold_context.Context
+
+let of_graph ?(label = "topology") g =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Printf.sprintf "graph [\n  label \"%s\"\n" label);
+  for v = 0 to Graph.node_count g - 1 do
+    Buffer.add_string buf (Printf.sprintf "  node [\n    id %d\n  ]\n" v)
+  done;
+  Graph.iter_edges g (fun u v ->
+      Buffer.add_string buf
+        (Printf.sprintf "  edge [\n    source %d\n    target %d\n  ]\n" u v));
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf
+
+let of_network ?(label = "network") (net : Network.t) =
+  let g = net.Network.graph in
+  let ctx = net.Network.context in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "graph [\n  label \"%s\"\n" label);
+  for v = 0 to Graph.node_count g - 1 do
+    let p = ctx.Context.points.(v) in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  node [\n    id %d\n    graphics [\n      x %.6f\n      y %.6f\n    ]\n  ]\n"
+         v p.Cold_geom.Point.x p.Cold_geom.Point.y)
+  done;
+  Graph.iter_edges g (fun u v ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  edge [\n    source %d\n    target %d\n    value %.6f\n    capacity %.2f\n  ]\n"
+           u v
+           (Network.link_length net u v)
+           (Capacity.capacity net.Network.capacities u v)));
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf

@@ -1,0 +1,8 @@
+(** GML export — the format the Internet Topology Zoo distributes its maps
+    in, so synthesized networks can flow into existing Zoo tooling. *)
+
+val of_network : ?label:string -> Cold_net.Network.t -> string
+(** Nodes carry [graphics] x/y from the PoP coordinates; edges carry a
+    [capacity] attribute and [value] = link length. *)
+
+val of_graph : ?label:string -> Cold_graph.Graph.t -> string

@@ -1,0 +1,129 @@
+module Graph = Cold_graph.Graph
+
+type token = Lbracket | Rbracket | Word of string
+
+let tokenize text =
+  let tokens = ref [] in
+  let n = String.length text in
+  let i = ref 0 in
+  while !i < n do
+    let c = text.[!i] in
+    if c = '[' then begin
+      tokens := Lbracket :: !tokens;
+      incr i
+    end
+    else if c = ']' then begin
+      tokens := Rbracket :: !tokens;
+      incr i
+    end
+    else if c = '"' then begin
+      (* Quoted string: consumed as one token, quotes stripped. *)
+      let j = ref (!i + 1) in
+      while !j < n && text.[!j] <> '"' do
+        incr j
+      done;
+      if !j >= n then failwith "Gml_parser: unterminated string";
+      tokens := Word (String.sub text (!i + 1) (!j - !i - 1)) :: !tokens;
+      i := !j + 1
+    end
+    else if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else begin
+      let j = ref !i in
+      while
+        !j < n
+        &&
+        let d = text.[!j] in
+        d <> ' ' && d <> '\t' && d <> '\n' && d <> '\r' && d <> '[' && d <> ']'
+      do
+        incr j
+      done;
+      tokens := Word (String.sub text !i (!j - !i)) :: !tokens;
+      i := !j
+    end
+  done;
+  List.rev !tokens
+
+(* A GML value is either a scalar word or a bracketed list of (key, value)
+   pairs. *)
+type value = Scalar of string | Block of (string * value) list
+
+(* Parses pairs until Rbracket (closed = true) or end of input
+   (closed = false); returns (pairs, rest, closed). *)
+let rec parse_block tokens =
+  match tokens with
+  | [] -> ([], [], false)
+  | Rbracket :: rest -> ([], rest, true)
+  | Word key :: Lbracket :: rest ->
+    let (inner, rest, closed) = parse_block rest in
+    if not closed then failwith ("Gml_parser: unterminated block: " ^ key);
+    let (siblings, rest, closed) = parse_block rest in
+    ((key, Block inner) :: siblings, rest, closed)
+  | Word key :: Word v :: rest ->
+    let (siblings, rest, closed) = parse_block rest in
+    ((key, Scalar v) :: siblings, rest, closed)
+  | Word key :: ([] | Rbracket :: _) ->
+    failwith ("Gml_parser: key without value: " ^ key)
+  | Lbracket :: _ -> failwith "Gml_parser: unexpected '['"
+
+let find_all key pairs =
+  List.filter_map (fun (k, v) -> if k = key then Some v else None) pairs
+
+let find_scalar key pairs =
+  match find_all key pairs with
+  | Scalar s :: _ -> Some s
+  | _ -> None
+
+let parse text =
+  let tokens = tokenize text in
+  let (top, rest, closed) = parse_block tokens in
+  if closed || rest <> [] then failwith "Gml_parser: unbalanced brackets";
+  let graph_pairs =
+    match find_all "graph" top with
+    | Block pairs :: _ -> pairs
+    | _ -> failwith "Gml_parser: no graph block"
+  in
+  let node_ids =
+    List.filter_map
+      (function
+        | Block pairs -> (
+          match find_scalar "id" pairs with
+          | Some s -> (
+            match int_of_string_opt s with
+            | Some id -> Some id
+            | None -> failwith "Gml_parser: non-integer node id")
+          | None -> failwith "Gml_parser: node without id")
+        | Scalar _ -> failwith "Gml_parser: malformed node")
+      (find_all "node" graph_pairs)
+  in
+  let sorted = List.sort_uniq compare node_ids in
+  let index = Hashtbl.create (List.length sorted) in
+  List.iteri (fun i id -> Hashtbl.replace index id i) sorted;
+  let g = Graph.create (List.length sorted) in
+  List.iter
+    (function
+      | Block pairs -> (
+        let endpoint key =
+          match find_scalar key pairs with
+          | Some s -> (
+            match int_of_string_opt s with
+            | Some id -> (
+              match Hashtbl.find_opt index id with
+              | Some i -> i
+              | None -> failwith "Gml_parser: edge endpoint is not a declared node")
+            | None -> failwith "Gml_parser: non-integer edge endpoint")
+          | None -> failwith "Gml_parser: edge without source/target"
+        in
+        let u = endpoint "source" and v = endpoint "target" in
+        (* Zoo files contain self-loops and parallel edges; drop/collapse. *)
+        if u <> v then Graph.add_edge g u v)
+      | Scalar _ -> failwith "Gml_parser: malformed edge")
+    (find_all "edge" graph_pairs);
+  g
+
+let read_file ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+let roundtrip_check g = Graph.equal g (parse (Gml.of_graph g))

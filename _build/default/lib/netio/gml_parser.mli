@@ -1,0 +1,20 @@
+(** Minimal GML reader for topology interchange.
+
+    Parses the subset of GML that the Internet Topology Zoo (and our
+    {!Gml} writer) actually uses: a [graph] block with [node] blocks carrying
+    integer [id]s and [edge] blocks carrying [source]/[target]. All other
+    attributes (labels, graphics, capacities, …) are skipped structurally, so
+    real Zoo files load. Node ids need not be dense — they are compacted to
+    [0 .. n-1] preserving id order. *)
+
+val parse : string -> Cold_graph.Graph.t
+(** [parse text] builds the topology. Duplicate edges collapse; self-loops
+    are dropped (Zoo files contain both). Raises [Failure] with a
+    descriptive message on malformed input (unbalanced brackets, edge
+    endpoints without node declarations, missing fields). *)
+
+val read_file : path:string -> Cold_graph.Graph.t
+
+val roundtrip_check : Cold_graph.Graph.t -> bool
+(** [roundtrip_check g] is [true] iff writing [g] with {!Gml.of_graph} and
+    re-parsing yields an identical graph — a self-test hook. *)

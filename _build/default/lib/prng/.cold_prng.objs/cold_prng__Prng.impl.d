@@ -1,0 +1,1 @@
+lib/prng/prng.ml: Char Int64 String

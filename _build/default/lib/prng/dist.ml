@@ -1,0 +1,91 @@
+let uniform g ~lo ~hi = lo +. ((hi -. lo) *. Prng.float g)
+
+let exponential g ~mean =
+  if mean <= 0.0 then invalid_arg "Dist.exponential: mean must be positive";
+  let u = 1.0 -. Prng.float g in
+  -.mean *. log u
+
+let pareto g ~shape ~scale =
+  if shape <= 0.0 || scale <= 0.0 then
+    invalid_arg "Dist.pareto: shape and scale must be positive";
+  let u = 1.0 -. Prng.float g in
+  scale /. (u ** (1.0 /. shape))
+
+let pareto_with_mean g ~shape ~mean =
+  if shape <= 1.0 then
+    invalid_arg "Dist.pareto_with_mean: mean is finite only for shape > 1";
+  let scale = mean *. (shape -. 1.0) /. shape in
+  pareto g ~shape ~scale
+
+let geometric g ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Dist.geometric: p must be in (0,1]";
+  if p = 1.0 then 0
+  else begin
+    let u = 1.0 -. Prng.float g in
+    (* Inverse CDF: k = floor (log u / log (1-p)). *)
+    int_of_float (Float.floor (log u /. log (1.0 -. p)))
+  end
+
+let normal g ~mean ~stddev =
+  let u1 = 1.0 -. Prng.float g and u2 = Prng.float g in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mean +. (stddev *. z)
+
+let poisson g ~mean =
+  if mean < 0.0 then invalid_arg "Dist.poisson: mean must be non-negative";
+  if mean = 0.0 then 0
+  else if mean > 60.0 then
+    (* Normal approximation with continuity correction. *)
+    max 0 (int_of_float (Float.round (normal g ~mean ~stddev:(sqrt mean))))
+  else begin
+    let limit = exp (-.mean) in
+    let rec loop k prod =
+      let prod = prod *. Prng.float g in
+      if prod <= limit then k else loop (k + 1) prod
+    in
+    loop 0 1.0
+  end
+
+let bernoulli g ~p = Prng.float g < p
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Prng.int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation g n =
+  let a = Array.init n (fun i -> i) in
+  shuffle g a;
+  a
+
+let sample_without_replacement g ~k ~n =
+  if k < 0 || k > n then invalid_arg "Dist.sample_without_replacement";
+  (* Partial Fisher–Yates over an index array. *)
+  let a = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = i + Prng.int g (n - i) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.sub a 0 k
+
+let choose_weighted g w =
+  let n = Array.length w in
+  if n = 0 then invalid_arg "Dist.choose_weighted: empty weights";
+  let total = Array.fold_left (fun acc x ->
+      if x < 0.0 then invalid_arg "Dist.choose_weighted: negative weight";
+      acc +. x) 0.0 w
+  in
+  if total <= 0.0 then invalid_arg "Dist.choose_weighted: all weights zero";
+  let target = Prng.float g *. total in
+  let rec find i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. w.(i) in
+      if target < acc then i else find (i + 1) acc
+  in
+  find 0 0.0

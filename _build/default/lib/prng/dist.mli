@@ -1,0 +1,54 @@
+(** Random variates and sampling utilities on top of {!Prng}.
+
+    Every sampler takes the generator explicitly so call sites control
+    determinism. The distributions here are exactly the ones the COLD paper
+    needs: exponential and Pareto populations for the gravity traffic model
+    (§3.1), the geometric mutation magnitudes of the genetic algorithm
+    (§4.1.2), and uniform machinery for point processes and selection. *)
+
+val uniform : Prng.t -> lo:float -> hi:float -> float
+(** [uniform g ~lo ~hi] is uniform on [\[lo, hi)]. *)
+
+val exponential : Prng.t -> mean:float -> float
+(** [exponential g ~mean] is exponential with the given mean (inverse-CDF).
+    Raises [Invalid_argument] if [mean <= 0]. *)
+
+val pareto : Prng.t -> shape:float -> scale:float -> float
+(** [pareto g ~shape ~scale] is Pareto(α=[shape], x_m=[scale]): values are
+    [>= scale] with P(X > x) = (scale/x)^shape. Raises [Invalid_argument]
+    unless [shape > 0] and [scale > 0]. *)
+
+val pareto_with_mean : Prng.t -> shape:float -> mean:float -> float
+(** [pareto_with_mean g ~shape ~mean] is a Pareto variate with shape [α] and
+    scale chosen so the distribution's mean is [mean] (requires [shape > 1];
+    the paper uses α = 10/9 and α = 1.5 with mean 30). *)
+
+val geometric : Prng.t -> p:float -> int
+(** [geometric g ~p] counts failures before the first success:
+    P(X = k) = (1-p)^k · p for k = 0, 1, 2, … With [p = 0.5] the mean is 1,
+    matching the paper's link-mutation magnitude. *)
+
+val normal : Prng.t -> mean:float -> stddev:float -> float
+(** [normal g ~mean ~stddev] is Gaussian (Box–Muller). *)
+
+val poisson : Prng.t -> mean:float -> int
+(** [poisson g ~mean] is Poisson-distributed (Knuth's method for small means,
+    normal approximation above 60). *)
+
+val bernoulli : Prng.t -> p:float -> bool
+(** [bernoulli g ~p] is [true] with probability [p]. *)
+
+val shuffle : Prng.t -> 'a array -> unit
+(** [shuffle g a] permutes [a] in place uniformly (Fisher–Yates). *)
+
+val permutation : Prng.t -> int -> int array
+(** [permutation g n] is a uniform random permutation of [0..n-1]. *)
+
+val sample_without_replacement : Prng.t -> k:int -> n:int -> int array
+(** [sample_without_replacement g ~k ~n] draws [k] distinct indices from
+    [0..n-1], in random order. Raises [Invalid_argument] if [k > n] or
+    [k < 0]. *)
+
+val choose_weighted : Prng.t -> float array -> int
+(** [choose_weighted g w] draws index [i] with probability [w.(i) / Σ w].
+    Raises [Invalid_argument] if weights are empty, negative, or all zero. *)

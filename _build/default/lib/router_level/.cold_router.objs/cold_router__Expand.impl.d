@@ -1,0 +1,1 @@
+lib/router_level/expand.ml: Array Cold_context Cold_graph Cold_net Cold_traffic Float Hashtbl List Option Template

@@ -1,0 +1,1 @@
+lib/router_level/expand.mli: Cold_graph Cold_net Template

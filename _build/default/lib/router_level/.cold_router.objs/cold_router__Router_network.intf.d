@@ -1,0 +1,1 @@
+lib/router_level/router_network.mli: Cold_net Expand Template

@@ -1,0 +1,1 @@
+lib/router_level/template.ml: List

@@ -1,0 +1,92 @@
+module Graph = Cold_graph.Graph
+module Network = Cold_net.Network
+module Capacity = Cold_net.Capacity
+module Gravity = Cold_traffic.Gravity
+module Context = Cold_context.Context
+
+type router = { pop : int; local : int; is_core : bool }
+
+type t = {
+  graph : Graph.t;
+  routers : router array;
+  pop_base : int array;
+  templates : Template.t array;
+  link_capacity : (int * int) -> float;
+}
+
+let expand ?(thresholds = Template.default_thresholds) (net : Network.t) =
+  let pop_graph = net.Network.graph in
+  let n = Graph.node_count pop_graph in
+  let tm = net.Network.context.Context.tm in
+  let total = Gravity.total tm in
+  let templates =
+    Array.init n (fun pop ->
+        let share = if total <= 0.0 then 0.0 else Gravity.row_total tm pop /. total in
+        Template.for_share thresholds share)
+  in
+  let pop_base = Array.make n 0 in
+  let total_routers = ref 0 in
+  Array.iteri
+    (fun pop t ->
+      pop_base.(pop) <- !total_routers;
+      total_routers := !total_routers + Template.router_count t)
+    templates;
+  let routers = Array.make !total_routers { pop = 0; local = 0; is_core = false } in
+  Array.iteri
+    (fun pop t ->
+      let cores = Template.core_indices t in
+      for local = 0 to Template.router_count t - 1 do
+        routers.(pop_base.(pop) + local) <-
+          { pop; local; is_core = List.mem local cores }
+      done)
+    templates;
+  let g = Graph.create !total_routers in
+  (* Intra-PoP wiring. *)
+  Array.iteri
+    (fun pop t ->
+      List.iter
+        (fun (a, b) -> Graph.add_edge g (pop_base.(pop) + a) (pop_base.(pop) + b))
+        (Template.internal_edges t))
+    templates;
+  (* Inter-PoP links: terminate on cores, alternating per PoP for spread. *)
+  let next_core = Array.make n 0 in
+  let capacities = Hashtbl.create (Graph.edge_count pop_graph * 2) in
+  let core_of pop =
+    let cores = Array.of_list (Template.core_indices templates.(pop)) in
+    let c = cores.(next_core.(pop) mod Array.length cores) in
+    next_core.(pop) <- next_core.(pop) + 1;
+    pop_base.(pop) + c
+  in
+  Graph.iter_edges pop_graph (fun a b ->
+      let ra = core_of a and rb = core_of b in
+      Graph.add_edge g ra rb;
+      let cap = Capacity.capacity net.Network.capacities a b in
+      Hashtbl.replace capacities (min ra rb, max ra rb) cap);
+  (* Intra-PoP capacity: the PoP's largest inter-PoP capacity. *)
+  let pop_max_cap =
+    Array.init n (fun pop ->
+        Graph.fold_neighbors pop_graph pop
+          (fun acc nb -> Float.max acc (Capacity.capacity net.Network.capacities pop nb))
+          0.0)
+  in
+  Array.iteri
+    (fun pop t ->
+      List.iter
+        (fun (a, b) ->
+          let u = pop_base.(pop) + a and v = pop_base.(pop) + b in
+          Hashtbl.replace capacities (min u v, max u v) pop_max_cap.(pop))
+        (Template.internal_edges t))
+    templates;
+  let link_capacity (u, v) =
+    Option.value ~default:0.0 (Hashtbl.find_opt capacities (min u v, max u v))
+  in
+  { graph = g; routers; pop_base; templates; link_capacity }
+
+let router_count t = Array.length t.routers
+
+let routers_of_pop t pop =
+  if pop < 0 || pop >= Array.length t.pop_base then
+    invalid_arg "Expand.routers_of_pop";
+  let base = t.pop_base.(pop) in
+  let count = Template.router_count t.templates.(pop) in
+  List.init count (fun i -> base + i)

@@ -1,0 +1,35 @@
+(** Router-level expansion of a PoP-level network.
+
+    The second layer of COLD's layered design (§1: "the generation of the
+    router-level network from the PoP level can be easily accomplished using
+    ... structural methods"; §8 future work). Each PoP is expanded by a
+    traffic-sized {!Template}; inter-PoP links terminate on core routers,
+    alternating between cores for load spreading, and inherit the PoP-level
+    link's capacity. *)
+
+type router = {
+  pop : int;  (** PoP this router belongs to. *)
+  local : int;  (** Index within the PoP's template. *)
+  is_core : bool;
+}
+
+type t = {
+  graph : Cold_graph.Graph.t;  (** Router-level topology. *)
+  routers : router array;  (** Indexed by router-level vertex id. *)
+  pop_base : int array;  (** First router id of each PoP. *)
+  templates : Template.t array;
+  link_capacity : (int * int) -> float;
+      (** Capacity of a router-level link; intra-PoP links get the PoP's
+          largest incident inter-PoP capacity (internal links are
+          over-provisioned — they are cheap, per §3). *)
+}
+
+val expand :
+  ?thresholds:Template.thresholds -> Cold_net.Network.t -> t
+(** [expand net] builds the router-level network. The router-level graph is
+    connected whenever [net] is. *)
+
+val router_count : t -> int
+
+val routers_of_pop : t -> int -> int list
+(** Router ids belonging to a PoP. *)

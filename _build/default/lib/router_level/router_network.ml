@@ -1,0 +1,64 @@
+module Graph = Cold_graph.Graph
+module Point = Cold_geom.Point
+module Context = Cold_context.Context
+module Gravity = Cold_traffic.Gravity
+module Network = Cold_net.Network
+
+type t = {
+  expansion : Expand.t;
+  network : Network.t;
+  pop_network : Network.t;
+}
+
+let build ?thresholds ?policy (pop_net : Network.t) =
+  let expansion = Expand.expand ?thresholds pop_net in
+  let pop_ctx = pop_net.Network.context in
+  let pop_points = pop_ctx.Context.points in
+  let pop_pops = Gravity.populations pop_ctx.Context.tm in
+  let n_routers = Expand.router_count expansion in
+  (* Offset scale: small against typical link lengths so routing decisions
+     stay PoP-driven; non-zero so stretch/length stay well-defined. *)
+  let diameter = Cold_geom.Distmat.max_distance pop_ctx.Context.dist in
+  let eps = if diameter > 0.0 then 1e-4 *. diameter else 1e-6 in
+  let points =
+    Array.init n_routers (fun r ->
+        let router = expansion.Expand.routers.(r) in
+        let base = pop_points.(router.Expand.pop) in
+        (* Deterministic placement on a tiny circle around the PoP. *)
+        let angle =
+          2.0 *. Float.pi *. float_of_int router.Expand.local
+          /. float_of_int
+               (Template.router_count expansion.Expand.templates.(router.Expand.pop))
+        in
+        Point.make
+          (base.Point.x +. (eps *. cos angle))
+          (base.Point.y +. (eps *. sin angle)))
+  in
+  let populations =
+    Array.init n_routers (fun r ->
+        let router = expansion.Expand.routers.(r) in
+        let share =
+          Template.router_count expansion.Expand.templates.(router.Expand.pop)
+        in
+        pop_pops.(router.Expand.pop) /. float_of_int share)
+  in
+  let ctx =
+    Context.of_points_and_populations
+      ~traffic_scale:pop_ctx.Context.spec.Context.traffic_scale points populations
+  in
+  let network = Network.build ?policy ctx expansion.Expand.graph in
+  { expansion; network; pop_network = pop_net }
+
+let pop_of_router t r = t.expansion.Expand.routers.(r).Expand.pop
+
+let inter_pop_demand t a b =
+  let tm = t.network.Network.context.Context.tm in
+  let n = Expand.router_count t.expansion in
+  let total = ref 0.0 in
+  for r1 = 0 to n - 1 do
+    for r2 = 0 to n - 1 do
+      if pop_of_router t r1 = a && pop_of_router t r2 = b then
+        total := !total +. Gravity.demand tm r1 r2
+    done
+  done;
+  !total

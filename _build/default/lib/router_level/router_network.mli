@@ -1,0 +1,35 @@
+(** Router-level {e networks}: the template expansion of {!Expand} promoted
+    to a routable {!Cold_net.Network.t}.
+
+    Each PoP's population is split evenly across its routers and each router
+    is placed at its PoP's location (with a tiny deterministic offset so
+    intra-PoP links have near-zero — but not zero — length). Gravity over
+    the split populations then reproduces every inter-PoP demand exactly
+    (shares per PoP sum to 1) while adding a small intra-PoP component —
+    the metro traffic a real PoP carries between its own routers. The
+    resulting context routes with the ordinary machinery, so capacities,
+    utilization, failure analysis ({!Cold_net.Resilience}) and stretch all
+    work at the router level unchanged — the pay-off of the paper's layered
+    design. *)
+
+type t = {
+  expansion : Expand.t;
+  network : Cold_net.Network.t;  (** Router-level network (routed, capacitied). *)
+  pop_network : Cold_net.Network.t;  (** The PoP-level design it came from. *)
+}
+
+val build :
+  ?thresholds:Template.thresholds ->
+  ?policy:Cold_net.Capacity.policy ->
+  Cold_net.Network.t ->
+  t
+(** [build pop_net] expands and routes. Raises [Routing.Disconnected] never —
+    expansion preserves connectivity of connected inputs. *)
+
+val pop_of_router : t -> int -> int
+(** Which PoP a router-level vertex belongs to. *)
+
+val inter_pop_demand : t -> int -> int -> float
+(** [inter_pop_demand t a b] is the summed router-level demand between PoPs
+    [a] and [b] — equal to the PoP-level demand (a conservation law the test
+    suite checks). *)

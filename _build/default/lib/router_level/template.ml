@@ -1,0 +1,37 @@
+type t = Single | Dual | Full of { access : int }
+
+type thresholds = {
+  dual_share : float;
+  full_share : float;
+  access_per_share : float;
+}
+
+let default_thresholds =
+  { dual_share = 0.02; full_share = 0.06; access_per_share = 1.5 }
+
+let for_share th share =
+  if share < 0.0 || share > 1.0 then invalid_arg "Template.for_share";
+  if share < th.dual_share then Single
+  else if share < th.full_share then Dual
+  else begin
+    let excess_percent = (share -. th.full_share) *. 100.0 in
+    let access = 1 + int_of_float (th.access_per_share *. excess_percent) in
+    Full { access = min access 16 }
+  end
+
+let router_count = function
+  | Single -> 1
+  | Dual -> 2
+  | Full { access } -> 2 + access
+
+let internal_edges = function
+  | Single -> []
+  | Dual -> [ (0, 1) ]
+  | Full { access } ->
+    (0, 1)
+    :: List.concat
+         (List.init access (fun i -> [ (0, 2 + i); (1, 2 + i) ]))
+
+let core_indices = function
+  | Single -> [ 0 ]
+  | Dual | Full _ -> [ 0; 1 ]

@@ -1,0 +1,41 @@
+(** PoP-internal design templates.
+
+    The paper's layered-design premise (§1, §3): "the internal design of PoPs
+    is almost completely determined by simple templates, since the cost of
+    internal links is much lower than inter-PoP links". A template is chosen
+    per PoP from the traffic volume it originates — the same cue a network
+    engineer uses to size a PoP — and prescribes the routers inside the PoP
+    and their internal wiring. *)
+
+type t =
+  | Single  (** One router: a small leaf PoP. *)
+  | Dual  (** Two cross-linked core routers: a medium, redundant PoP. *)
+  | Full of { access : int }
+      (** Two core routers plus [access] access routers, each dual-homed to
+          both cores (the classic core/access pattern of ISP design
+          templates). *)
+
+type thresholds = {
+  dual_share : float;
+      (** A PoP originating at least this fraction of total traffic gets
+          [Dual]; default 0.02. *)
+  full_share : float;  (** … at least this gets [Full]; default 0.06. *)
+  access_per_share : float;
+      (** Access routers per 1 % of traffic share above [full_share];
+          default 1.5. *)
+}
+
+val default_thresholds : thresholds
+
+val for_share : thresholds -> float -> t
+(** [for_share th share] selects the template for a PoP originating [share]
+    (∈ [0, 1]) of the network's traffic. *)
+
+val router_count : t -> int
+
+val internal_edges : t -> (int * int) list
+(** Intra-PoP links on local router indices [0 .. router_count-1]; cores are
+    indices 0 (and 1 when present). *)
+
+val core_indices : t -> int list
+(** Local indices of routers that may terminate inter-PoP links. *)

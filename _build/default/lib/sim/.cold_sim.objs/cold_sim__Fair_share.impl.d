@@ -1,0 +1,1 @@
+lib/sim/fair_share.ml: Float Hashtbl List Option

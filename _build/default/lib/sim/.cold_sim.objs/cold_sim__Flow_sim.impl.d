@@ -1,0 +1,1 @@
+lib/sim/flow_sim.ml: Array Cold_context Cold_graph Cold_net Cold_prng Cold_traffic Fair_share Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/sim/flow_sim.mli: Cold_net Cold_prng

@@ -1,0 +1,102 @@
+type flow = { id : int; links : (int * int) list }
+
+let normalize_link (u, v) = (min u v, max u v)
+
+let allocate ~capacity flows =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      if f.links = [] then invalid_arg "Fair_share.allocate: flow with empty route";
+      if Hashtbl.mem seen f.id then invalid_arg "Fair_share.allocate: duplicate flow id";
+      Hashtbl.add seen f.id ())
+    flows;
+  (* Remaining capacity per link and the unfrozen flows crossing it. *)
+  let links = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun l ->
+          let l = normalize_link l in
+          let c = capacity l in
+          if c <= 0.0 then invalid_arg "Fair_share.allocate: non-positive capacity";
+          if not (Hashtbl.mem links l) then Hashtbl.add links l (ref c, ref []))
+        f.links)
+    flows;
+  List.iter
+    (fun f ->
+      List.iter
+        (fun l ->
+          let (_, fs) = Hashtbl.find links (normalize_link l) in
+          if not (List.memq f !fs) then fs := f :: !fs)
+        f.links)
+    flows;
+  let rates = Hashtbl.create 16 in
+  let frozen f = Hashtbl.mem rates f.id in
+  let remaining = ref (List.length flows) in
+  while !remaining > 0 do
+    (* Bottleneck link: smallest fair share among links with unfrozen flows. *)
+    let best = ref None in
+    Hashtbl.iter
+      (fun l (cap, fs) ->
+        let active = List.filter (fun f -> not (frozen f)) !fs in
+        if active <> [] then begin
+          let share = !cap /. float_of_int (List.length active) in
+          match !best with
+          | None -> best := Some (share, l, active)
+          | Some (s, _, _) -> if share < s then best := Some (share, l, active)
+        end)
+      links;
+    match !best with
+    | None -> remaining := 0 (* flows with no shared link left: impossible here *)
+    | Some (share, _, bottleneck_flows) ->
+      (* Freeze the bottleneck's flows and charge every link they cross. *)
+      List.iter
+        (fun f ->
+          Hashtbl.replace rates f.id share;
+          decr remaining;
+          List.iter
+            (fun l ->
+              let (cap, _) = Hashtbl.find links (normalize_link l) in
+              cap := Float.max 0.0 (!cap -. share))
+            f.links)
+        bottleneck_flows
+  done;
+  List.sort compare (List.map (fun f -> (f.id, Hashtbl.find rates f.id)) flows)
+
+let is_max_min ~capacity flows rates =
+  let rate_of id = List.assoc id rates in
+  let eps = 1e-6 in
+  (* Per-link totals and maxima. *)
+  let link_total = Hashtbl.create 64 in
+  let link_max = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let r = rate_of f.id in
+      List.iter
+        (fun l ->
+          let l = normalize_link l in
+          Hashtbl.replace link_total l
+            (r +. Option.value ~default:0.0 (Hashtbl.find_opt link_total l));
+          Hashtbl.replace link_max l
+            (Float.max r (Option.value ~default:0.0 (Hashtbl.find_opt link_max l))))
+        f.links)
+    flows;
+  (* No link over capacity, and every flow has a saturated bottleneck where
+     it is among the largest. *)
+  let feasible =
+    Hashtbl.fold
+      (fun l total ok -> ok && total <= capacity l +. eps)
+      link_total true
+  in
+  feasible
+  && List.for_all
+       (fun f ->
+         let r = rate_of f.id in
+         List.exists
+           (fun l ->
+             let l = normalize_link l in
+             let total = Hashtbl.find link_total l in
+             let mx = Hashtbl.find link_max l in
+             total >= capacity l -. eps && r >= mx -. eps)
+           f.links)
+       flows

@@ -1,0 +1,25 @@
+(** Max–min fair rate allocation (water-filling).
+
+    Given flows with fixed routes and link capacities, assign each flow the
+    max–min fair rate: repeatedly find the most-congested link, freeze its
+    flows at the equal share of its remaining capacity, remove them, and
+    continue. This is the classical fluid model of TCP-like bandwidth
+    sharing and the allocation rule inside {!Flow_sim}. *)
+
+type flow = {
+  id : int;
+  links : (int * int) list;  (** Links traversed, [(u, v)] with [u < v]. *)
+}
+
+val allocate :
+  capacity:(int * int -> float) -> flow list -> (int * float) list
+(** [allocate ~capacity flows] returns [(id, rate)] for every flow, in
+    ascending id order. Raises [Invalid_argument] on a flow with an empty
+    route, a non-positive-capacity link, or duplicate ids. Flows whose
+    routes avoid each other simply get their bottleneck capacity. *)
+
+val is_max_min :
+  capacity:(int * int -> float) -> flow list -> (int * float) list -> bool
+(** [is_max_min ~capacity flows rates] checks the defining property: every
+    flow crosses at least one saturated link on which its rate is maximal
+    (within tolerance). A test oracle. *)

@@ -1,0 +1,156 @@
+module Prng = Cold_prng.Prng
+module Dist = Cold_prng.Dist
+module Graph = Cold_graph.Graph
+module Context = Cold_context.Context
+module Gravity = Cold_traffic.Gravity
+module Network = Cold_net.Network
+module Capacity = Cold_net.Capacity
+
+type config = {
+  load : float;
+  mean_flow_size : float;
+  flow_limit : int;
+  warmup : int;
+}
+
+type stats = {
+  completed : int;
+  mean_fct : float;
+  p95_fct : float;
+  mean_throughput : float;
+  peak_active : int;
+  sim_time : float;
+}
+
+let default_config =
+  { load = 1.0; mean_flow_size = 100.0; flow_limit = 500; warmup = 50 }
+
+type active_flow = {
+  id : int;
+  links : (int * int) list;
+  mutable remaining : float;
+  mutable rate : float;
+  born : float;
+  size : float;
+}
+
+let path_links net s d =
+  let rec pairs = function
+    | [] | [ _ ] -> []
+    | u :: (v :: _ as rest) -> (min u v, max u v) :: pairs rest
+  in
+  pairs (Network.path net s d)
+
+let run config (net : Network.t) rng =
+  if config.load <= 0.0 || config.mean_flow_size <= 0.0 then
+    invalid_arg "Flow_sim.run: load and mean_flow_size must be positive";
+  if config.flow_limit <= 0 || config.warmup < 0 || config.warmup >= config.flow_limit
+  then invalid_arg "Flow_sim.run: need 0 <= warmup < flow_limit";
+  let ctx = net.Network.context in
+  let tm = ctx.Context.tm in
+  let n = Graph.node_count net.Network.graph in
+  let total_demand = Gravity.total tm in
+  if total_demand <= 0.0 then invalid_arg "Flow_sim.run: network carries no traffic";
+  (* Poisson arrivals: offered volume per unit time = load × total demand, so
+     arrival rate = that / mean flow size. *)
+  let arrival_rate = config.load *. total_demand /. config.mean_flow_size in
+  (* Pair sampler: weights = directed demands. *)
+  let pairs = ref [] in
+  for s = n - 1 downto 0 do
+    for d = n - 1 downto 0 do
+      if s <> d && Gravity.demand tm s d > 0.0 then
+        pairs := ((s, d), Gravity.demand tm s d) :: !pairs
+    done
+  done;
+  let pair_array = Array.of_list !pairs in
+  let weights = Array.map snd pair_array in
+  let capacity l = Capacity.capacity net.Network.capacities (fst l) (snd l) in
+  (* Event loop. *)
+  let now = ref 0.0 in
+  let next_arrival = ref (Dist.exponential rng ~mean:(1.0 /. arrival_rate)) in
+  let active : (int, active_flow) Hashtbl.t = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  let completed = ref 0 in
+  let fcts = ref [] in
+  let throughputs = ref [] in
+  let peak_active = ref 0 in
+  let reallocate () =
+    let flows =
+      Hashtbl.fold
+        (fun _ f acc -> { Fair_share.id = f.id; links = f.links } :: acc)
+        active []
+    in
+    if flows <> [] then begin
+      let rates = Fair_share.allocate ~capacity flows in
+      List.iter (fun (id, r) -> (Hashtbl.find active id).rate <- r) rates
+    end
+  in
+  let advance_to t =
+    let dt = t -. !now in
+    Hashtbl.iter (fun _ f -> f.remaining <- f.remaining -. (f.rate *. dt)) active;
+    now := t
+  in
+  let next_completion () =
+    Hashtbl.fold
+      (fun _ f acc ->
+        if f.rate <= 0.0 then acc
+        else begin
+          let t = !now +. (f.remaining /. f.rate) in
+          match acc with
+          | None -> Some (t, f)
+          | Some (tb, _) -> if t < tb then Some (t, f) else acc
+        end)
+      active None
+  in
+  while !completed < config.flow_limit do
+    match next_completion () with
+    | Some (t, f) when t <= !next_arrival ->
+      advance_to t;
+      Hashtbl.remove active f.id;
+      incr completed;
+      if !completed > config.warmup then begin
+        let fct = t -. f.born in
+        fcts := fct :: !fcts;
+        throughputs := (f.size /. Float.max 1e-12 fct) :: !throughputs
+      end;
+      reallocate ()
+    | _ ->
+      advance_to !next_arrival;
+      let ((s, d), _) = pair_array.(Dist.choose_weighted rng weights) in
+      let size = Dist.exponential rng ~mean:config.mean_flow_size in
+      let links = path_links net s d in
+      (* Degenerate same-location pairs route to themselves: skip. *)
+      if links <> [] then begin
+        let f =
+          { id = !next_id; links; remaining = size; rate = 0.0; born = !now; size }
+        in
+        incr next_id;
+        Hashtbl.replace active f.id f;
+        peak_active := max !peak_active (Hashtbl.length active);
+        reallocate ()
+      end;
+      next_arrival := !now +. Dist.exponential rng ~mean:(1.0 /. arrival_rate)
+  done;
+  let fct_array = Array.of_list !fcts in
+  let tp_array = Array.of_list !throughputs in
+  let mean xs =
+    if Array.length xs = 0 then nan
+    else Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+  in
+  let p95 xs =
+    if Array.length xs = 0 then nan
+    else begin
+      let sorted = Array.copy xs in
+      Array.sort compare sorted;
+      sorted.(min (Array.length sorted - 1)
+                (int_of_float (0.95 *. float_of_int (Array.length sorted))))
+    end
+  in
+  {
+    completed = !completed;
+    mean_fct = mean fct_array;
+    p95_fct = p95 fct_array;
+    mean_throughput = mean tp_array;
+    peak_active = !peak_active;
+    sim_time = !now;
+  }

@@ -1,0 +1,39 @@
+(** Flow-level network simulation over a synthesized network.
+
+    The reason topology synthesis exists (§1: topologies are "used in
+    network simulation and emulation in order to test new networking
+    algorithms and protocols"). This is the classical fluid model: flows
+    arrive as a Poisson process with pair probabilities proportional to the
+    context's traffic matrix, carry exponentially-distributed volumes, follow
+    the network's routed paths, and share link capacity max–min fairly
+    ({!Fair_share}); the event loop advances between arrivals and the next
+    flow completion under the current rates.
+
+    [load] scales offered traffic relative to the network's provisioned
+    capacity: the default capacity policy over-provisions by 2×, so
+    [load = 1.0] offers exactly the traffic the network was designed for and
+    the system is stable. Push [load] beyond the over-provisioning factor
+    and flows start piling up — visible as exploding completion times. *)
+
+type config = {
+  load : float;  (** Offered traffic as a multiple of the design traffic. *)
+  mean_flow_size : float;  (** Mean volume per flow (same unit as demand·time). *)
+  flow_limit : int;  (** Stop after this many completed flows. *)
+  warmup : int;  (** Completions discarded before statistics start. *)
+}
+
+type stats = {
+  completed : int;
+  mean_fct : float;  (** Mean flow completion time (post-warmup). *)
+  p95_fct : float;
+  mean_throughput : float;  (** Mean per-flow size / FCT. *)
+  peak_active : int;  (** Largest number of concurrent flows observed. *)
+  sim_time : float;  (** Simulated time span. *)
+}
+
+val default_config : config
+(** load 1.0, mean size 100, 500 flows after 50 warm-up. *)
+
+val run : config -> Cold_net.Network.t -> Cold_prng.Prng.t -> stats
+(** [run config net rng] simulates and summarizes. Raises [Invalid_argument]
+    on non-positive load/size/limits or a network with no traffic. *)

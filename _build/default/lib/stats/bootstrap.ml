@@ -1,0 +1,28 @@
+module Prng = Cold_prng.Prng
+
+type interval = { lo : float; hi : float; point : float }
+
+let confidence_interval ?(replicates = 1000) ?(level = 0.95) ~statistic g xs =
+  if Array.length xs = 0 then invalid_arg "Bootstrap: empty sample";
+  if level <= 0.0 || level >= 1.0 then invalid_arg "Bootstrap: level out of range";
+  if replicates < 1 then invalid_arg "Bootstrap: replicates must be positive";
+  let n = Array.length xs in
+  let resample = Array.make n 0.0 in
+  let stats =
+    Array.init replicates (fun _ ->
+        for i = 0 to n - 1 do
+          resample.(i) <- xs.(Prng.int g n)
+        done;
+        statistic resample)
+  in
+  let alpha = (1.0 -. level) /. 2.0 in
+  {
+    lo = Descriptive.quantile stats alpha;
+    hi = Descriptive.quantile stats (1.0 -. alpha);
+    point = statistic xs;
+  }
+
+let mean_ci ?replicates ?level g xs =
+  confidence_interval ?replicates ?level ~statistic:Descriptive.mean g xs
+
+let pp fmt i = Format.fprintf fmt "%.4f [%.4f, %.4f]" i.point i.lo i.hi

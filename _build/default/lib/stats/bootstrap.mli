@@ -1,0 +1,28 @@
+(** Bootstrap confidence intervals.
+
+    The paper's figures carry "95 % bootstrap confidence intervals for the
+    mean" (Fig 3) and 95 % confidence bars over 200 simulations per point
+    (Figs 5–9). This module reproduces that: non-parametric percentile
+    bootstrap of an arbitrary statistic. *)
+
+type interval = { lo : float; hi : float; point : float }
+(** [point] is the statistic on the original sample. *)
+
+val confidence_interval :
+  ?replicates:int ->
+  ?level:float ->
+  statistic:(float array -> float) ->
+  Cold_prng.Prng.t ->
+  float array ->
+  interval
+(** [confidence_interval ~replicates ~level ~statistic g xs] resamples [xs]
+    with replacement [replicates] times (default 1000) and returns the
+    percentile interval at confidence [level] (default 0.95). Raises
+    [Invalid_argument] on an empty sample or a level outside (0, 1). *)
+
+val mean_ci :
+  ?replicates:int -> ?level:float -> Cold_prng.Prng.t -> float array -> interval
+(** Bootstrap CI for the mean — the paper's error bars. *)
+
+val pp : Format.formatter -> interval -> unit
+(** Prints as [point [lo, hi]]. *)

@@ -1,0 +1,52 @@
+let check xs name =
+  if Array.length xs = 0 then invalid_arg ("Descriptive." ^ name ^ ": empty sample")
+
+let sum xs = Array.fold_left ( +. ) 0.0 xs
+
+let mean xs =
+  check xs "mean";
+  sum xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  check xs "variance";
+  let n = Array.length xs in
+  if n = 1 then 0.0
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    ss /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let coefficient_of_variation xs =
+  check xs "coefficient_of_variation";
+  let m = mean xs in
+  if m = 0.0 then 0.0
+  else begin
+    let n = float_of_int (Array.length xs) in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (ss /. n) /. m
+  end
+
+let min_value xs =
+  check xs "min_value";
+  Array.fold_left min xs.(0) xs
+
+let max_value xs =
+  check xs "max_value";
+  Array.fold_left max xs.(0) xs
+
+let quantile xs q =
+  check xs "quantile";
+  if q < 0.0 || q > 1.0 then invalid_arg "Descriptive.quantile: q out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let h = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor h) in
+  let hi = min (lo + 1) (n - 1) in
+  let frac = h -. float_of_int lo in
+  ((1.0 -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+
+let median xs = quantile xs 0.5

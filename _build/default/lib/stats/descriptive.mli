@@ -1,0 +1,27 @@
+(** Descriptive statistics over float samples. Used throughout the benchmark
+    harness to summarize per-trial topology statistics. All functions raise
+    [Invalid_argument] on empty input unless stated otherwise. *)
+
+val mean : float array -> float
+
+val variance : float array -> float
+(** Unbiased (n-1) sample variance; 0 for a single observation. *)
+
+val stddev : float array -> float
+
+val coefficient_of_variation : float array -> float
+(** Population-std / mean (matching the paper's CVND convention); 0 when the
+    mean is 0. *)
+
+val min_value : float array -> float
+
+val max_value : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile xs q] with [q ∈ [0,1]], linear interpolation between order
+    statistics (type-7). Does not mutate the input. *)
+
+val median : float array -> float
+
+val sum : float array -> float
+(** 0 on empty input. *)

@@ -1,0 +1,58 @@
+type t = { lo : float; hi : float; counts : int array; total : int }
+
+let create ~lo ~hi ~bins xs =
+  if bins < 1 then invalid_arg "Histogram.create: bins must be positive";
+  if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
+  let counts = Array.make bins 0 in
+  let w = (hi -. lo) /. float_of_int bins in
+  Array.iter
+    (fun x ->
+      let i = int_of_float (Float.floor ((x -. lo) /. w)) in
+      let i = max 0 (min (bins - 1) i) in
+      counts.(i) <- counts.(i) + 1)
+    xs;
+  { lo; hi; counts; total = Array.length xs }
+
+let bin_width t = (t.hi -. t.lo) /. float_of_int (Array.length t.counts)
+
+let fraction t i =
+  if i < 0 || i >= Array.length t.counts then invalid_arg "Histogram.fraction";
+  if t.total = 0 then 0.0 else float_of_int t.counts.(i) /. float_of_int t.total
+
+let cdf xs =
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  fun x ->
+    if n = 0 then 0.0
+    else begin
+      (* Binary search for the last index <= x. *)
+      let rec search lo hi =
+        if lo > hi then lo
+        else begin
+          let mid = (lo + hi) / 2 in
+          if sorted.(mid) <= x then search (mid + 1) hi else search lo (mid - 1)
+        end
+      in
+      float_of_int (search 0 (n - 1)) /. float_of_int n
+    end
+
+let fraction_above xs t =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let c = Array.fold_left (fun acc x -> if x > t then acc + 1 else acc) 0 xs in
+    float_of_int c /. float_of_int n
+  end
+
+let pp_ascii ?(width = 50) fmt t =
+  let maxc = Array.fold_left max 1 t.counts in
+  let w = bin_width t in
+  Array.iteri
+    (fun i c ->
+      let bar = String.make (c * width / maxc) '#' in
+      Format.fprintf fmt "[%6.2f, %6.2f) %5d %s@."
+        (t.lo +. (float_of_int i *. w))
+        (t.lo +. (float_of_int (i + 1) *. w))
+        c bar)
+    t.counts

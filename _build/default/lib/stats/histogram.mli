@@ -1,0 +1,28 @@
+(** Fixed-width histograms and empirical CDFs, for distribution-shaped
+    figures (Fig 8a's CVND distribution). *)
+
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;  (** [counts.(i)] covers [lo + i·w, lo + (i+1)·w). *)
+  total : int;
+}
+
+val create : lo:float -> hi:float -> bins:int -> float array -> t
+(** Values outside [lo, hi] clamp into the first/last bin. Raises
+    [Invalid_argument] if [bins < 1] or [hi <= lo]. *)
+
+val bin_width : t -> float
+
+val fraction : t -> int -> float
+(** Fraction of the sample in bin [i]. *)
+
+val cdf : float array -> (float -> float)
+(** [cdf xs] is the empirical CDF: [cdf xs x] = fraction of values <= x. *)
+
+val fraction_above : float array -> float -> float
+(** [fraction_above xs t] = fraction of values strictly greater than [t]
+    (the paper: "about 15 % of the networks have a CVND over 1"). *)
+
+val pp_ascii : ?width:int -> Format.formatter -> t -> unit
+(** Horizontal bar rendering for terminal output. *)

@@ -1,0 +1,61 @@
+type result = { u_statistic : float; z_score : float; p_value : float }
+
+(* Standard normal CDF via the complementary error function (Abramowitz &
+   Stegun 7.1.26 polynomial, |error| < 1.5e-7). *)
+let normal_cdf x =
+  let t = 1.0 /. (1.0 +. (0.3275911 *. Float.abs x /. sqrt 2.0)) in
+  let poly =
+    t
+    *. (0.254829592
+       +. (t *. (-0.284496736 +. (t *. (1.421413741 +. (t *. (-1.453152027 +. (t *. 1.061405429))))))))
+  in
+  let erf = 1.0 -. (poly *. exp (-.(x *. x /. 2.0))) in
+  if x >= 0.0 then 0.5 *. (1.0 +. erf) else 0.5 *. (1.0 -. erf)
+
+let mann_whitney_u xs ys =
+  let n1 = Array.length xs and n2 = Array.length ys in
+  if n1 = 0 || n2 = 0 then invalid_arg "Hypothesis.mann_whitney_u: empty sample";
+  (* Pool, sort, assign mid-ranks to ties. *)
+  let pooled =
+    Array.append (Array.map (fun x -> (x, true)) xs) (Array.map (fun y -> (y, false)) ys)
+  in
+  Array.sort (fun (a, _) (b, _) -> compare a b) pooled;
+  let n = n1 + n2 in
+  let ranks = Array.make n 0.0 in
+  let tie_correction = ref 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && fst pooled.(!j + 1) = fst pooled.(!i) do
+      incr j
+    done;
+    (* Elements i..j are tied: mid-rank. *)
+    let mid = float_of_int (!i + !j + 2) /. 2.0 in
+    for k = !i to !j do
+      ranks.(k) <- mid
+    done;
+    let t = float_of_int (!j - !i + 1) in
+    tie_correction := !tie_correction +. ((t *. t *. t) -. t);
+    i := !j + 1
+  done;
+  let r1 = ref 0.0 in
+  Array.iteri (fun k (_, is_x) -> if is_x then r1 := !r1 +. ranks.(k)) pooled;
+  let fn1 = float_of_int n1 and fn2 = float_of_int n2 and fn = float_of_int n in
+  let u1 = !r1 -. (fn1 *. (fn1 +. 1.0) /. 2.0) in
+  let mean_u = fn1 *. fn2 /. 2.0 in
+  let var_u =
+    fn1 *. fn2 /. 12.0
+    *. ((fn +. 1.0) -. (!tie_correction /. (fn *. (fn -. 1.0))))
+  in
+  if var_u <= 0.0 then
+    invalid_arg "Hypothesis.mann_whitney_u: pooled sample is constant";
+  (* Continuity correction towards the mean. *)
+  let delta = u1 -. mean_u in
+  let corrected =
+    if delta > 0.5 then delta -. 0.5 else if delta < -0.5 then delta +. 0.5 else 0.0
+  in
+  let z = corrected /. sqrt var_u in
+  let p = 2.0 *. (1.0 -. normal_cdf (Float.abs z)) in
+  { u_statistic = u1; z_score = z; p_value = Float.min 1.0 p }
+
+let significant ?(alpha = 0.05) r = r.p_value < alpha

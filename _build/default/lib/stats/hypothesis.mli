@@ -1,0 +1,23 @@
+(** Non-parametric hypothesis testing for ensemble comparisons.
+
+    Simulation conclusions of the form "design A strands less traffic than
+    design B" need more than two means — topology statistics are skewed and
+    ensembles are small, so the Mann–Whitney U test (rank-based, no
+    normality assumption) is the appropriate tool. Normal approximation with
+    tie correction; accurate for samples of ≥ 8, which ensemble studies
+    easily provide. *)
+
+type result = {
+  u_statistic : float;  (** U for the first sample. *)
+  z_score : float;  (** Standardized (tie-corrected); sign: negative when the
+                        first sample ranks lower. *)
+  p_value : float;  (** Two-sided. *)
+}
+
+val mann_whitney_u : float array -> float array -> result
+(** [mann_whitney_u xs ys] tests H0: the two samples come from the same
+    distribution. Raises [Invalid_argument] if either sample is empty or the
+    pooled values are all identical. *)
+
+val significant : ?alpha:float -> result -> bool
+(** [significant r] is [p_value < alpha] (default 0.05). *)

@@ -1,0 +1,37 @@
+type fit = { slope : float; intercept : float; r_squared : float }
+
+let linear points =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Regression.linear: need at least 2 points";
+  let fn = float_of_int n in
+  let sx = Array.fold_left (fun a (x, _) -> a +. x) 0.0 points in
+  let sy = Array.fold_left (fun a (_, y) -> a +. y) 0.0 points in
+  let sxx = Array.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 points in
+  let sxy = Array.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 points in
+  let denom = (fn *. sxx) -. (sx *. sx) in
+  if denom = 0.0 then invalid_arg "Regression.linear: zero x-variance";
+  let slope = ((fn *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. fn in
+  let mean_y = sy /. fn in
+  let ss_tot = Array.fold_left (fun a (_, y) -> a +. ((y -. mean_y) ** 2.0)) 0.0 points in
+  let ss_res =
+    Array.fold_left
+      (fun a (x, y) ->
+        let e = y -. ((slope *. x) +. intercept) in
+        a +. (e *. e))
+      0.0 points
+  in
+  let r_squared = if ss_tot = 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+  { slope; intercept; r_squared }
+
+let power_law points ~exponent ~coefficient =
+  Array.iter
+    (fun (x, y) ->
+      if x <= 0.0 || y <= 0.0 then
+        invalid_arg "Regression.power_law: coordinates must be positive")
+    points;
+  let logged = Array.map (fun (x, y) -> (log x, log y)) points in
+  let fit = linear logged in
+  exponent := fit.slope;
+  coefficient := exp fit.intercept;
+  fit.r_squared

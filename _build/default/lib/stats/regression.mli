@@ -1,0 +1,16 @@
+(** Least-squares line fitting, including log–log power-law fits.
+
+    Fig 4 claims GA runtime grows as ~n³; we verify by fitting
+    [time = c·n^e] via ordinary least squares on (log n, log time) and
+    checking the exponent. *)
+
+type fit = { slope : float; intercept : float; r_squared : float }
+
+val linear : (float * float) array -> fit
+(** [linear points] fits y = slope·x + intercept. Requires >= 2 points with
+    non-zero x-variance ([Invalid_argument] otherwise). *)
+
+val power_law : (float * float) array -> exponent:float ref -> coefficient:float ref -> float
+(** [power_law points ~exponent ~coefficient] fits y = coefficient·x^exponent
+    by log–log least squares (all coordinates must be positive); sets the two
+    refs and returns R² of the log-space fit. *)

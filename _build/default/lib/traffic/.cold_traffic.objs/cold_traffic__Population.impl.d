@@ -1,0 +1,1 @@
+lib/traffic/population.ml: Array Cold_prng

@@ -1,0 +1,1 @@
+lib/traffic/population.mli: Cold_prng

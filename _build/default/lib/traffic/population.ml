@@ -1,0 +1,52 @@
+module Dist = Cold_prng.Dist
+
+type model =
+  | Exponential of { mean : float }
+  | Pareto of { shape : float; mean : float }
+  | Log_normal of { mean : float; sigma : float }
+  | Capital of { mean : float; dominance : float }
+  | Constant of float
+
+let default = Exponential { mean = 30.0 }
+
+let pareto_heavy = Pareto { shape = 10.0 /. 9.0; mean = 30.0 }
+
+let pareto_moderate = Pareto { shape = 1.5; mean = 30.0 }
+
+let draw model g =
+  match model with
+  | Exponential { mean } -> Dist.exponential g ~mean
+  | Pareto { shape; mean } -> Dist.pareto_with_mean g ~shape ~mean
+  | Log_normal { mean; sigma } ->
+    if mean <= 0.0 then invalid_arg "Population: log-normal mean must be positive";
+    (* E[exp(N(mu, sigma))] = exp(mu + sigma^2/2) = mean. *)
+    let mu = log mean -. (sigma *. sigma /. 2.0) in
+    exp (Dist.normal g ~mean:mu ~stddev:sigma)
+  | Capital _ -> invalid_arg "Population.draw: Capital is drawn jointly"
+  | Constant c -> c
+
+let generate model ~n g =
+  if n < 0 then invalid_arg "Population.generate";
+  match model with
+  | Capital { mean; dominance } ->
+    if n = 0 then [||]
+    else begin
+      if dominance < 0.0 || dominance >= float_of_int n then
+        invalid_arg "Population.generate: dominance must be in [0, n)";
+      (* Residual mean keeps the overall mean at [mean]. *)
+      let rest_mean =
+        if n = 1 then mean
+        else mean *. (float_of_int n -. dominance) /. float_of_int (n - 1)
+      in
+      Array.init n (fun i ->
+          if i = 0 then dominance *. mean
+          else Dist.exponential g ~mean:rest_mean)
+    end
+  | _ -> Array.init n (fun _ -> draw model g)
+
+let mean_of = function
+  | Exponential { mean } -> mean
+  | Pareto { mean; _ } -> mean
+  | Log_normal { mean; _ } -> mean
+  | Capital { mean; _ } -> mean
+  | Constant c -> c

@@ -1,0 +1,37 @@
+(** PoP population models (§3.1).
+
+    The gravity traffic model assigns each PoP a random "population"; traffic
+    between two PoPs is proportional to the product of their populations. The
+    paper's default is i.i.d. exponential populations with mean 30; Pareto
+    populations with shape 10/9 and 1.5 (same mean) are used in the §7
+    heavy-tail ablation. *)
+
+type model =
+  | Exponential of { mean : float }  (** The paper's default, mean 30. *)
+  | Pareto of { shape : float; mean : float }
+      (** Heavy-tailed; the paper uses shape 1.5 and 10/9 with mean 30.
+          Requires shape > 1 for the mean to exist. *)
+  | Log_normal of { mean : float; sigma : float }
+      (** Moderately skewed; [sigma] is the log-space standard deviation and
+          [mean] the (linear-space) mean. Sits between exponential and
+          Pareto in tail weight — a common fit for city populations. *)
+  | Capital of { mean : float; dominance : float }
+      (** One "capital" PoP (index 0) carries [dominance] times the mean;
+          others are i.i.d. exponential adjusted so the overall mean stays
+          [mean]. Models countries with a single dominant metro. Requires
+          [dominance < n] at generation time. *)
+  | Constant of float  (** Degenerate model for tests and uniform traffic. *)
+
+val default : model
+(** [Exponential { mean = 30.0 }], the paper's default. *)
+
+val pareto_heavy : model
+(** Shape 10/9 (the paper's "infinite variance case"), mean 30. *)
+
+val pareto_moderate : model
+(** Shape 1.5, mean 30. *)
+
+val generate : model -> n:int -> Cold_prng.Prng.t -> float array
+(** [generate model ~n g] draws [n] i.i.d. populations. *)
+
+val mean_of : model -> float

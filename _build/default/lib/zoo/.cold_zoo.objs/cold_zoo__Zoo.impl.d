@@ -1,0 +1,1 @@
+lib/zoo/zoo.ml: Array Cold_graph Cold_metrics Cold_prng List Printf

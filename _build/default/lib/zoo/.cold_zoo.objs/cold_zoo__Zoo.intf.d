@@ -1,0 +1,1 @@
+lib/zoo/zoo.mli: Cold_graph

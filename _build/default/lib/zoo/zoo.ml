@@ -1,0 +1,166 @@
+module Graph = Cold_graph.Graph
+module Builders = Cold_graph.Builders
+module Prng = Cold_prng.Prng
+module Dist = Cold_prng.Dist
+module Degree = Cold_metrics.Degree
+module Clustering = Cold_metrics.Clustering
+
+type entry = { name : string; graph : Graph.t }
+
+(* Abilene (Internet2), 11 PoPs:
+   0 Seattle, 1 Sunnyvale, 2 Los Angeles, 3 Denver, 4 Kansas City, 5 Houston,
+   6 Chicago, 7 Indianapolis, 8 Atlanta, 9 Washington DC, 10 New York. *)
+let abilene () =
+  {
+    name = "Abilene";
+    graph =
+      Graph.of_edges 11
+        [
+          (0, 1); (0, 3); (1, 2); (1, 3); (2, 5); (3, 4); (4, 5); (4, 7);
+          (5, 8); (6, 7); (6, 10); (7, 8); (8, 9); (9, 10);
+        ];
+  }
+
+(* NSFNET T1 backbone (1991), 14 PoPs, 21 links — the canonical 14-node
+   topology of the optical-networking literature:
+   0 WA, 1 CA1 (Palo Alto), 2 CA2 (San Diego), 3 UT, 4 CO, 5 TX, 6 NE, 7 IL,
+   8 MI, 9 GA, 10 PA, 11 NY, 12 NJ, 13 MD. *)
+let nsfnet () =
+  {
+    name = "NSFNET-T1";
+    graph =
+      Graph.of_edges 14
+        [
+          (0, 1); (0, 2); (0, 7); (1, 2); (1, 3); (2, 5); (3, 4); (3, 10);
+          (4, 5); (4, 6); (5, 9); (5, 13); (6, 7); (7, 8); (8, 9); (8, 11);
+          (9, 12); (10, 11); (10, 13); (11, 12); (12, 13);
+        ];
+  }
+
+let stylized_hub_spoke () =
+  let g = Graph.create 20 in
+  (* Two linked hubs; spokes alternate between them. *)
+  Graph.add_edge g 0 1;
+  for v = 2 to 19 do
+    Graph.add_edge g (v mod 2) v
+  done;
+  { name = "stylized-hub-spoke"; graph = g }
+
+let stylized_ring_mesh () =
+  let g = Graph.create 20 in
+  (* 8-PoP core ring. *)
+  for v = 0 to 7 do
+    Graph.add_edge g v ((v + 1) mod 8)
+  done;
+  (* One chord for redundancy. *)
+  Graph.add_edge g 0 4;
+  (* 12 leaves spread around the ring. *)
+  for leaf = 8 to 19 do
+    Graph.add_edge g (leaf mod 8) leaf
+  done;
+  { name = "stylized-ring-mesh"; graph = g }
+
+let reference () =
+  [ abilene (); nsfnet (); stylized_hub_spoke (); stylized_ring_mesh () ]
+
+(* --- Synthetic zoo ------------------------------------------------------- *)
+
+(* Family weights calibrated to the Zoo's published shape: ~15 % pure
+   hub-and-spoke (CVND > 1), the rest a mix of trees, rings with tails,
+   sparse meshes and lattices; a small dense tail carries the top decile of
+   clustering. *)
+type family =
+  | F_star
+  | F_double_star
+  | F_tree
+  | F_ring_tails
+  | F_mesh
+  | F_ladder
+  | F_dense
+
+let families =
+  [|
+    (F_star, 0.09);
+    (F_double_star, 0.06);
+    (F_tree, 0.22);
+    (F_ring_tails, 0.28);
+    (F_mesh, 0.22);
+    (F_ladder, 0.05);
+    (F_dense, 0.08);
+  |]
+
+let size rng = 5 + Prng.int rng 56 (* 5..60 *)
+
+let connected_gnm ~n ~m rng =
+  (* Random tree backbone plus random extra links: connected by
+     construction, sparse-mesh shaped. *)
+  let g = Builders.random_tree n rng in
+  let extra = max 0 (m - (n - 1)) in
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < extra && !attempts < 50 * extra do
+    incr attempts;
+    let u = Prng.int rng n and v = Prng.int rng n in
+    if u <> v && not (Graph.mem_edge g u v) then begin
+      Graph.add_edge g u v;
+      incr added
+    end
+  done;
+  g
+
+let ring_with_tails rng =
+  let core = 4 + Prng.int rng 9 (* 4..12 *) in
+  let tails = 2 + Prng.int rng 20 in
+  let n = core + tails in
+  let g = Graph.create n in
+  for v = 0 to core - 1 do
+    Graph.add_edge g v ((v + 1) mod core)
+  done;
+  if core >= 6 && Prng.bool rng then Graph.add_edge g 0 (core / 2);
+  for leaf = core to n - 1 do
+    Graph.add_edge g (Prng.int rng core) leaf
+  done;
+  g
+
+let build family rng =
+  match family with
+  | F_star -> Builders.star (size rng)
+  | F_double_star -> Builders.double_star (size rng)
+  | F_tree -> Builders.random_tree (size rng) rng
+  | F_ring_tails -> ring_with_tails rng
+  | F_mesh ->
+    let n = size rng in
+    let m = int_of_float (float_of_int n *. Dist.uniform rng ~lo:1.2 ~hi:2.0) in
+    connected_gnm ~n ~m rng
+  | F_ladder -> Builders.ladder (3 + Prng.int rng 10)
+  | F_dense ->
+    (* Small, clustered: the Zoo's few high-GCC networks are tiny. *)
+    let n = 5 + Prng.int rng 5 in
+    let m = int_of_float (float_of_int (n * (n - 1) / 2) *. Dist.uniform rng ~lo:0.5 ~hi:0.8) in
+    connected_gnm ~n ~m rng
+
+let family_name = function
+  | F_star -> "star"
+  | F_double_star -> "double-star"
+  | F_tree -> "tree"
+  | F_ring_tails -> "ring-tails"
+  | F_mesh -> "mesh"
+  | F_ladder -> "ladder"
+  | F_dense -> "dense"
+
+let synthetic ?(count = 250) ~seed () =
+  if count < 0 then invalid_arg "Zoo.synthetic";
+  let root = Prng.create seed in
+  let weights = Array.map snd families in
+  List.init count (fun i ->
+      let rng = Prng.split_at root i in
+      let (family, _) = families.(Dist.choose_weighted rng weights) in
+      let graph = build family rng in
+      { name = Printf.sprintf "%s-%03d" (family_name family) i; graph })
+
+let cvnd_values entries =
+  Array.of_list
+    (List.map (fun e -> Degree.coefficient_of_variation e.graph) entries)
+
+let gcc_values entries =
+  Array.of_list (List.map (fun e -> Clustering.global e.graph) entries)

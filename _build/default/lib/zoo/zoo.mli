@@ -1,0 +1,42 @@
+(** A stand-in for the Internet Topology Zoo (Knight et al., the paper's
+    [16]).
+
+    The paper calibrates COLD's tunable range against ~250 operator-drawn
+    PoP-level maps; that dataset is not available in this sealed environment.
+    This module provides (a) four embedded reference topologies — two
+    well-known public research backbones (Abilene, NSFNET-T1) and two
+    stylized operator shapes — used as unit-test ground truth, and (b) a
+    {e synthetic zoo}: an ensemble of networks drawn from the structural
+    families the Zoo actually contains (stars, double-hubs, rings with leaf
+    tails, trees, ladders/grids, sparse meshes), with the family mix
+    calibrated to the published summary statistics the paper cites:
+    ≈15 % of networks with CVND > 1 (Fig 8a) and ≈90 % of global clustering
+    coefficients below 0.25 (§6). See DESIGN.md, substitution 1. *)
+
+type entry = { name : string; graph : Cold_graph.Graph.t }
+
+val abilene : unit -> entry
+(** The Internet2/Abilene backbone: 11 PoPs, 14 links. *)
+
+val nsfnet : unit -> entry
+(** The NSFNET T1 backbone (1991): 14 PoPs, 21 links. *)
+
+val stylized_hub_spoke : unit -> entry
+(** A national hub-and-spoke ISP: 2 hub cities, 18 spoke PoPs — CVND ≈ 2,
+    the high end of Fig 8a. *)
+
+val stylized_ring_mesh : unit -> entry
+(** A regional ring-core ISP: 8-PoP core ring with 12 leaf tails. *)
+
+val reference : unit -> entry list
+(** All four embedded topologies. *)
+
+val synthetic : ?count:int -> seed:int -> unit -> entry list
+(** [synthetic ~seed ()] draws a zoo of [count] (default 250) networks across
+    the structural families, sizes 5–60. Deterministic in [seed]. All
+    networks are connected. *)
+
+val cvnd_values : entry list -> float array
+(** CVND of each entry — the data behind Fig 8a. *)
+
+val gcc_values : entry list -> float array

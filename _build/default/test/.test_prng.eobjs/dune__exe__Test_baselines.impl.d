@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Cold_baselines Cold_geom Cold_graph Cold_metrics Cold_prng Float Format Hashtbl List Option Printf String

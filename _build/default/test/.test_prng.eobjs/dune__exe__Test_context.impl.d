@@ -1,0 +1,1 @@
+test/test_context.ml: Alcotest Array Cold_context Cold_geom Cold_prng Cold_traffic

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Cold Cold_context Cold_geom Cold_graph Cold_metrics Cold_prng Float QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dk.ml: Alcotest Array Cold_dk Cold_graph Cold_metrics Cold_prng List Printf QCheck QCheck_alcotest

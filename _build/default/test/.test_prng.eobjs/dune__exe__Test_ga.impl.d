@@ -1,0 +1,1 @@
+test/test_ga.ml: Alcotest Array Cold Cold_context Cold_graph Cold_metrics Cold_prng Float List Printf QCheck QCheck_alcotest

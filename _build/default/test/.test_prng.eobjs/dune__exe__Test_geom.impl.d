@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Array Cold_geom Cold_prng Float Format Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Cold_graph Cold_prng Float List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_heuristics.ml: Alcotest Cold Cold_context Cold_graph Cold_metrics Cold_prng Float List Printf

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Cold_graph Cold_metrics Float List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Cold_context Cold_geom Cold_graph Cold_net Cold_prng Cold_traffic Float List Printf QCheck QCheck_alcotest

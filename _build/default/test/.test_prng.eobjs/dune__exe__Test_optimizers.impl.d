@@ -1,0 +1,1 @@
+test/test_optimizers.ml: Alcotest Cold Cold_context Cold_graph Cold_net Cold_prng Float List Printf

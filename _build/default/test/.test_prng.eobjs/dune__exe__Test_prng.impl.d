@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Cold_prng Float Fun Hashtbl List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_resilience.ml: Alcotest Cold Cold_context Cold_geom Cold_graph Cold_net List

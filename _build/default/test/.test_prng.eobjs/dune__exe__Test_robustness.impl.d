@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Cold_graph Cold_metrics Cold_prng Float Fun List QCheck QCheck_alcotest

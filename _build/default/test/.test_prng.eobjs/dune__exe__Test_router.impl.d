@@ -1,0 +1,1 @@
+test/test_router.ml: Alcotest Array Cold Cold_context Cold_geom Cold_graph Cold_net Cold_prng Cold_router Cold_traffic Float Fun List Printf

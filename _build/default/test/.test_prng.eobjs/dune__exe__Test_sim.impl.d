@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Cold Cold_context Cold_geom Cold_graph Cold_net Cold_prng Cold_sim Float List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Cold_prng Cold_stats Float QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_synthesis.ml: Alcotest Array Cold Cold_context Cold_graph Cold_metrics Cold_net Cold_prng Cold_stats Float List

@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Cold_prng Cold_traffic Float List Printf QCheck QCheck_alcotest

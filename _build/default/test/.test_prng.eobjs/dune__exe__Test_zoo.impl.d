@@ -1,0 +1,1 @@
+test/test_zoo.ml: Alcotest Array Cold_graph Cold_metrics Cold_stats Cold_zoo List Printf

@@ -1,0 +1,225 @@
+(* Tests for the Table-1 baseline generators. *)
+
+module Graph = Cold_graph.Graph
+module Traversal = Cold_graph.Traversal
+module Prng = Cold_prng.Prng
+module Region = Cold_geom.Region
+module Point_process = Cold_geom.Point_process
+module Er = Cold_baselines.Erdos_renyi
+module Waxman = Cold_baselines.Waxman
+module Plrg = Cold_baselines.Plrg
+module Ba = Cold_baselines.Barabasi_albert
+module Fkp = Cold_baselines.Fkp
+module Comparison = Cold_baselines.Comparison
+
+let test_gnp_counts () =
+  let rng = Prng.create 1 in
+  let trials = 200 in
+  let n = 20 and p = 0.3 in
+  let total = ref 0 in
+  for _ = 1 to trials do
+    total := !total + Graph.edge_count (Er.gnp ~n ~p rng)
+  done;
+  let expected = p *. float_of_int (n * (n - 1) / 2) in
+  let mean = float_of_int !total /. float_of_int trials in
+  Alcotest.(check bool) "edge count near p*C(n,2)" true
+    (Float.abs (mean -. expected) < 0.05 *. expected)
+
+let test_gnp_extremes () =
+  let rng = Prng.create 2 in
+  Alcotest.(check int) "p=0 empty" 0 (Graph.edge_count (Er.gnp ~n:10 ~p:0.0 rng));
+  Alcotest.(check int) "p=1 complete" 45 (Graph.edge_count (Er.gnp ~n:10 ~p:1.0 rng));
+  Alcotest.check_raises "p out of range" (Invalid_argument "Erdos_renyi.gnp: p out of range")
+    (fun () -> ignore (Er.gnp ~n:5 ~p:1.5 rng))
+
+let test_gnm_exact () =
+  let rng = Prng.create 3 in
+  for m = 0 to 21 do
+    let g = Er.gnm ~n:7 ~m rng in
+    Alcotest.(check int) "exact m" m (Graph.edge_count g)
+  done;
+  Alcotest.check_raises "m too big" (Invalid_argument "Erdos_renyi.gnm: m out of range")
+    (fun () -> ignore (Er.gnm ~n:4 ~m:7 rng))
+
+let test_gnm_uniform_pairs () =
+  (* Each pair should appear with roughly equal frequency. *)
+  let rng = Prng.create 4 in
+  let counts = Hashtbl.create 16 in
+  let trials = 3000 in
+  for _ = 1 to trials do
+    let g = Er.gnm ~n:5 ~m:3 rng in
+    Graph.iter_edges g (fun u v ->
+        Hashtbl.replace counts (u, v)
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts (u, v))))
+  done;
+  (* 10 pairs, 3 slots → expected 900 each. *)
+  Hashtbl.iter
+    (fun _ c ->
+      Alcotest.(check bool) "roughly uniform" true (c > 750 && c < 1050))
+    counts;
+  Alcotest.(check int) "all pairs seen" 10 (Hashtbl.length counts)
+
+let test_waxman_locality () =
+  let rng = Prng.create 5 in
+  let points =
+    Point_process.generate Point_process.Uniform ~region:Region.unit_square ~n:60 rng
+  in
+  let short = ref 0 and long = ref 0 and short_links = ref 0 and long_links = ref 0 in
+  for _ = 1 to 20 do
+    let g = Waxman.generate ~alpha:0.15 ~beta:0.6 points rng in
+    for u = 0 to 59 do
+      for v = u + 1 to 59 do
+        let d = Cold_geom.Point.distance points.(u) points.(v) in
+        if d < 0.3 then begin
+          incr short;
+          if Graph.mem_edge g u v then incr short_links
+        end
+        else begin
+          incr long;
+          if Graph.mem_edge g u v then incr long_links
+        end
+      done
+    done
+  done;
+  let frac a b = float_of_int a /. float_of_int (max 1 b) in
+  Alcotest.(check bool) "short links likelier" true
+    (frac !short_links !short > 2.0 *. frac !long_links !long)
+
+let test_waxman_invalid () =
+  let rng = Prng.create 6 in
+  Alcotest.check_raises "alpha" (Invalid_argument "Waxman.generate: alpha must be positive")
+    (fun () -> ignore (Waxman.generate ~alpha:0.0 ~beta:0.5 [||] rng))
+
+let test_power_law_weights () =
+  let w = Plrg.power_law_weights ~n:100 ~exponent:2.5 ~average:3.0 in
+  let mean = Array.fold_left ( +. ) 0.0 w /. 100.0 in
+  Alcotest.(check (float 1e-9)) "mean rescaled" 3.0 mean;
+  Alcotest.(check bool) "decreasing" true (w.(0) > w.(50) && w.(50) > w.(99))
+
+let test_power_law_degrees () =
+  let rng = Prng.create 7 in
+  let deg = Plrg.power_law_degrees ~n:200 ~exponent:2.5 ~min_degree:1 rng in
+  Alcotest.(check bool) "even sum" true (Array.fold_left ( + ) 0 deg mod 2 = 0);
+  Array.iter
+    (fun d -> Alcotest.(check bool) "within range" true (d >= 1 && d <= 199))
+    deg
+
+let test_chung_lu_mean_degree () =
+  let rng = Prng.create 8 in
+  let w = Plrg.power_law_weights ~n:100 ~exponent:2.8 ~average:4.0 in
+  let total = ref 0 in
+  let trials = 50 in
+  for _ = 1 to trials do
+    total := !total + Graph.edge_count (Plrg.chung_lu w rng)
+  done;
+  let mean_deg = 2.0 *. float_of_int !total /. float_of_int (trials * 100) in
+  (* min() clipping biases slightly low; generous tolerance. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "mean degree near 4 (got %.2f)" mean_deg)
+    true
+    (mean_deg > 2.8 && mean_deg < 4.5)
+
+let test_configuration_model () =
+  let rng = Prng.create 9 in
+  let deg = [| 3; 2; 2; 2; 1 |] in
+  let g = Plrg.configuration deg rng in
+  (* The erased variant can only undershoot requested degrees. *)
+  Array.iteri
+    (fun v d -> Alcotest.(check bool) "no overshoot" true (Graph.degree g v <= d))
+    deg;
+  Alcotest.check_raises "odd sum" (Invalid_argument "Plrg.configuration: odd degree sum")
+    (fun () -> ignore (Plrg.configuration [| 1; 2 |] rng))
+
+let test_barabasi_albert () =
+  let rng = Prng.create 10 in
+  let g = Ba.generate ~n:50 ~m:2 rng in
+  Alcotest.(check bool) "connected" true (Traversal.is_connected g);
+  (* m(m+1)/2 seed edges + (n-m-1)·m attachment edges. *)
+  Alcotest.(check int) "edge count" (3 + (47 * 2)) (Graph.edge_count g);
+  (* Preferential attachment should produce a hub larger than the minimum. *)
+  Alcotest.(check bool) "has a hub" true (Cold_metrics.Degree.max_degree g >= 6);
+  Alcotest.check_raises "bad m" (Invalid_argument "Barabasi_albert.generate: need 1 <= m < n")
+    (fun () -> ignore (Ba.generate ~n:5 ~m:5 rng))
+
+let test_fkp_tree () =
+  let rng = Prng.create 11 in
+  let (g, points) = Fkp.generate ~n:40 ~alpha:10.0 ~region:Region.unit_square rng in
+  Alcotest.(check int) "tree edges" 39 (Graph.edge_count g);
+  Alcotest.(check bool) "connected" true (Traversal.is_connected g);
+  Alcotest.(check int) "positions" 40 (Array.length points)
+
+let test_fkp_alpha_zero_star () =
+  (* alpha = 0: cost is pure hop count, so everyone attaches to the root. *)
+  let rng = Prng.create 12 in
+  let (g, _) = Fkp.generate ~n:20 ~alpha:0.0 ~region:Region.unit_square rng in
+  Alcotest.(check int) "root degree" 19 (Graph.degree g 0)
+
+let test_fkp_alpha_extremes_differ () =
+  let rng = Prng.create 13 in
+  let (star_like, _) = Fkp.generate ~n:60 ~alpha:0.5 ~region:Region.unit_square rng in
+  let (geo_like, _) = Fkp.generate ~n:60 ~alpha:400.0 ~region:Region.unit_square rng in
+  Alcotest.(check bool) "low alpha more hub-dominated" true
+    (Cold_metrics.Degree.max_degree star_like > Cold_metrics.Degree.max_degree geo_like)
+
+let test_comparison_table () =
+  (* Cheap configuration: the point is the verdicts' shape, not precision. *)
+  let rows = Comparison.run ~trials:6 ~n:16 ~seed:99 () in
+  Alcotest.(check int) "six methods" 6 (List.length rows);
+  let find name = List.find (fun r -> r.Comparison.name = name) rows in
+  let cold = find "COLD" in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "COLD criterion %d is Yes" i)
+        true (v = Comparison.Yes))
+    cold.Comparison.verdicts;
+  let dk = find "dK-series" in
+  Alcotest.(check bool) "dK fails variation" true
+    (dk.Comparison.verdicts.(0) = Comparison.No);
+  Alcotest.(check bool) "dK not simple" true (dk.Comparison.verdicts.(5) = Comparison.No);
+  let er = find "ER" in
+  Alcotest.(check bool) "ER varies" true (er.Comparison.verdicts.(0) = Comparison.Yes);
+  Alcotest.(check bool) "ER fails constraints" true
+    (er.Comparison.verdicts.(1) = Comparison.No);
+  (* The rendering works. *)
+  let rendered = Format.asprintf "%a" Comparison.pp_table rows in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "table mentions COLD" true (contains rendered "COLD")
+
+let () =
+  Alcotest.run "cold_baselines"
+    [
+      ( "erdos_renyi",
+        [
+          Alcotest.test_case "gnp counts" `Quick test_gnp_counts;
+          Alcotest.test_case "gnp extremes" `Quick test_gnp_extremes;
+          Alcotest.test_case "gnm exact" `Quick test_gnm_exact;
+          Alcotest.test_case "gnm uniform" `Quick test_gnm_uniform_pairs;
+        ] );
+      ( "waxman",
+        [
+          Alcotest.test_case "locality" `Quick test_waxman_locality;
+          Alcotest.test_case "invalid" `Quick test_waxman_invalid;
+        ] );
+      ( "plrg",
+        [
+          Alcotest.test_case "weights" `Quick test_power_law_weights;
+          Alcotest.test_case "degrees" `Quick test_power_law_degrees;
+          Alcotest.test_case "chung-lu mean degree" `Quick test_chung_lu_mean_degree;
+          Alcotest.test_case "configuration model" `Quick test_configuration_model;
+        ] );
+      ( "barabasi_albert",
+        [ Alcotest.test_case "structure" `Quick test_barabasi_albert ] );
+      ( "fkp",
+        [
+          Alcotest.test_case "tree" `Quick test_fkp_tree;
+          Alcotest.test_case "alpha zero star" `Quick test_fkp_alpha_zero_star;
+          Alcotest.test_case "alpha extremes" `Quick test_fkp_alpha_extremes_differ;
+        ] );
+      ( "comparison",
+        [ Alcotest.test_case "table shape" `Slow test_comparison_table ] );
+    ]

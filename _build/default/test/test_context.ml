@@ -1,0 +1,90 @@
+(* Tests for Cold_context. *)
+
+module Prng = Cold_prng.Prng
+module Point = Cold_geom.Point
+module Context = Cold_context.Context
+module Gravity = Cold_traffic.Gravity
+module Population = Cold_traffic.Population
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_default_spec () =
+  let spec = Context.default_spec ~n:30 in
+  Alcotest.(check int) "n" 30 spec.Context.n;
+  feq "traffic scale" Context.default_traffic_scale spec.Context.traffic_scale;
+  feq "calibrated region area" 2500.0 (Cold_geom.Region.area Context.default_region)
+
+let test_generate () =
+  let ctx = Context.generate (Context.default_spec ~n:25) (Prng.create 5) in
+  Alcotest.(check int) "points" 25 (Array.length ctx.Context.points);
+  Alcotest.(check int) "n accessor" 25 (Context.n ctx);
+  Alcotest.(check int) "tm size" 25 (Gravity.size ctx.Context.tm)
+
+let test_deterministic () =
+  let a = Context.generate (Context.default_spec ~n:10) (Prng.create 7) in
+  let b = Context.generate (Context.default_spec ~n:10) (Prng.create 7) in
+  Array.iteri
+    (fun i p -> Alcotest.(check bool) "same points" true (Point.equal p b.Context.points.(i)))
+    a.Context.points;
+  feq "same demand" (Gravity.demand a.Context.tm 0 1) (Gravity.demand b.Context.tm 0 1)
+
+let test_different_seeds_differ () =
+  let a = Context.generate (Context.default_spec ~n:10) (Prng.create 1) in
+  let b = Context.generate (Context.default_spec ~n:10) (Prng.create 2) in
+  Alcotest.(check bool) "different geometry" true
+    (not (Point.equal a.Context.points.(0) b.Context.points.(0)))
+
+let test_distance_consistency () =
+  let ctx = Context.generate (Context.default_spec ~n:12) (Prng.create 9) in
+  for i = 0 to 11 do
+    for j = 0 to 11 do
+      feq "distance matches points"
+        (Point.distance ctx.Context.points.(i) ctx.Context.points.(j))
+        (Context.distance ctx i j)
+    done
+  done
+
+let test_of_points_and_populations () =
+  let points = [| Point.make 0.0 0.0; Point.make 1.0 0.0 |] in
+  let ctx = Context.of_points_and_populations points [| 2.0; 3.0 |] in
+  Alcotest.(check int) "n" 2 (Context.n ctx);
+  feq "distance" 1.0 (Context.distance ctx 0 1);
+  feq "demand" 6.0 (Gravity.demand ctx.Context.tm 0 1);
+  (* Defensive copies. *)
+  points.(0) <- Point.make 9.0 9.0;
+  feq "points copied" 1.0 (Context.distance ctx 0 1)
+
+let test_of_points_mismatch () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Context.of_points_and_populations: length mismatch")
+    (fun () ->
+      ignore (Context.of_points_and_populations [| Point.make 0.0 0.0 |] [| 1.0; 2.0 |]))
+
+let test_traffic_scale () =
+  let points = [| Point.make 0.0 0.0; Point.make 1.0 0.0 |] in
+  let ctx = Context.of_points_and_populations ~traffic_scale:10.0 points [| 2.0; 3.0 |] in
+  feq "scaled" 60.0 (Gravity.demand ctx.Context.tm 0 1)
+
+let test_pareto_spec () =
+  let spec =
+    { (Context.default_spec ~n:15) with Context.population = Population.pareto_heavy }
+  in
+  let ctx = Context.generate spec (Prng.create 3) in
+  Alcotest.(check int) "generated" 15 (Context.n ctx)
+
+let () =
+  Alcotest.run "cold_context"
+    [
+      ( "context",
+        [
+          Alcotest.test_case "default spec" `Quick test_default_spec;
+          Alcotest.test_case "generate" `Quick test_generate;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_different_seeds_differ;
+          Alcotest.test_case "distance consistency" `Quick test_distance_consistency;
+          Alcotest.test_case "of_points" `Quick test_of_points_and_populations;
+          Alcotest.test_case "mismatch" `Quick test_of_points_mismatch;
+          Alcotest.test_case "traffic scale" `Quick test_traffic_scale;
+          Alcotest.test_case "pareto spec" `Quick test_pareto_spec;
+        ] );
+    ]

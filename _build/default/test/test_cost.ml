@@ -1,0 +1,166 @@
+(* Tests for Cold.Cost: hand-computed costs and the §3.2.3 dominance
+   structure (k0/k1 → trees, k2 → cliques, k3 → stars). *)
+
+module Graph = Cold_graph.Graph
+module Builders = Cold_graph.Builders
+module Prng = Cold_prng.Prng
+module Point = Cold_geom.Point
+module Context = Cold_context.Context
+module Cost = Cold.Cost
+
+let feq = Alcotest.(check (float 1e-6))
+
+let line_context () =
+  Context.of_points_and_populations
+    [| Point.make 0.0 0.0; Point.make 1.0 0.0; Point.make 2.0 0.0 |]
+    [| 1.0; 2.0; 3.0 |]
+
+let test_params_defaults () =
+  let p = Cost.params () in
+  feq "k0" 10.0 p.Cost.k0;
+  feq "k1" 1.0 p.Cost.k1;
+  feq "k3" 0.0 p.Cost.k3
+
+let test_params_invalid () =
+  Alcotest.check_raises "negative cost"
+    (Invalid_argument "Cost.params: costs must be non-negative") (fun () ->
+      ignore (Cost.params ~k2:(-1.0) ()))
+
+let test_hand_computed () =
+  (* Path on the line context. Loads: (0,1)=10, (1,2)=18 (see test_net).
+     With k0=10, k1=1, k2=0.1, k3=5:
+       existence: 2·10 = 20
+       length: 1·(1+1) = 2
+       bandwidth: 0.1·(10·1 + 18·1) = 2.8
+       hub: node 1 has degree 2 → 5
+       total = 29.8 *)
+  let ctx = line_context () in
+  let p = Cost.params ~k0:10.0 ~k1:1.0 ~k2:0.1 ~k3:5.0 () in
+  let b = Cost.evaluate_breakdown p ctx (Builders.path 3) in
+  feq "existence" 20.0 b.Cost.existence;
+  feq "length" 2.0 b.Cost.length;
+  feq "bandwidth" 2.8 b.Cost.bandwidth;
+  feq "hub" 5.0 b.Cost.hub;
+  feq "total" 29.8 b.Cost.total;
+  feq "evaluate agrees" b.Cost.total (Cost.evaluate p ctx (Builders.path 3))
+
+let test_disconnected_infeasible () =
+  let ctx = line_context () in
+  let g = Graph.of_edges 3 [ (0, 1) ] in
+  feq "infinite" infinity (Cost.evaluate (Cost.params ()) ctx g);
+  let b = Cost.evaluate_breakdown (Cost.params ()) ctx g in
+  feq "breakdown total" infinity b.Cost.total
+
+let test_size_mismatch () =
+  let ctx = line_context () in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Cost.evaluate: graph size does not match context") (fun () ->
+      ignore (Cost.evaluate (Cost.params ()) ctx (Builders.path 4)))
+
+let random_context n seed =
+  Context.generate (Context.default_spec ~n) (Prng.create seed)
+
+(* When k1 dominates (k0=k2=k3=0), the optimum is the Euclidean MST. *)
+let test_k1_dominant_mst_optimal () =
+  let ctx = random_context 6 11 in
+  let p = Cost.params ~k0:0.0 ~k1:1.0 ~k2:0.0 ~k3:0.0 () in
+  let (opt, opt_cost) = Cold.Brute_force.optimal p ctx in
+  let mst = Cold.Heuristics.mst_topology ctx in
+  feq "MST cost is optimal" opt_cost (Cost.evaluate p ctx mst);
+  Alcotest.(check bool) "optimum is the MST" true (Graph.equal opt mst)
+
+(* When k2 dominates, the optimum is the clique. *)
+let test_k2_dominant_clique_optimal () =
+  let ctx = random_context 5 12 in
+  let p = Cost.params ~k0:0.0 ~k1:0.0 ~k2:1.0 ~k3:0.0 () in
+  let (opt, _) = Cold.Brute_force.optimal p ctx in
+  Alcotest.(check bool) "optimum is the clique" true
+    (Graph.equal opt (Graph.complete 5))
+
+(* When k0 dominates, any optimum is a spanning tree (n-1 links). *)
+let test_k0_dominant_tree_optimal () =
+  let ctx = random_context 6 13 in
+  let p = Cost.params ~k0:1000.0 ~k1:1.0 ~k2:1e-7 ~k3:0.0 () in
+  let (opt, _) = Cold.Brute_force.optimal p ctx in
+  Alcotest.(check int) "spanning tree" 5 (Graph.edge_count opt)
+
+(* When k3 dominates, the optimum is hub-and-spoke: exactly one core node. *)
+let test_k3_dominant_star_optimal () =
+  let ctx = random_context 6 14 in
+  let p = Cost.params ~k0:1.0 ~k1:1.0 ~k2:1e-7 ~k3:10_000.0 () in
+  let (opt, _) = Cold.Brute_force.optimal p ctx in
+  Alcotest.(check int) "one hub" 1 (Cold_metrics.Degree.hub_count opt);
+  Alcotest.(check int) "star edges" 5 (Graph.edge_count opt)
+
+(* Monotonicity: the cost of a fixed graph is increasing in each ki. *)
+let test_cost_monotone_in_params () =
+  let ctx = random_context 8 15 in
+  let g = Cold.Heuristics.mst_topology ctx in
+  let base = Cost.evaluate (Cost.params ~k0:1.0 ~k2:1e-4 ~k3:1.0 ()) ctx g in
+  Alcotest.(check bool) "k0 up" true
+    (Cost.evaluate (Cost.params ~k0:2.0 ~k2:1e-4 ~k3:1.0 ()) ctx g > base);
+  Alcotest.(check bool) "k2 up" true
+    (Cost.evaluate (Cost.params ~k0:1.0 ~k2:2e-4 ~k3:1.0 ()) ctx g > base);
+  Alcotest.(check bool) "k3 up" true
+    (Cost.evaluate (Cost.params ~k0:1.0 ~k2:1e-4 ~k3:2.0 ()) ctx g > base)
+
+(* Scale invariance (§3.2.3: "costs are all relative"): multiplying all ki by
+   a constant multiplies every cost by the same constant, so argmins are
+   unchanged. *)
+let test_scale_invariance () =
+  let ctx = random_context 6 16 in
+  let g = Cold.Heuristics.mst_topology ctx in
+  let c1 = Cost.evaluate (Cost.params ~k0:10.0 ~k1:1.0 ~k2:1e-4 ~k3:5.0 ()) ctx g in
+  let c3 = Cost.evaluate (Cost.params ~k0:30.0 ~k1:3.0 ~k2:3e-4 ~k3:15.0 ()) ctx g in
+  feq "3x params = 3x cost" (3.0 *. c1) c3
+
+let test_breakdown_components_sum () =
+  let ctx = random_context 7 17 in
+  let g = Cold.Heuristics.mst_topology ctx in
+  let b = Cost.evaluate_breakdown (Cost.params ~k3:2.0 ()) ctx g in
+  feq "components sum to total"
+    (b.Cost.existence +. b.Cost.length +. b.Cost.bandwidth +. b.Cost.hub)
+    b.Cost.total
+
+let test_count_connected_oracle () =
+  (* Known counts of connected labelled graphs. *)
+  Alcotest.(check int) "n=1" 1 (Cold.Brute_force.count_connected 1);
+  Alcotest.(check int) "n=2" 1 (Cold.Brute_force.count_connected 2);
+  Alcotest.(check int) "n=3" 4 (Cold.Brute_force.count_connected 3);
+  Alcotest.(check int) "n=4" 38 (Cold.Brute_force.count_connected 4);
+  Alcotest.(check int) "n=5" 728 (Cold.Brute_force.count_connected 5)
+
+let qcheck_cost_positive =
+  QCheck.Test.make ~name:"feasible costs are positive and finite" ~count:40
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let ctx = random_context 6 seed in
+      let g = Cold.Heuristics.mst_topology ctx in
+      let c = Cost.evaluate (Cost.params ()) ctx g in
+      Float.is_finite c && c > 0.0)
+
+let () =
+  Alcotest.run "cold_cost"
+    [
+      ( "cost",
+        [
+          Alcotest.test_case "defaults" `Quick test_params_defaults;
+          Alcotest.test_case "invalid" `Quick test_params_invalid;
+          Alcotest.test_case "hand computed" `Quick test_hand_computed;
+          Alcotest.test_case "disconnected" `Quick test_disconnected_infeasible;
+          Alcotest.test_case "size mismatch" `Quick test_size_mismatch;
+          Alcotest.test_case "monotone in params" `Quick test_cost_monotone_in_params;
+          Alcotest.test_case "scale invariance" `Quick test_scale_invariance;
+          Alcotest.test_case "breakdown sums" `Quick test_breakdown_components_sum;
+        ] );
+      ( "dominance (brute force)",
+        [
+          Alcotest.test_case "k1 -> MST" `Quick test_k1_dominant_mst_optimal;
+          Alcotest.test_case "k2 -> clique" `Quick test_k2_dominant_clique_optimal;
+          Alcotest.test_case "k0 -> spanning tree" `Quick test_k0_dominant_tree_optimal;
+          Alcotest.test_case "k3 -> star" `Quick test_k3_dominant_star_optimal;
+        ] );
+      ( "brute force",
+        [ Alcotest.test_case "connected graph counts" `Quick test_count_connected_oracle ] );
+      ("properties", [ QCheck_alcotest.to_alcotest qcheck_cost_positive ]);
+    ]

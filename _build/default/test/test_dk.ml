@@ -1,0 +1,359 @@
+(* Tests for dK-distributions, the subgraph census (Fig 1 machinery) and
+   dK-preserving rewiring (Fig 2 machinery). *)
+
+module Graph = Cold_graph.Graph
+module Builders = Cold_graph.Builders
+module Traversal = Cold_graph.Traversal
+module Prng = Cold_prng.Prng
+module Dk = Cold_dk.Dk
+module Census = Cold_dk.Subgraph_census
+module Rewire = Cold_dk.Rewire
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_zero_k () =
+  feq "cycle" 2.0 (Dk.zero_k (Builders.cycle 8));
+  feq "empty" 0.0 (Dk.zero_k (Graph.create 0));
+  feq "star 5" 1.6 (Dk.zero_k (Builders.star 5))
+
+let test_one_k () =
+  Alcotest.(check (list (pair int int))) "cycle" [ (2, 6) ] (Dk.one_k (Builders.cycle 6));
+  Alcotest.(check (list (pair int int))) "star" [ (1, 4); (4, 1) ]
+    (Dk.one_k (Builders.star 5))
+
+let test_two_k () =
+  Alcotest.(check (list (pair (pair int int) int))) "cycle jdd" [ ((2, 2), 6) ]
+    (Dk.two_k (Builders.cycle 6));
+  Alcotest.(check (list (pair (pair int int) int))) "star jdd" [ ((1, 4), 4) ]
+    (Dk.two_k (Builders.star 5));
+  (* Path 4: degrees 1,2,2,1: edges (1,2)x2 and (2,2)x1. *)
+  Alcotest.(check (list (pair (pair int int) int))) "path jdd"
+    [ ((1, 2), 2); ((2, 2), 1) ]
+    (Dk.two_k (Builders.path 4))
+
+let test_three_k_cycle () =
+  let t = Dk.three_k (Builders.cycle 6) in
+  Alcotest.(check (list (pair (triple int int int) int))) "wedges" [ ((2, 2, 2), 6) ]
+    (List.map (fun ((a, b, c), n) -> ((a, b, c), n)) t.Dk.wedges);
+  Alcotest.(check int) "no triangles" 0 (List.length t.Dk.triangles)
+
+let test_three_k_clique () =
+  let t = Dk.three_k (Graph.complete 4) in
+  Alcotest.(check int) "no open wedges" 0 (List.length t.Dk.wedges);
+  Alcotest.(check (list (pair (triple int int int) int))) "triangles"
+    [ ((3, 3, 3), 4) ] t.Dk.triangles
+
+let test_three_k_triangle_cycle_distinguished () =
+  (* C3 vs C6: same 0K/1K/2K, different 3K. *)
+  let c3 = Builders.cycle 3 and c6 = Builders.cycle 6 in
+  Alcotest.(check bool) "same 1K per-node" true
+    (Dk.one_k c3 = [ (2, 3) ] && Dk.one_k c6 = [ (2, 6) ]);
+  Alcotest.(check bool) "3K differs" false
+    (Dk.equal_three_k (Dk.three_k c3) (Dk.three_k c6))
+
+let test_entry_counts () =
+  Alcotest.(check int) "cycle 2K entries" 1 (Dk.two_k_entry_count (Builders.cycle 7));
+  Alcotest.(check int) "cycle 3K entries" 1 (Dk.three_k_entry_count (Builders.cycle 7));
+  Alcotest.(check int) "path 2K entries" 2 (Dk.two_k_entry_count (Builders.path 5))
+
+(* --- census ----------------------------------------------------------------- *)
+
+let test_census_small () =
+  (* Path 3: degrees 1,2,1. d=2: one class (1,2). d=3: one class. *)
+  Alcotest.(check int) "path3 d=2" 1 (Census.distinct (Builders.path 3) ~d:2);
+  Alcotest.(check int) "path3 d=3" 1 (Census.distinct (Builders.path 3) ~d:3);
+  (* Cycle n >= 5: one d=2 class, one d=3 class, one d=4 class. *)
+  Alcotest.(check int) "cycle d=2" 1 (Census.distinct (Builders.cycle 6) ~d:2);
+  Alcotest.(check int) "cycle d=3" 1 (Census.distinct (Builders.cycle 6) ~d:3);
+  Alcotest.(check int) "cycle d=4" 1 (Census.distinct (Builders.cycle 6) ~d:4);
+  (* K4: one class at each d. *)
+  Alcotest.(check int) "K4 d=4" 1 (Census.distinct (Graph.complete 4) ~d:4);
+  Alcotest.check_raises "bad d"
+    (Invalid_argument "Subgraph_census.distinct: d must be 2, 3 or 4") (fun () ->
+      ignore (Census.distinct (Builders.path 3) ~d:5))
+
+let test_census_path4 () =
+  (* Path 4 (degrees 1,2,2,1). d=2 classes: (1,2) and (2,2) → 2.
+     d=3 classes: paths (1,2,2) centred at 2 → wedge (1,2,2) and (1,2,... )
+     triples {0,1,2}: path centre 1 → (centre 2, ends 1,2) and {1,2,3}:
+     mirror → same class → 1 class? Ends are degree 1 and 2, centre 2:
+     class (0-path, centre=2, ends (1,2)). Both triples identical → 1.
+     d=4: whole path, degrees (1,2,2,1) → 1. *)
+  Alcotest.(check int) "path4 d=2" 2 (Census.distinct (Builders.path 4) ~d:2);
+  Alcotest.(check int) "path4 d=3" 1 (Census.distinct (Builders.path 4) ~d:3);
+  Alcotest.(check int) "path4 d=4" 1 (Census.distinct (Builders.path 4) ~d:4)
+
+let test_census_star () =
+  (* Star 5: d=2 all edges (1,4) → 1; d=3 wedges (1,4,1) → 1; d=4 stars → 1. *)
+  Alcotest.(check int) "star d=2" 1 (Census.distinct (Builders.star 5) ~d:2);
+  Alcotest.(check int) "star d=3" 1 (Census.distinct (Builders.star 5) ~d:3);
+  Alcotest.(check int) "star d=4" 1 (Census.distinct (Builders.star 5) ~d:4)
+
+let test_census_counts () =
+  (* Totals with multiplicity. Path 4: 3 edges; 2 connected triples; 1 quad. *)
+  Alcotest.(check int) "path4 #2" 3 (Census.connected_subgraph_count (Builders.path 4) ~d:2);
+  Alcotest.(check int) "path4 #3" 2 (Census.connected_subgraph_count (Builders.path 4) ~d:3);
+  Alcotest.(check int) "path4 #4" 1 (Census.connected_subgraph_count (Builders.path 4) ~d:4);
+  (* K4: 6 edges, 4 triples (all connected), 1 quad. *)
+  Alcotest.(check int) "K4 #3" 4 (Census.connected_subgraph_count (Graph.complete 4) ~d:3);
+  Alcotest.(check int) "K5 #4" 5 (Census.connected_subgraph_count (Graph.complete 5) ~d:4)
+
+let test_census_grows_with_d () =
+  (* Fig 1's qualitative claim on a random-ish graph: more classes at higher d. *)
+  let rng = Prng.create 42 in
+  let g = Builders.random_tree 30 rng in
+  for _ = 1 to 15 do
+    let u = Prng.int rng 30 and v = Prng.int rng 30 in
+    if u <> v then Graph.add_edge g u v
+  done;
+  let d2 = Census.distinct g ~d:2 in
+  let d3 = Census.distinct g ~d:3 in
+  let d4 = Census.distinct g ~d:4 in
+  Alcotest.(check bool) (Printf.sprintf "d2=%d <= d3=%d" d2 d3) true (d2 <= d3);
+  Alcotest.(check bool) (Printf.sprintf "d3=%d <= d4=%d" d3 d4) true (d3 <= d4);
+  Alcotest.(check bool) "d4 large" true (d4 > 2 * d2)
+
+(* --- rewiring ---------------------------------------------------------------- *)
+
+let random_connected n seed =
+  let rng = Prng.create seed in
+  let g = Builders.random_tree n rng in
+  for _ = 1 to n do
+    let u = Prng.int rng n and v = Prng.int rng n in
+    if u <> v then Graph.add_edge g u v
+  done;
+  g
+
+let test_rewire_1k_preserves_degrees () =
+  let g = random_connected 20 1 in
+  let before = Graph.degree_sequence g in
+  let accepted = Rewire.rewire ~level:Rewire.K1 ~attempts:300 g (Prng.create 2) in
+  Alcotest.(check bool) "some moves accepted" true (accepted > 0);
+  Alcotest.(check (array int)) "degrees preserved" before (Graph.degree_sequence g);
+  Alcotest.(check bool) "still connected" true (Traversal.is_connected g)
+
+let test_rewire_2k_preserves_jdd () =
+  let g = random_connected 20 3 in
+  let before = Dk.two_k g in
+  ignore (Rewire.rewire ~level:Rewire.K2 ~attempts:300 g (Prng.create 4));
+  Alcotest.(check bool) "JDD preserved" true (Dk.equal_two_k before (Dk.two_k g))
+
+let test_rewire_3k_preserves_profile () =
+  let g = random_connected 16 5 in
+  let before = Dk.three_k g in
+  ignore (Rewire.rewire ~level:Rewire.K3 ~attempts:200 g (Prng.create 6));
+  Alcotest.(check bool) "3K preserved" true (Dk.equal_three_k before (Dk.three_k g))
+
+let test_rewire_can_disconnect_when_allowed () =
+  (* With require_connected:false the invariants still hold. *)
+  let g = random_connected 14 7 in
+  let before = Graph.degree_sequence g in
+  ignore
+    (Rewire.rewire ~require_connected:false ~level:Rewire.K1 ~attempts:200 g
+       (Prng.create 8));
+  Alcotest.(check (array int)) "degrees preserved" before (Graph.degree_sequence g)
+
+let test_ring_rigidity_under_connectivity () =
+  (* The paper's example: a ring is fully determined by its dK-distribution
+     (+ connectivity). Degree-preserving swaps on a cycle either disconnect
+     it (rejected) or keep it a single cycle — the output is always
+     isomorphic to the input. *)
+  let g = Builders.cycle 12 in
+  ignore (Rewire.rewire ~level:Rewire.K2 ~attempts:300 g (Prng.create 9));
+  Alcotest.(check bool) "still connected" true (Traversal.is_connected g);
+  Alcotest.(check (list (pair int int))) "still 2-regular" [ (2, 12) ]
+    (Cold_metrics.Degree.distribution g);
+  Alcotest.(check int) "still 12 edges" 12 (Graph.edge_count g)
+
+let test_sample_nondestructive () =
+  let g = Builders.cycle 10 in
+  let before = Graph.edges g in
+  let out = Rewire.sample ~level:Rewire.K1 ~attempts:100 g (Prng.create 10) in
+  Alcotest.(check (list (pair int int))) "input untouched" before (Graph.edges g);
+  Alcotest.(check int) "same node count" 10 (Graph.node_count out)
+
+(* --- construction -------------------------------------------------------------- *)
+
+module Dk_gen = Cold_dk.Dk_gen
+
+let test_gen_degree_sequence () =
+  let rng = Prng.create 60 in
+  let degrees = [| 3; 2; 2; 2; 2; 1 |] in
+  match Dk_gen.degree_sequence_graph degrees rng with
+  | None -> Alcotest.fail "graphical sequence should be realizable"
+  | Some g ->
+    Alcotest.(check (array int)) "degrees realized" degrees (Graph.degree_sequence g)
+
+let test_gen_degree_sequence_invalid () =
+  let rng = Prng.create 61 in
+  Alcotest.check_raises "odd sum" (Invalid_argument "Dk_gen: odd degree sum") (fun () ->
+      ignore (Dk_gen.degree_sequence_graph [| 1; 2 |] rng));
+  (* Non-graphical: one node wants 5 neighbours among 3 others. *)
+  Alcotest.(check bool) "non-graphical returns None" true
+    (Dk_gen.degree_sequence_graph ~attempts:20 [| 5; 1; 1; 1 |] (Prng.create 62) = None)
+
+let test_gen_two_k_matches () =
+  let rng = Prng.create 63 in
+  List.iter
+    (fun reference ->
+      match Dk_gen.two_k_graph reference rng with
+      | None -> Alcotest.fail "2K construction should succeed on these shapes"
+      | Some g ->
+        Alcotest.(check bool) "JDD equal" true
+          (Dk.equal_two_k (Dk.two_k reference) (Dk.two_k g));
+        Alcotest.(check (array int)) "degrees equal"
+          (Array.of_list (List.sort compare (Array.to_list (Graph.degree_sequence reference))))
+          (Array.of_list (List.sort compare (Array.to_list (Graph.degree_sequence g)))))
+    [ Builders.cycle 8; Builders.path 7; Builders.star 6; Builders.double_star 8 ]
+
+let test_gen_two_k_varies () =
+  (* 2K matching does NOT pin the graph the way 3K does: over several samples
+     from a meshy reference we expect at least two distinct labelled
+     outputs. *)
+  let reference = random_connected 12 64 in
+  let rng = Prng.create 65 in
+  let samples =
+    List.filter_map
+      (fun _ -> Dk_gen.two_k_graph reference rng)
+      [ 1; 2; 3; 4; 5; 6 ]
+  in
+  Alcotest.(check bool) "some samples" true (List.length samples >= 2);
+  let distinct =
+    List.fold_left
+      (fun acc g -> if List.exists (Graph.equal g) acc then acc else g :: acc)
+      [] samples
+  in
+  Alcotest.(check bool) "labelled variety" true (List.length distinct >= 2)
+
+let test_gen_two_k_can_disconnect () =
+  (* The paper's constraint critique: a 2K-matched cycle can come out as
+     disconnected cycle unions. Verify the generator at least *may* emit
+     valid graphs regardless of connectivity (all outputs must still be
+     2K-correct, which test_gen_two_k_matches already covers). *)
+  let reference = Builders.cycle 12 in
+  let rng = Prng.create 66 in
+  let connected = ref 0 and total = ref 0 in
+  for _ = 1 to 10 do
+    match Dk_gen.two_k_graph reference rng with
+    | Some g ->
+      incr total;
+      if Traversal.is_connected g then incr connected
+    | None -> ()
+  done;
+  Alcotest.(check bool) "samples produced" true (!total > 0)
+
+(* --- isomorphism -------------------------------------------------------------- *)
+
+module Iso = Cold_dk.Iso
+
+let test_iso_positive () =
+  (* Relabelled cycle. *)
+  let c = Builders.cycle 7 in
+  let relabelled = Graph.of_edges 7 [ (3, 5); (5, 1); (1, 6); (6, 0); (0, 2); (2, 4); (4, 3) ] in
+  Alcotest.(check bool) "cycle relabelled" true (Iso.isomorphic c relabelled);
+  Alcotest.(check bool) "self" true (Iso.isomorphic c c);
+  Alcotest.(check bool) "empty graphs" true (Iso.isomorphic (Graph.create 0) (Graph.create 0))
+
+let test_iso_negative () =
+  Alcotest.(check bool) "path vs star" false
+    (Iso.isomorphic (Builders.path 5) (Builders.star 5));
+  Alcotest.(check bool) "different sizes" false
+    (Iso.isomorphic (Builders.cycle 5) (Builders.cycle 6));
+  (* Same degree sequence, non-isomorphic: C6 vs two triangles. *)
+  let two_triangles = Graph.of_edges 6 [ (0, 1); (1, 2); (0, 2); (3, 4); (4, 5); (3, 5) ] in
+  Alcotest.(check bool) "C6 vs 2xC3" false (Iso.isomorphic (Builders.cycle 6) two_triangles)
+
+let test_iso_hard_pair () =
+  (* Same degree sequence [3;3;2;2;2;2]: prism (C3 x K2) vs K_{3,3} minus a
+     perfect matching is C6... use prism vs Möbius–Kantor-ish: prism vs K4
+     with two subdivided edges. Prism has triangles; the subdivided K4 pair
+     chosen here has none on those vertices — distinguishable but only after
+     invariants. *)
+  let prism = Graph.of_edges 6 [ (0, 1); (1, 2); (0, 2); (3, 4); (4, 5); (3, 5); (0, 3); (1, 4); (2, 5) ] in
+  let other = Graph.of_edges 6 [ (0, 1); (1, 2); (2, 3); (3, 0); (0, 4); (2, 4); (1, 5); (3, 5) ] in
+  (* other has 8 edges, prism 9 → trivially different; instead compare prism
+     against its own relabelling. *)
+  let prism2 = Graph.of_edges 6 [ (5, 4); (4, 3); (5, 3); (2, 1); (1, 0); (2, 0); (5, 2); (4, 1); (3, 0) ] in
+  Alcotest.(check bool) "prism relabelled" true (Iso.isomorphic prism prism2);
+  Alcotest.(check bool) "prism vs 8-edge graph" false (Iso.isomorphic prism other)
+
+let test_count_non_isomorphic () =
+  let graphs =
+    [ Builders.path 5; Builders.star 5; Builders.path 5; Builders.cycle 5 ]
+  in
+  Alcotest.(check int) "three classes" 3 (Iso.count_non_isomorphic graphs);
+  Alcotest.(check int) "empty list" 0 (Iso.count_non_isomorphic [])
+
+let test_3k_rewiring_rigidity_isomorphic () =
+  (* Fig 2(c): 3K-constrained rewiring of a structured input only produces
+     graphs isomorphic to the input. *)
+  let input = Builders.double_star 8 in
+  Graph.add_edge input 2 3;
+  let rng = Prng.create 77 in
+  for _ = 1 to 10 do
+    let out = Rewire.sample ~level:Rewire.K3 ~attempts:200 input rng in
+    Alcotest.(check bool) "isomorphic to input" true (Iso.isomorphic input out)
+  done
+
+let qcheck_rewire_preserves_edge_count =
+  QCheck.Test.make ~name:"rewiring preserves edge count" ~count:40
+    QCheck.(pair (int_range 0 1000) (int_range 6 16))
+    (fun (seed, n) ->
+      let g = random_connected n seed in
+      let m = Graph.edge_count g in
+      ignore (Rewire.rewire ~level:Rewire.K1 ~attempts:100 g (Prng.create (seed + 1)));
+      Graph.edge_count g = m)
+
+let () =
+  Alcotest.run "cold_dk"
+    [
+      ( "dk distributions",
+        [
+          Alcotest.test_case "0K" `Quick test_zero_k;
+          Alcotest.test_case "1K" `Quick test_one_k;
+          Alcotest.test_case "2K" `Quick test_two_k;
+          Alcotest.test_case "3K cycle" `Quick test_three_k_cycle;
+          Alcotest.test_case "3K clique" `Quick test_three_k_clique;
+          Alcotest.test_case "3K separates C3/C6" `Quick
+            test_three_k_triangle_cycle_distinguished;
+          Alcotest.test_case "entry counts" `Quick test_entry_counts;
+        ] );
+      ( "census",
+        [
+          Alcotest.test_case "small shapes" `Quick test_census_small;
+          Alcotest.test_case "path4" `Quick test_census_path4;
+          Alcotest.test_case "star" `Quick test_census_star;
+          Alcotest.test_case "multiplicity counts" `Quick test_census_counts;
+          Alcotest.test_case "growth with d" `Quick test_census_grows_with_d;
+        ] );
+      ( "rewire",
+        [
+          Alcotest.test_case "1K preserves degrees" `Quick test_rewire_1k_preserves_degrees;
+          Alcotest.test_case "2K preserves JDD" `Quick test_rewire_2k_preserves_jdd;
+          Alcotest.test_case "3K preserves profile" `Quick test_rewire_3k_preserves_profile;
+          Alcotest.test_case "unconstrained connectivity" `Quick
+            test_rewire_can_disconnect_when_allowed;
+          Alcotest.test_case "ring rigidity" `Quick test_ring_rigidity_under_connectivity;
+          Alcotest.test_case "sample nondestructive" `Quick test_sample_nondestructive;
+        ] );
+      ( "construction",
+        [
+          Alcotest.test_case "1K realization" `Quick test_gen_degree_sequence;
+          Alcotest.test_case "1K invalid" `Quick test_gen_degree_sequence_invalid;
+          Alcotest.test_case "2K matches reference" `Quick test_gen_two_k_matches;
+          Alcotest.test_case "2K varies" `Quick test_gen_two_k_varies;
+          Alcotest.test_case "2K ignores connectivity" `Quick
+            test_gen_two_k_can_disconnect;
+        ] );
+      ( "iso",
+        [
+          Alcotest.test_case "positive" `Quick test_iso_positive;
+          Alcotest.test_case "negative" `Quick test_iso_negative;
+          Alcotest.test_case "prism pair" `Quick test_iso_hard_pair;
+          Alcotest.test_case "count classes" `Quick test_count_non_isomorphic;
+          Alcotest.test_case "3K rigidity is isomorphism (Fig 2c)" `Quick
+            test_3k_rewiring_rigidity_isomorphic;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest qcheck_rewire_preserves_edge_count ] );
+    ]

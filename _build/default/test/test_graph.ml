@@ -1,0 +1,467 @@
+(* Tests for Cold_graph: graph structure, heap, union-find, traversal,
+   shortest paths, MST, builders. *)
+
+module Graph = Cold_graph.Graph
+module Heap = Cold_graph.Heap
+module Union_find = Cold_graph.Union_find
+module Traversal = Cold_graph.Traversal
+module Shortest_path = Cold_graph.Shortest_path
+module Mst = Cold_graph.Mst
+module Builders = Cold_graph.Builders
+module Prng = Cold_prng.Prng
+
+(* --- Graph ---------------------------------------------------------------- *)
+
+let test_empty () =
+  let g = Graph.create 5 in
+  Alcotest.(check int) "nodes" 5 (Graph.node_count g);
+  Alcotest.(check int) "edges" 0 (Graph.edge_count g);
+  for v = 0 to 4 do
+    Alcotest.(check int) "degree" 0 (Graph.degree g v)
+  done
+
+let test_add_remove () =
+  let g = Graph.create 4 in
+  Graph.add_edge g 0 1;
+  Alcotest.(check bool) "mem" true (Graph.mem_edge g 0 1);
+  Alcotest.(check bool) "mem symmetric" true (Graph.mem_edge g 1 0);
+  Alcotest.(check int) "m" 1 (Graph.edge_count g);
+  Graph.add_edge g 0 1;
+  Alcotest.(check int) "idempotent add" 1 (Graph.edge_count g);
+  Graph.add_edge g 1 0;
+  Alcotest.(check int) "idempotent reversed" 1 (Graph.edge_count g);
+  Graph.remove_edge g 1 0;
+  Alcotest.(check bool) "removed" false (Graph.mem_edge g 0 1);
+  Alcotest.(check int) "m back to 0" 0 (Graph.edge_count g);
+  Graph.remove_edge g 0 1;
+  Alcotest.(check int) "idempotent remove" 0 (Graph.edge_count g)
+
+let test_self_loop () =
+  let g = Graph.create 3 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self-loop")
+    (fun () -> Graph.add_edge g 1 1);
+  Alcotest.(check bool) "mem self" false (Graph.mem_edge g 1 1)
+
+let test_out_of_range () =
+  let g = Graph.create 3 in
+  Alcotest.check_raises "range" (Invalid_argument "Graph.add_edge: vertex out of range")
+    (fun () -> Graph.add_edge g 0 3)
+
+let test_degrees_and_leaves () =
+  let g = Builders.star 5 in
+  Alcotest.(check int) "hub degree" 4 (Graph.degree g 0);
+  Alcotest.(check int) "leaf degree" 1 (Graph.degree g 3);
+  Alcotest.(check bool) "hub not leaf" false (Graph.is_leaf g 0);
+  Alcotest.(check bool) "leaf is leaf" true (Graph.is_leaf g 1);
+  Alcotest.(check (list int)) "core nodes" [ 0 ] (Graph.core_nodes g);
+  Alcotest.(check int) "core count" 1 (Graph.core_count g)
+
+let test_isolated_is_leaf () =
+  let g = Graph.create 2 in
+  Alcotest.(check bool) "isolated counts as leaf" true (Graph.is_leaf g 0)
+
+let test_neighbors () =
+  let g = Graph.of_edges 5 [ (2, 4); (2, 0); (2, 3) ] in
+  Alcotest.(check (list int)) "ascending" [ 0; 3; 4 ] (Graph.neighbors g 2);
+  Alcotest.(check (list int)) "single" [ 2 ] (Graph.neighbors g 0)
+
+let test_edges_order () =
+  let g = Graph.of_edges 4 [ (2, 3); (0, 1); (0, 2) ] in
+  Alcotest.(check (list (pair int int))) "lexicographic"
+    [ (0, 1); (0, 2); (2, 3) ] (Graph.edges g)
+
+let test_copy_independence () =
+  let g = Graph.of_edges 3 [ (0, 1) ] in
+  let h = Graph.copy g in
+  Graph.add_edge h 1 2;
+  Alcotest.(check int) "original untouched" 1 (Graph.edge_count g);
+  Alcotest.(check int) "copy changed" 2 (Graph.edge_count h)
+
+let test_equal () =
+  let a = Graph.of_edges 3 [ (0, 1); (1, 2) ] in
+  let b = Graph.of_edges 3 [ (1, 2); (0, 1) ] in
+  let c = Graph.of_edges 3 [ (0, 1); (0, 2) ] in
+  Alcotest.(check bool) "equal" true (Graph.equal a b);
+  Alcotest.(check bool) "not equal" false (Graph.equal a c);
+  Alcotest.(check bool) "different sizes" false (Graph.equal a (Graph.create 3))
+
+let test_complete () =
+  let g = Graph.complete 6 in
+  Alcotest.(check int) "edges" 15 (Graph.edge_count g);
+  for v = 0 to 5 do
+    Alcotest.(check int) "degree" 5 (Graph.degree g v)
+  done
+
+let test_remove_all_edges_of () =
+  let g = Graph.complete 5 in
+  Graph.remove_all_edges_of g 2;
+  Alcotest.(check int) "degree zero" 0 (Graph.degree g 2);
+  Alcotest.(check int) "edges" 6 (Graph.edge_count g);
+  for v = 0 to 4 do
+    if v <> 2 then Alcotest.(check int) "others lost one" 3 (Graph.degree g v)
+  done
+
+let test_degree_sequence () =
+  let g = Builders.path 4 in
+  Alcotest.(check (array int)) "path degrees" [| 1; 2; 2; 1 |] (Graph.degree_sequence g)
+
+(* --- Heap ----------------------------------------------------------------- *)
+
+let test_heap_sorted () =
+  let h = Heap.create ~capacity:4 in
+  List.iter (fun (p, v) -> Heap.push h ~priority:p v)
+    [ (5.0, 1); (1.0, 2); (3.0, 3); (0.5, 4); (2.0, 5) ];
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop_min h with
+    | Some (p, _) ->
+      out := p :: !out;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (float 1e-9))) "ascending priorities"
+    [ 0.5; 1.0; 2.0; 3.0; 5.0 ] (List.rev !out)
+
+let test_heap_tie_break () =
+  let h = Heap.create ~capacity:2 in
+  Heap.push h ~priority:1.0 7;
+  Heap.push h ~priority:1.0 3;
+  Heap.push h ~priority:1.0 5;
+  (match Heap.pop_min h with
+  | Some (_, v) -> Alcotest.(check int) "smallest vertex first" 3 v
+  | None -> Alcotest.fail "empty");
+  Alcotest.(check int) "size" 2 (Heap.size h)
+
+let test_heap_empty () =
+  let h = Heap.create ~capacity:1 in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option (pair (float 0.0) int))) "pop none" None (Heap.pop_min h)
+
+(* --- Union-find ----------------------------------------------------------- *)
+
+let test_union_find () =
+  let uf = Union_find.create 5 in
+  Alcotest.(check int) "initial sets" 5 (Union_find.count uf);
+  Alcotest.(check bool) "union works" true (Union_find.union uf 0 1);
+  Alcotest.(check bool) "repeat union" false (Union_find.union uf 1 0);
+  Alcotest.(check bool) "same" true (Union_find.same uf 0 1);
+  Alcotest.(check bool) "not same" false (Union_find.same uf 0 2);
+  ignore (Union_find.union uf 2 3);
+  ignore (Union_find.union uf 0 3);
+  Alcotest.(check int) "sets" 2 (Union_find.count uf);
+  Alcotest.(check bool) "transitive" true (Union_find.same uf 1 2)
+
+(* --- Traversal ------------------------------------------------------------ *)
+
+let test_bfs_hops () =
+  let g = Builders.path 5 in
+  Alcotest.(check (array int)) "path hops" [| 0; 1; 2; 3; 4 |] (Traversal.bfs_hops g 0);
+  Alcotest.(check (array int)) "from middle" [| 2; 1; 0; 1; 2 |] (Traversal.bfs_hops g 2)
+
+let test_bfs_unreachable () =
+  let g = Graph.of_edges 4 [ (0, 1) ] in
+  let hops = Traversal.bfs_hops g 0 in
+  Alcotest.(check int) "unreachable is -1" (-1) hops.(2)
+
+let test_connectivity () =
+  Alcotest.(check bool) "path connected" true (Traversal.is_connected (Builders.path 5));
+  Alcotest.(check bool) "empty edges disconnected" false
+    (Traversal.is_connected (Graph.create 2));
+  Alcotest.(check bool) "singleton connected" true (Traversal.is_connected (Graph.create 1));
+  Alcotest.(check bool) "empty graph connected" true (Traversal.is_connected (Graph.create 0))
+
+let test_components () =
+  let g = Graph.of_edges 6 [ (0, 1); (2, 3); (3, 4) ] in
+  let (comp, k) = Traversal.connected_components g in
+  Alcotest.(check int) "three components" 3 k;
+  Alcotest.(check int) "0 and 1 together" comp.(0) comp.(1);
+  Alcotest.(check int) "2,3,4 together" comp.(2) comp.(4);
+  Alcotest.(check bool) "5 alone" true (comp.(5) <> comp.(0) && comp.(5) <> comp.(2));
+  let members = Traversal.component_members (comp, k) in
+  Alcotest.(check (list int)) "members sorted" [ 2; 3; 4 ] members.(comp.(2))
+
+(* --- Shortest paths -------------------------------------------------------- *)
+
+let weighted_fixture () =
+  (* 0 --1.0-- 1 --1.0-- 2 ; 0 --2.5-- 2 ; 2 --1.0-- 3 *)
+  let g = Graph.of_edges 4 [ (0, 1); (1, 2); (0, 2); (2, 3) ] in
+  let length u v =
+    match (min u v, max u v) with
+    | (0, 1) | (1, 2) | (2, 3) -> 1.0
+    | (0, 2) -> 2.5
+    | _ -> Alcotest.fail "unexpected edge"
+  in
+  (g, length)
+
+let test_dijkstra () =
+  let (g, length) = weighted_fixture () in
+  let t = Shortest_path.dijkstra g ~length ~source:0 in
+  Alcotest.(check (float 1e-9)) "d(0)" 0.0 t.Shortest_path.dist.(0);
+  Alcotest.(check (float 1e-9)) "d(1)" 1.0 t.Shortest_path.dist.(1);
+  Alcotest.(check (float 1e-9)) "d(2) via 1" 2.0 t.Shortest_path.dist.(2);
+  Alcotest.(check (float 1e-9)) "d(3)" 3.0 t.Shortest_path.dist.(3);
+  Alcotest.(check (option (list int))) "path to 3" (Some [ 0; 1; 2; 3 ])
+    (Shortest_path.path t 3)
+
+let test_dijkstra_unreachable () =
+  let g = Graph.of_edges 3 [ (0, 1) ] in
+  let t = Shortest_path.dijkstra g ~length:(fun _ _ -> 1.0) ~source:0 in
+  Alcotest.(check bool) "unreachable infinite" true (t.Shortest_path.dist.(2) = infinity);
+  Alcotest.(check (option (list int))) "no path" None (Shortest_path.path t 2);
+  Alcotest.(check int) "order only reachable" 2 (Array.length t.Shortest_path.order)
+
+let test_dijkstra_settling_order () =
+  let (g, length) = weighted_fixture () in
+  let t = Shortest_path.dijkstra g ~length ~source:0 in
+  (* Settling order must be non-decreasing in distance. *)
+  let prev = ref (-1.0) in
+  Array.iter
+    (fun v ->
+      let d = t.Shortest_path.dist.(v) in
+      Alcotest.(check bool) "non-decreasing" true (d >= !prev);
+      prev := d)
+    t.Shortest_path.order
+
+let test_dijkstra_tie_break_deterministic () =
+  (* Two equal-length routes 0-1-3 and 0-2-3: predecessor of 3 must be the
+     smaller id, 1. *)
+  let g = Graph.of_edges 4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let t = Shortest_path.dijkstra g ~length:(fun _ _ -> 1.0) ~source:0 in
+  Alcotest.(check int) "pred tie-break" 1 t.Shortest_path.pred.(3)
+
+let test_apsp () =
+  let g = Builders.cycle 6 in
+  let hops = Shortest_path.apsp_hops g in
+  Alcotest.(check int) "opposite side" 3 hops.(0).(3);
+  Alcotest.(check int) "adjacent" 1 hops.(4).(5);
+  let lengths = Shortest_path.apsp_lengths g ~length:(fun _ _ -> 2.0) in
+  Alcotest.(check (float 1e-9)) "weighted consistent" 6.0 lengths.(0).(3)
+
+(* --- MST ------------------------------------------------------------------ *)
+
+let test_prim_line () =
+  (* Points on a line: MST must be the chain. *)
+  let xs = [| 0.0; 1.0; 2.0; 3.5; 4.0 |] in
+  let weight i j = Float.abs (xs.(i) -. xs.(j)) in
+  let edges = Mst.prim_complete ~n:5 ~weight in
+  Alcotest.(check int) "n-1 edges" 4 (List.length edges);
+  let expected = [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+  Alcotest.(check (list (pair int int))) "chain" expected (List.sort compare edges)
+
+let test_prim_weight_optimal_small () =
+  (* Compare Prim's total weight to exhaustive minimum over spanning trees on
+     5 random points (by checking against all graphs' spanning subgraph... we
+     instead verify against brute force over all 5^3 Prüfer trees). *)
+  let rng = Prng.create 77 in
+  let pts = Array.init 5 (fun _ -> (Prng.float rng, Prng.float rng)) in
+  let weight i j =
+    let (xi, yi) = pts.(i) and (xj, yj) = pts.(j) in
+    sqrt (((xi -. xj) ** 2.0) +. ((yi -. yj) ** 2.0))
+  in
+  let prim_total =
+    List.fold_left (fun acc (u, v) -> acc +. weight u v) 0.0
+      (Mst.prim_complete ~n:5 ~weight)
+  in
+  (* Enumerate all labelled trees on 5 vertices via Prüfer sequences. *)
+  let best = ref infinity in
+  for a = 0 to 4 do
+    for b = 0 to 4 do
+      for c = 0 to 4 do
+        (* Decode the Prüfer sequence [a;b;c]. *)
+        let seq = [| a; b; c |] in
+        let deg = Array.make 5 1 in
+        Array.iter (fun v -> deg.(v) <- deg.(v) + 1) seq;
+        let total = ref 0.0 in
+        let deg = Array.copy deg in
+        Array.iter
+          (fun v ->
+            let leaf = ref (-1) in
+            (try
+               for u = 0 to 4 do
+                 if deg.(u) = 1 then begin
+                   leaf := u;
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+            total := !total +. weight !leaf v;
+            deg.(!leaf) <- 0;
+            deg.(v) <- deg.(v) - 1)
+          seq;
+        let rest = ref [] in
+        for u = 4 downto 0 do
+          if deg.(u) = 1 then rest := u :: !rest
+        done;
+        (match !rest with
+        | [ x; y ] -> total := !total +. weight x y
+        | _ -> Alcotest.fail "bad prufer decode");
+        if !total < !best then best := !total
+      done
+    done
+  done;
+  Alcotest.(check (float 1e-9)) "Prim is optimal" !best prim_total
+
+let test_spanning_connector () =
+  (* Two components on a line; connector must bridge at the closest pair. *)
+  let xs = [| 0.0; 1.0; 5.0; 6.0 |] in
+  let weight i j = Float.abs (xs.(i) -. xs.(j)) in
+  let g = Graph.of_edges 4 [ (0, 1); (2, 3) ] in
+  let added = Mst.spanning_connector g ~weight in
+  Alcotest.(check (list (pair int int))) "bridge closest pair" [ (1, 2) ] added;
+  Mst.connect g ~weight;
+  Alcotest.(check bool) "now connected" true (Traversal.is_connected g)
+
+let test_spanning_connector_noop () =
+  let g = Builders.path 4 in
+  Alcotest.(check (list (pair int int))) "already connected" []
+    (Mst.spanning_connector g ~weight:(fun _ _ -> 1.0))
+
+let test_spanning_connector_singletons () =
+  let xs = [| 0.0; 10.0; 11.0 |] in
+  let weight i j = Float.abs (xs.(i) -. xs.(j)) in
+  let g = Graph.create 3 in
+  Mst.connect g ~weight;
+  Alcotest.(check bool) "connected" true (Traversal.is_connected g);
+  Alcotest.(check int) "tree" 2 (Graph.edge_count g);
+  (* Must pick 0-1 and 1-2 (total 11), not 0-2 (total 11+... 0-1=10,1-2=1,0-2=11;
+     MST = {1-2, 0-1} = 11 < {1-2, 0-2} = 12. *)
+  Alcotest.(check bool) "cheapest bridges" true
+    (Graph.mem_edge g 1 2 && Graph.mem_edge g 0 1)
+
+(* --- Builders --------------------------------------------------------------- *)
+
+let test_builders_shapes () =
+  Alcotest.(check int) "path edges" 4 (Graph.edge_count (Builders.path 5));
+  Alcotest.(check int) "cycle edges" 5 (Graph.edge_count (Builders.cycle 5));
+  Alcotest.(check int) "star edges" 4 (Graph.edge_count (Builders.star 5));
+  Alcotest.(check int) "double star edges" 9 (Graph.edge_count (Builders.double_star 10));
+  Alcotest.(check int) "ladder nodes" 8 (Graph.node_count (Builders.ladder 4));
+  Alcotest.(check int) "ladder edges" 10 (Graph.edge_count (Builders.ladder 4));
+  Alcotest.(check int) "wheel edges" 12 (Graph.edge_count (Builders.wheel 7));
+  Alcotest.(check int) "grid nodes" 12 (Graph.node_count (Builders.grid ~rows:3 ~cols:4));
+  Alcotest.(check int) "grid edges" 17 (Graph.edge_count (Builders.grid ~rows:3 ~cols:4))
+
+let test_balanced_tree () =
+  let t = Builders.balanced_tree ~branching:2 ~depth:3 in
+  Alcotest.(check int) "nodes 1+2+4+8" 15 (Graph.node_count t);
+  Alcotest.(check int) "edges" 14 (Graph.edge_count t);
+  Alcotest.(check bool) "connected" true (Traversal.is_connected t);
+  Alcotest.(check int) "root degree" 2 (Graph.degree t 0)
+
+let test_random_tree () =
+  let rng = Prng.create 13 in
+  for n = 1 to 20 do
+    let t = Builders.random_tree n rng in
+    Alcotest.(check int) "n nodes" n (Graph.node_count t);
+    Alcotest.(check int) "n-1 edges" (max 0 (n - 1)) (Graph.edge_count t);
+    Alcotest.(check bool) "connected" true (Traversal.is_connected t)
+  done
+
+let test_cycle_invalid () =
+  Alcotest.check_raises "cycle too small"
+    (Invalid_argument "Builders.cycle: need at least 3 vertices") (fun () ->
+      ignore (Builders.cycle 2))
+
+(* --- properties ------------------------------------------------------------ *)
+
+let random_graph_ops_gen =
+  QCheck.Gen.(
+    let op = pair (int_bound 7) (int_bound 7) in
+    list_size (int_bound 60) op)
+
+let qcheck_add_remove_consistency =
+  QCheck.Test.make ~name:"edge count matches edge list after random ops" ~count:300
+    (QCheck.make random_graph_ops_gen)
+    (fun ops ->
+      let g = Graph.create 8 in
+      List.iteri
+        (fun i (u, v) ->
+          if u <> v then
+            if i mod 3 = 2 then Graph.remove_edge g u v else Graph.add_edge g u v)
+        ops;
+      List.length (Graph.edges g) = Graph.edge_count g
+      && List.for_all (fun (u, v) -> u < v && Graph.mem_edge g u v) (Graph.edges g))
+
+let qcheck_degree_sum =
+  QCheck.Test.make ~name:"sum of degrees = 2m" ~count:300
+    (QCheck.make random_graph_ops_gen)
+    (fun ops ->
+      let g = Graph.create 8 in
+      List.iter (fun (u, v) -> if u <> v then Graph.add_edge g u v) ops;
+      Array.fold_left ( + ) 0 (Graph.degree_sequence g) = 2 * Graph.edge_count g)
+
+let qcheck_mst_connects =
+  QCheck.Test.make ~name:"spanning connector always connects" ~count:200
+    (QCheck.make random_graph_ops_gen)
+    (fun ops ->
+      let g = Graph.create 8 in
+      List.iter (fun (u, v) -> if u <> v then Graph.add_edge g u v) ops;
+      let weight u v = float_of_int (1 + ((u + v) mod 5)) in
+      Mst.connect g ~weight;
+      Traversal.is_connected g)
+
+let () =
+  Alcotest.run "cold_graph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "add/remove" `Quick test_add_remove;
+          Alcotest.test_case "self loop" `Quick test_self_loop;
+          Alcotest.test_case "out of range" `Quick test_out_of_range;
+          Alcotest.test_case "degrees/leaves" `Quick test_degrees_and_leaves;
+          Alcotest.test_case "isolated leaf" `Quick test_isolated_is_leaf;
+          Alcotest.test_case "neighbors" `Quick test_neighbors;
+          Alcotest.test_case "edge order" `Quick test_edges_order;
+          Alcotest.test_case "copy" `Quick test_copy_independence;
+          Alcotest.test_case "equal" `Quick test_equal;
+          Alcotest.test_case "complete" `Quick test_complete;
+          Alcotest.test_case "remove_all_edges_of" `Quick test_remove_all_edges_of;
+          Alcotest.test_case "degree sequence" `Quick test_degree_sequence;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "sorted" `Quick test_heap_sorted;
+          Alcotest.test_case "tie break" `Quick test_heap_tie_break;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+        ] );
+      ("union_find", [ Alcotest.test_case "basic" `Quick test_union_find ]);
+      ( "traversal",
+        [
+          Alcotest.test_case "bfs hops" `Quick test_bfs_hops;
+          Alcotest.test_case "unreachable" `Quick test_bfs_unreachable;
+          Alcotest.test_case "connectivity" `Quick test_connectivity;
+          Alcotest.test_case "components" `Quick test_components;
+        ] );
+      ( "shortest_path",
+        [
+          Alcotest.test_case "dijkstra" `Quick test_dijkstra;
+          Alcotest.test_case "unreachable" `Quick test_dijkstra_unreachable;
+          Alcotest.test_case "settling order" `Quick test_dijkstra_settling_order;
+          Alcotest.test_case "tie break" `Quick test_dijkstra_tie_break_deterministic;
+          Alcotest.test_case "apsp" `Quick test_apsp;
+        ] );
+      ( "mst",
+        [
+          Alcotest.test_case "line" `Quick test_prim_line;
+          Alcotest.test_case "optimal (brute force)" `Quick test_prim_weight_optimal_small;
+          Alcotest.test_case "spanning connector" `Quick test_spanning_connector;
+          Alcotest.test_case "connector noop" `Quick test_spanning_connector_noop;
+          Alcotest.test_case "connector singletons" `Quick
+            test_spanning_connector_singletons;
+        ] );
+      ( "builders",
+        [
+          Alcotest.test_case "shapes" `Quick test_builders_shapes;
+          Alcotest.test_case "balanced tree" `Quick test_balanced_tree;
+          Alcotest.test_case "random tree" `Quick test_random_tree;
+          Alcotest.test_case "cycle invalid" `Quick test_cycle_invalid;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_add_remove_consistency;
+          QCheck_alcotest.to_alcotest qcheck_degree_sum;
+          QCheck_alcotest.to_alcotest qcheck_mst_connects;
+        ] );
+    ]

@@ -1,0 +1,196 @@
+(* Tests for Cold_metrics on graphs with hand-computable statistics. *)
+
+module Graph = Cold_graph.Graph
+module Builders = Cold_graph.Builders
+module Degree = Cold_metrics.Degree
+module Clustering = Cold_metrics.Clustering
+module Distance_metrics = Cold_metrics.Distance_metrics
+module Assortativity = Cold_metrics.Assortativity
+module Betweenness = Cold_metrics.Betweenness
+module Summary = Cold_metrics.Summary
+
+let feq = Alcotest.(check (float 1e-9))
+let feq4 = Alcotest.(check (float 1e-4))
+
+let test_average_degree () =
+  feq "cycle" 2.0 (Degree.average (Builders.cycle 7));
+  feq "star" (8.0 /. 5.0) (Degree.average (Builders.star 5));
+  feq "tree bound 2-2/n" (2.0 -. (2.0 /. 10.0)) (Degree.average (Builders.path 10));
+  feq "empty" 0.0 (Degree.average (Graph.create 0))
+
+let test_cvnd () =
+  feq "regular graph" 0.0 (Degree.coefficient_of_variation (Builders.cycle 8));
+  (* Star on n: mean = 2(n-1)/n; hub n-1, leaves 1. Hand value for n=5:
+     degrees [4;1;1;1;1], mean=1.6, pop-var=(4-1.6)^2+4*(1-1.6)^2 all /5 = (5.76+1.44)/5=1.44,
+     std=1.2, CV=0.75. *)
+  feq4 "star 5" 0.75 (Degree.coefficient_of_variation (Builders.star 5));
+  (* Large stars exceed CVND 1 — the paper's hub-and-spoke regime. *)
+  Alcotest.(check bool) "star 20 over 1" true
+    (Degree.coefficient_of_variation (Builders.star 20) > 1.0);
+  feq "no edges" 0.0 (Degree.coefficient_of_variation (Graph.create 4))
+
+let test_distribution_and_entropy () =
+  Alcotest.(check (list (pair int int))) "star distribution" [ (1, 4); (4, 1) ]
+    (Degree.distribution (Builders.star 5));
+  feq "regular entropy" 0.0 (Degree.entropy (Builders.cycle 6));
+  (* Star 5 entropy: -(4/5)ln(4/5) - (1/5)ln(1/5). *)
+  feq4 "star entropy"
+    (-.((4.0 /. 5.0) *. log (4.0 /. 5.0)) -. ((1.0 /. 5.0) *. log (1.0 /. 5.0)))
+    (Degree.entropy (Builders.star 5))
+
+let test_hubs_leaves () =
+  let g = Builders.star 6 in
+  Alcotest.(check int) "hubs" 1 (Degree.hub_count g);
+  Alcotest.(check int) "leaves" 5 (Degree.leaf_count g);
+  feq "leaf fraction" (5.0 /. 6.0) (Degree.leaf_fraction g);
+  Alcotest.(check int) "max degree" 5 (Degree.max_degree g);
+  Alcotest.(check int) "cycle hubs" 5 (Degree.hub_count (Builders.cycle 5))
+
+let test_triangles () =
+  Alcotest.(check int) "K4 triangles" 4 (Clustering.triangle_count (Graph.complete 4));
+  Alcotest.(check int) "K5 triangles" 10 (Clustering.triangle_count (Graph.complete 5));
+  Alcotest.(check int) "tree no triangles" 0 (Clustering.triangle_count (Builders.path 6));
+  Alcotest.(check int) "cycle4 no triangles" 0 (Clustering.triangle_count (Builders.cycle 4))
+
+let test_wedges () =
+  (* Path 3: one wedge at the centre. *)
+  Alcotest.(check int) "path3 wedges" 1 (Clustering.wedge_count (Builders.path 3));
+  (* K4: each vertex C(3,2)=3 wedges → 12. *)
+  Alcotest.(check int) "K4 wedges" 12 (Clustering.wedge_count (Graph.complete 4))
+
+let test_global_clustering () =
+  feq "clique gcc" 1.0 (Clustering.global (Graph.complete 5));
+  feq "tree gcc" 0.0 (Clustering.global (Builders.path 5));
+  feq "no wedges" 0.0 (Clustering.global (Graph.create 3));
+  (* Triangle with a pendant: triangles=1, wedges: deg [2,2,3,1]:
+     C(2,2)*2 + C(3,2) + 0 = 1+1+3 = 5; gcc = 3/5. *)
+  let paw = Graph.of_edges 4 [ (0, 1); (1, 2); (0, 2); (2, 3) ] in
+  feq "paw gcc" 0.6 (Clustering.global paw)
+
+let test_local_clustering () =
+  let paw = Graph.of_edges 4 [ (0, 1); (1, 2); (0, 2); (2, 3) ] in
+  feq "leaf 0" 0.0 (Clustering.local_coefficient paw 3);
+  feq "vertex 0" 1.0 (Clustering.local_coefficient paw 0);
+  feq "vertex 2 (deg 3, one closed pair)" (1.0 /. 3.0)
+    (Clustering.local_coefficient paw 2);
+  feq "average" ((1.0 +. 1.0 +. (1.0 /. 3.0) +. 0.0) /. 4.0)
+    (Clustering.average_local paw)
+
+let test_diameter () =
+  Alcotest.(check int) "path" 6 (Distance_metrics.diameter (Builders.path 7));
+  Alcotest.(check int) "cycle even" 3 (Distance_metrics.diameter (Builders.cycle 6));
+  Alcotest.(check int) "star" 2 (Distance_metrics.diameter (Builders.star 8));
+  Alcotest.(check int) "clique" 1 (Distance_metrics.diameter (Graph.complete 5));
+  Alcotest.(check int) "disconnected" (-1) (Distance_metrics.diameter (Graph.create 3));
+  Alcotest.(check int) "trivial" 0 (Distance_metrics.diameter (Graph.create 1))
+
+let test_radius_eccentricity () =
+  let p = Builders.path 5 in
+  Alcotest.(check int) "end eccentricity" 4 (Distance_metrics.eccentricity p 0);
+  Alcotest.(check int) "centre eccentricity" 2 (Distance_metrics.eccentricity p 2);
+  Alcotest.(check int) "radius" 2 (Distance_metrics.radius p);
+  Alcotest.(check int) "disconnected radius" (-1) (Distance_metrics.radius (Graph.create 2))
+
+let test_aspl () =
+  (* Path 3: pairs (0,1)=1 (0,2)=2 (1,2)=1 → mean 4/3. *)
+  feq4 "path3" (4.0 /. 3.0) (Distance_metrics.average_shortest_path (Builders.path 3));
+  feq "clique" 1.0 (Distance_metrics.average_shortest_path (Graph.complete 6))
+
+let test_assortativity () =
+  (* Stars are maximally disassortative: r = -1. *)
+  feq4 "star" (-1.0) (Assortativity.degree_assortativity (Builders.star 10));
+  (* Regular graphs: zero variance → nan. *)
+  Alcotest.(check bool) "cycle nan" true
+    (Float.is_nan (Assortativity.degree_assortativity (Builders.cycle 6)));
+  Alcotest.(check bool) "empty nan" true
+    (Float.is_nan (Assortativity.degree_assortativity (Graph.create 3)))
+
+let test_betweenness_nodes () =
+  (* Star: centre lies on all C(n-1,2) pairs. *)
+  let bc = Betweenness.nodes (Builders.star 6) in
+  feq "star centre" 10.0 bc.(0);
+  feq "star leaf" 0.0 bc.(3);
+  (* Path 4: vertex 1 lies on pairs (0,2),(0,3) → 2; symmetric for 2. *)
+  let bp = Betweenness.nodes (Builders.path 4) in
+  feq "path inner" 2.0 bp.(1);
+  feq "path end" 0.0 bp.(0)
+
+let test_betweenness_split_paths () =
+  (* Cycle 4: pair (0,2) has two shortest paths via 1 and 3 → each carries 0.5. *)
+  let bc = Betweenness.nodes (Builders.cycle 4) in
+  feq "split evenly" 0.5 bc.(1)
+
+let test_edge_betweenness () =
+  let eb = Betweenness.edges (Builders.path 3) in
+  (* Edge (0,1): pairs (0,1) and (0,2) → 2. *)
+  let find (u, v) = List.assoc (u, v) eb in
+  feq "edge 0-1" 2.0 (find (0, 1));
+  feq "edge 1-2" 2.0 (find (1, 2))
+
+let test_summary () =
+  let s = Summary.compute (Builders.star 5) in
+  Alcotest.(check int) "nodes" 5 s.Summary.nodes;
+  Alcotest.(check int) "edges" 4 s.Summary.edges;
+  Alcotest.(check bool) "connected" true s.Summary.connected;
+  Alcotest.(check int) "hubs" 1 s.Summary.hubs;
+  Alcotest.(check int) "diameter" 2 s.Summary.diameter;
+  feq4 "cvnd" 0.75 s.Summary.cvnd;
+  (* CSV row round shape: same column count as header. *)
+  let cols s = List.length (String.split_on_char ',' s) in
+  Alcotest.(check int) "csv columns" (cols Summary.to_csv_header)
+    (cols (Summary.to_csv_row s))
+
+let qcheck_gcc_range =
+  QCheck.Test.make ~name:"global clustering in [0,1]" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_bound 40) (pair (int_bound 9) (int_bound 9)))
+    (fun pairs ->
+      let g = Graph.create 10 in
+      List.iter (fun (u, v) -> if u <> v then Graph.add_edge g u v) pairs;
+      let c = Clustering.global g in
+      c >= 0.0 && c <= 1.0 +. 1e-9)
+
+let qcheck_triangle_wedge =
+  QCheck.Test.make ~name:"3*triangles <= wedges" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_bound 40) (pair (int_bound 9) (int_bound 9)))
+    (fun pairs ->
+      let g = Graph.create 10 in
+      List.iter (fun (u, v) -> if u <> v then Graph.add_edge g u v) pairs;
+      3 * Clustering.triangle_count g <= Clustering.wedge_count g)
+
+let () =
+  Alcotest.run "cold_metrics"
+    [
+      ( "degree",
+        [
+          Alcotest.test_case "average" `Quick test_average_degree;
+          Alcotest.test_case "cvnd" `Quick test_cvnd;
+          Alcotest.test_case "distribution/entropy" `Quick test_distribution_and_entropy;
+          Alcotest.test_case "hubs/leaves" `Quick test_hubs_leaves;
+        ] );
+      ( "clustering",
+        [
+          Alcotest.test_case "triangles" `Quick test_triangles;
+          Alcotest.test_case "wedges" `Quick test_wedges;
+          Alcotest.test_case "global" `Quick test_global_clustering;
+          Alcotest.test_case "local" `Quick test_local_clustering;
+        ] );
+      ( "distance",
+        [
+          Alcotest.test_case "diameter" `Quick test_diameter;
+          Alcotest.test_case "radius/eccentricity" `Quick test_radius_eccentricity;
+          Alcotest.test_case "aspl" `Quick test_aspl;
+        ] );
+      ("assortativity", [ Alcotest.test_case "known values" `Quick test_assortativity ]);
+      ( "betweenness",
+        [
+          Alcotest.test_case "nodes" `Quick test_betweenness_nodes;
+          Alcotest.test_case "split paths" `Quick test_betweenness_split_paths;
+          Alcotest.test_case "edges" `Quick test_edge_betweenness;
+        ] );
+      ("summary", [ Alcotest.test_case "fields" `Quick test_summary ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_gcc_range;
+          QCheck_alcotest.to_alcotest qcheck_triangle_wedge;
+        ] );
+    ]

@@ -1,0 +1,346 @@
+(* Tests for Cold_net: routing, load accumulation, capacities, networks. *)
+
+module Graph = Cold_graph.Graph
+module Builders = Cold_graph.Builders
+module Prng = Cold_prng.Prng
+module Point = Cold_geom.Point
+module Context = Cold_context.Context
+module Gravity = Cold_traffic.Gravity
+module Routing = Cold_net.Routing
+module Capacity = Cold_net.Capacity
+module Network = Cold_net.Network
+
+let feq = Alcotest.(check (float 1e-6))
+
+(* A 3-PoP line: 0 --- 1 --- 2, unit spacing, populations 1,2,3. *)
+let line_context () =
+  Context.of_points_and_populations
+    [| Point.make 0.0 0.0; Point.make 1.0 0.0; Point.make 2.0 0.0 |]
+    [| 1.0; 2.0; 3.0 |]
+
+let test_route_line () =
+  let ctx = line_context () in
+  let g = Builders.path 3 in
+  let loads =
+    Routing.route g ~length:(fun u v -> Context.distance ctx u v) ~tm:ctx.Context.tm
+  in
+  (* Demands (both directions summed): t(0,1)=2·2=4, t(1,2)=2·6=12, t(0,2)=2·3=6.
+     Link (0,1) carries pairs {0,1} and {0,2}: 4 + 6 = 10.
+     Link (1,2) carries pairs {1,2} and {0,2}: 12 + 6 = 18. *)
+  feq "link 0-1" 10.0 (Routing.load loads 0 1);
+  feq "link 1-2" 18.0 (Routing.load loads 1 2);
+  feq "non-link" 0.0 (Routing.load loads 0 2)
+
+let test_route_shortcut () =
+  (* Add the direct link 0-2 (length 2 = path length): tie resolved towards
+     the smaller predecessor, so pair {0,2} uses the direct link (pred 0 over
+     pred 1). *)
+  let ctx = line_context () in
+  let g = Graph.of_edges 3 [ (0, 1); (1, 2); (0, 2) ] in
+  let loads =
+    Routing.route g ~length:(fun u v -> Context.distance ctx u v) ~tm:ctx.Context.tm
+  in
+  feq "direct link takes pair 0-2" 6.0 (Routing.load loads 0 2);
+  feq "link 0-1 only local" 4.0 (Routing.load loads 0 1);
+  feq "link 1-2 only local" 12.0 (Routing.load loads 1 2)
+
+let test_route_disconnected () =
+  let ctx = line_context () in
+  let g = Graph.of_edges 3 [ (0, 1) ] in
+  Alcotest.check_raises "disconnected" Routing.Disconnected (fun () ->
+      ignore
+        (Routing.route g ~length:(fun u v -> Context.distance ctx u v)
+           ~tm:ctx.Context.tm))
+
+let test_total_volume_length () =
+  let ctx = line_context () in
+  let g = Builders.path 3 in
+  let length u v = Context.distance ctx u v in
+  let loads = Routing.route g ~length ~tm:ctx.Context.tm in
+  (* Σ_r t_r L_r: pair 0-1: 4·1; 1-2: 12·1; 0-2: 6·2 = 28. *)
+  feq "sum t_r L_r" 28.0 (Routing.total_volume_length loads ~length);
+  feq "max load" 18.0 (Routing.max_load loads)
+
+let test_fold_covers_links () =
+  let ctx = line_context () in
+  let g = Builders.path 3 in
+  let loads =
+    Routing.route g ~length:(fun u v -> Context.distance ctx u v) ~tm:ctx.Context.tm
+  in
+  let links = Routing.fold loads (fun acc u v _ -> (u, v) :: acc) [] in
+  Alcotest.(check (list (pair int int))) "both links" [ (0, 1); (1, 2) ]
+    (List.sort compare links)
+
+let test_capacity_assign () =
+  let ctx = line_context () in
+  let g = Builders.path 3 in
+  let loads =
+    Routing.route g ~length:(fun u v -> Context.distance ctx u v) ~tm:ctx.Context.tm
+  in
+  let cap = Capacity.assign Capacity.default loads in
+  feq "2x overprovision" 20.0 (Capacity.capacity cap 0 1);
+  feq "symmetric" (Capacity.capacity cap 0 1) (Capacity.capacity cap 1 0);
+  feq "absent pair" 0.0 (Capacity.capacity cap 0 2);
+  feq "total" 56.0 (Capacity.total cap);
+  feq "utilization 1/O" 0.5 (Capacity.utilization cap loads)
+
+let test_capacity_modular () =
+  let ctx = line_context () in
+  let g = Builders.path 3 in
+  let loads =
+    Routing.route g ~length:(fun u v -> Context.distance ctx u v) ~tm:ctx.Context.tm
+  in
+  let cap =
+    Capacity.assign { Capacity.overprovision = 1.0; module_size = Some 8.0 } loads
+  in
+  (* Loads 10 and 18 round up to 16 and 24. *)
+  feq "rounded 0-1" 16.0 (Capacity.capacity cap 0 1);
+  feq "rounded 1-2" 24.0 (Capacity.capacity cap 1 2)
+
+let test_capacity_invalid () =
+  let ctx = line_context () in
+  let g = Builders.path 3 in
+  let loads =
+    Routing.route g ~length:(fun u v -> Context.distance ctx u v) ~tm:ctx.Context.tm
+  in
+  Alcotest.check_raises "overprovision < 1"
+    (Invalid_argument "Capacity.assign: overprovision must be >= 1") (fun () ->
+      ignore (Capacity.assign { Capacity.overprovision = 0.5; module_size = None } loads))
+
+let test_network_build () =
+  let ctx = line_context () in
+  let net = Network.build ctx (Builders.path 3) in
+  feq "link length" 1.0 (Network.link_length net 0 1);
+  feq "total length" 2.0 (Network.total_link_length net);
+  Alcotest.(check (list int)) "path 0->2" [ 0; 1; 2 ] (Network.path net 0 2);
+  Alcotest.(check (list int)) "path reversed" [ 2; 1; 0 ] (Network.path net 2 0);
+  Alcotest.(check (list int)) "self path" [ 1 ] (Network.path net 1 1);
+  feq "path length" 2.0 (Network.path_length net 0 2)
+
+let test_network_size_mismatch () =
+  let ctx = line_context () in
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Network.build: graph size does not match context") (fun () ->
+      ignore (Network.build ctx (Builders.path 4)))
+
+(* --- ECMP multipath ----------------------------------------------------------- *)
+
+let diamond_context () =
+  (* 0 at left, 3 at right, 1 above, 2 below: two equal-length 0-3 routes. *)
+  Context.of_points_and_populations
+    [| Point.make 0.0 0.0; Point.make 1.0 1.0; Point.make 1.0 (-1.0); Point.make 2.0 0.0 |]
+    [| 1.0; 0.0; 0.0; 1.0 |]
+
+let test_ecmp_splits_diamond () =
+  let ctx = diamond_context () in
+  let g = Graph.of_edges 4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let length u v = Context.distance ctx u v in
+  (* Only pair (0,3) has demand: 2 (1 each direction). *)
+  let single = Routing.route g ~length ~tm:ctx.Context.tm in
+  let ecmp = Routing.route ~multipath:true g ~length ~tm:ctx.Context.tm in
+  (* Single path: all 2.0 on one side (tie-break via smaller pred: side 1). *)
+  feq "single path concentrates" 2.0 (Routing.load single 0 1);
+  feq "other side idle" 0.0 (Routing.load single 0 2);
+  (* ECMP: 1.0 per side on every link. *)
+  List.iter
+    (fun (u, v) -> feq (Printf.sprintf "ecmp %d-%d" u v) 1.0 (Routing.load ecmp u v))
+    [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let test_ecmp_no_split_without_ties () =
+  (* On the 3-PoP line there is a unique shortest path per pair: ECMP must
+     agree with single-path routing exactly. *)
+  let ctx = line_context () in
+  let g = Builders.path 3 in
+  let length u v = Context.distance ctx u v in
+  let single = Routing.route g ~length ~tm:ctx.Context.tm in
+  let ecmp = Routing.route ~multipath:true g ~length ~tm:ctx.Context.tm in
+  Graph.iter_edges g (fun u v ->
+      feq "identical loads" (Routing.load single u v) (Routing.load ecmp u v))
+
+let test_ecmp_conserves_volume () =
+  (* Total volume·length is invariant: ECMP only redistributes across
+     equal-length paths. *)
+  let ctx = diamond_context () in
+  let g = Graph.of_edges 4 [ (0, 1); (0, 2); (1, 3); (2, 3); (0, 3) ] in
+  let length u v = Context.distance ctx u v in
+  let single = Routing.route g ~length ~tm:ctx.Context.tm in
+  let ecmp = Routing.route ~multipath:true g ~length ~tm:ctx.Context.tm in
+  feq "volume-length invariant"
+    (Routing.total_volume_length single ~length)
+    (Routing.total_volume_length ecmp ~length)
+
+let test_ecmp_reduces_max_load () =
+  (* A random meshy network: ECMP's max link load never exceeds
+     single-path's. *)
+  let rng = Prng.create 77 in
+  for _ = 1 to 10 do
+    let n = 10 in
+    let g = Builders.random_tree n rng in
+    for _ = 1 to n do
+      let u = Prng.int rng n and v = Prng.int rng n in
+      if u <> v then Graph.add_edge g u v
+    done;
+    let points = Array.init n (fun _ -> Point.make (Prng.float rng) (Prng.float rng)) in
+    let pops = Array.init n (fun _ -> 1.0 +. Prng.float rng) in
+    let ctx = Context.of_points_and_populations points pops in
+    let length u v = Context.distance ctx u v in
+    let single = Routing.route g ~length ~tm:ctx.Context.tm in
+    let ecmp = Routing.route ~multipath:true g ~length ~tm:ctx.Context.tm in
+    Alcotest.(check bool) "ecmp max load <= single" true
+      (Routing.max_load ecmp <= Routing.max_load single +. 1e-6)
+  done
+
+(* --- stretch ---------------------------------------------------------------- *)
+
+module Stretch = Cold_net.Stretch
+
+let square_net topology =
+  (* Unit square corners 0..3, uniform populations. *)
+  let points =
+    [| Point.make 0.0 0.0; Point.make 1.0 0.0; Point.make 1.0 1.0; Point.make 0.0 1.0 |]
+  in
+  let ctx = Context.of_points_and_populations points [| 1.0; 1.0; 1.0; 1.0 |] in
+  Network.build ctx topology
+
+let test_stretch_pairs () =
+  let net = square_net (Builders.cycle 4) in
+  feq "adjacent pair direct" 1.0 (Stretch.pair net 0 1);
+  (* Diagonal 0-2: routed 2.0 over ring vs sqrt 2 direct. *)
+  feq "diagonal detour" (2.0 /. sqrt 2.0) (Stretch.pair net 0 2)
+
+let test_stretch_clique_is_one () =
+  let net = square_net (Graph.complete 4) in
+  let (mx, _) = Stretch.maximum net in
+  feq "full mesh has stretch 1" 1.0 mx;
+  feq "average 1" 1.0 (Stretch.average net)
+
+let test_stretch_path_topology () =
+  let net = square_net (Builders.path 4) in
+  (* Pair (0,3): routed along 0-1-2-3 = 3.0 vs direct 1.0. *)
+  feq "long way round" 3.0 (Stretch.pair net 0 3);
+  let (mx, pair) = Stretch.maximum net in
+  feq "worst is 0-3" 3.0 mx;
+  Alcotest.(check (pair int int)) "worst pair" (0, 3) pair
+
+let test_stretch_distribution () =
+  let net = square_net (Builders.cycle 4) in
+  let d = Stretch.distribution net in
+  Alcotest.(check int) "C(4,2) pairs" 6 (Array.length d);
+  Array.iter (fun x -> Alcotest.(check bool) "at least 1" true (x >= 1.0 -. 1e-9)) d
+
+let test_stretch_errors () =
+  let net = square_net (Builders.cycle 4) in
+  Alcotest.check_raises "same endpoint" (Invalid_argument "Stretch.pair: bad endpoints")
+    (fun () -> ignore (Stretch.pair net 1 1))
+
+(* Property: on any random tree, the load on each edge equals the total
+   demand across the cut the edge induces — flow conservation. *)
+let qcheck_tree_cut_loads =
+  QCheck.Test.make ~name:"tree edge load = demand across cut" ~count:60
+    QCheck.(pair small_int (int_range 3 12))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let tree = Builders.random_tree n rng in
+      let points =
+        Array.init n (fun _ -> Point.make (Prng.float rng) (Prng.float rng))
+      in
+      let pops = Array.init n (fun _ -> 1.0 +. Prng.float rng) in
+      let ctx = Context.of_points_and_populations points pops in
+      let loads =
+        Routing.route tree
+          ~length:(fun u v -> Context.distance ctx u v)
+          ~tm:ctx.Context.tm
+      in
+      Routing.fold loads
+        (fun ok u v w ->
+          if not ok then false
+          else begin
+            (* Remove (u,v); compute demand across the two components. *)
+            let cut = Graph.copy tree in
+            Graph.remove_edge cut u v;
+            let (comp, _) = Cold_graph.Traversal.connected_components cut in
+            let expected = ref 0.0 in
+            for s = 0 to n - 1 do
+              for d = s + 1 to n - 1 do
+                if comp.(s) <> comp.(d) then
+                  expected := !expected +. Gravity.pair_demand ctx.Context.tm s d
+              done
+            done;
+            Float.abs (w -. !expected) <= 1e-6 *. (1.0 +. !expected)
+          end)
+        true)
+
+(* Property: load conservation — total volume·length equals the demand-weighted
+   routed path lengths computed independently via Dijkstra. *)
+let qcheck_volume_length_consistency =
+  QCheck.Test.make ~name:"Σ w·ℓ = Σ t_sd · dist(s,d)" ~count:40
+    QCheck.(pair small_int (int_range 3 10))
+    (fun (seed, n) ->
+      let rng = Prng.create (seed + 1000) in
+      (* Random connected graph: tree plus extra links. *)
+      let g = Builders.random_tree n rng in
+      for _ = 1 to n / 2 do
+        let u = Prng.int rng n and v = Prng.int rng n in
+        if u <> v then Graph.add_edge g u v
+      done;
+      let points =
+        Array.init n (fun _ -> Point.make (Prng.float rng) (Prng.float rng))
+      in
+      let pops = Array.init n (fun _ -> 1.0 +. Prng.float rng) in
+      let ctx = Context.of_points_and_populations points pops in
+      let length u v = Context.distance ctx u v in
+      let loads = Routing.route g ~length ~tm:ctx.Context.tm in
+      let lhs = Routing.total_volume_length loads ~length in
+      let rhs = ref 0.0 in
+      for s = 0 to n - 1 do
+        let t = Cold_graph.Shortest_path.dijkstra g ~length ~source:s in
+        for d = s + 1 to n - 1 do
+          rhs :=
+            !rhs +. (Gravity.pair_demand ctx.Context.tm s d *. t.Cold_graph.Shortest_path.dist.(d))
+        done
+      done;
+      Float.abs (lhs -. !rhs) <= 1e-6 *. (1.0 +. !rhs))
+
+let () =
+  Alcotest.run "cold_net"
+    [
+      ( "routing",
+        [
+          Alcotest.test_case "line loads" `Quick test_route_line;
+          Alcotest.test_case "shortcut" `Quick test_route_shortcut;
+          Alcotest.test_case "disconnected" `Quick test_route_disconnected;
+          Alcotest.test_case "volume-length" `Quick test_total_volume_length;
+          Alcotest.test_case "fold" `Quick test_fold_covers_links;
+        ] );
+      ( "capacity",
+        [
+          Alcotest.test_case "assign" `Quick test_capacity_assign;
+          Alcotest.test_case "modular" `Quick test_capacity_modular;
+          Alcotest.test_case "invalid" `Quick test_capacity_invalid;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "build" `Quick test_network_build;
+          Alcotest.test_case "size mismatch" `Quick test_network_size_mismatch;
+        ] );
+      ( "ecmp",
+        [
+          Alcotest.test_case "diamond split" `Quick test_ecmp_splits_diamond;
+          Alcotest.test_case "no ties, no split" `Quick test_ecmp_no_split_without_ties;
+          Alcotest.test_case "volume invariant" `Quick test_ecmp_conserves_volume;
+          Alcotest.test_case "max load reduced" `Quick test_ecmp_reduces_max_load;
+        ] );
+      ( "stretch",
+        [
+          Alcotest.test_case "pairs" `Quick test_stretch_pairs;
+          Alcotest.test_case "clique" `Quick test_stretch_clique_is_one;
+          Alcotest.test_case "path" `Quick test_stretch_path_topology;
+          Alcotest.test_case "distribution" `Quick test_stretch_distribution;
+          Alcotest.test_case "errors" `Quick test_stretch_errors;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_tree_cut_loads;
+          QCheck_alcotest.to_alcotest qcheck_volume_length_consistency;
+        ] );
+    ]

@@ -1,0 +1,137 @@
+(* Tests for Cold_net.Resilience. *)
+
+module Graph = Cold_graph.Graph
+module Builders = Cold_graph.Builders
+module Point = Cold_geom.Point
+module Context = Cold_context.Context
+module Network = Cold_net.Network
+module Resilience = Cold_net.Resilience
+
+let feq = Alcotest.(check (float 1e-6))
+
+(* 4 PoPs on a line with populations 1,1,1,1 on a path topology: every link
+   is a bridge with hand-computable stranded fractions. *)
+let line_net () =
+  let points =
+    [| Point.make 0.0 0.0; Point.make 1.0 0.0; Point.make 2.0 0.0; Point.make 3.0 0.0 |]
+  in
+  let ctx = Context.of_points_and_populations points [| 1.0; 1.0; 1.0; 1.0 |] in
+  Network.build ctx (Builders.path 4)
+
+(* Cycle topology on the same context: no bridge, nothing stranded. *)
+let ring_net () =
+  let points =
+    [| Point.make 0.0 0.0; Point.make 1.0 0.0; Point.make 1.0 1.0; Point.make 0.0 1.0 |]
+  in
+  let ctx = Context.of_points_and_populations points [| 1.0; 1.0; 1.0; 1.0 |] in
+  Network.build ctx (Builders.cycle 4)
+
+let test_link_failure_fractions () =
+  let net = line_net () in
+  (* Total pair demand: 6 pairs x 2 = 12. Cutting (0,1) strands pairs
+     {0,1},{0,2},{0,3}: 6/12 = 0.5? No: pair demand of each pair = 2, three
+     pairs cut -> 6; total 12 -> 0.5. Cutting (1,2) strands 4 pairs x 2 = 8
+     -> 2/3. *)
+  feq "end link" 0.5 (Resilience.stranded_by_link_failure net 0 1);
+  feq "middle link" (8.0 /. 12.0) (Resilience.stranded_by_link_failure net 1 2);
+  feq "not a link" 0.0 (Resilience.stranded_by_link_failure net 0 3)
+
+let test_ring_is_survivable () =
+  let net = ring_net () in
+  Alcotest.(check bool) "survivable" true (Resilience.survivable net);
+  feq "no stranding" 0.0 (Resilience.stranded_by_link_failure net 0 1);
+  Alcotest.(check (list int)) "no SPOFs" [] (Resilience.single_points_of_failure net)
+
+let test_path_not_survivable () =
+  let net = line_net () in
+  Alcotest.(check bool) "not survivable" false (Resilience.survivable net);
+  Alcotest.(check (list int)) "inner SPOFs" [ 1; 2 ]
+    (Resilience.single_points_of_failure net)
+
+let test_node_failure () =
+  let net = line_net () in
+  (* Node 1 fails: its own traffic 2*row_total(1) = 2*3*2/2... populations all
+     1: row_total(1) = 3; own = 6. Plus separated pairs {0,2},{0,3}: 4.
+     Total demand 12 -> (6+4)/12. *)
+  feq "middle node" (10.0 /. 12.0) (Resilience.stranded_by_node_failure net 1);
+  (* Leaf node 0: only its own traffic: 6/12. *)
+  feq "leaf node" 0.5 (Resilience.stranded_by_node_failure net 0)
+
+let test_worst_link () =
+  let net = line_net () in
+  let r = Resilience.worst_link net in
+  Alcotest.(check (pair int int)) "middle link is worst" (1, 2) r.Resilience.link;
+  Alcotest.(check bool) "bridge flagged" true r.Resilience.is_bridge;
+  feq "stranded" (8.0 /. 12.0) r.Resilience.stranded_fraction
+
+let test_link_reports_sorted () =
+  let net = line_net () in
+  let reports = Resilience.link_reports net in
+  Alcotest.(check int) "all links" 3 (List.length reports);
+  let rec desc = function
+    | a :: (b :: _ as rest) ->
+      a.Resilience.stranded_fraction >= b.Resilience.stranded_fraction && desc rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "descending" true (desc reports);
+  (* Load fractions sum to 1. *)
+  let total =
+    List.fold_left (fun acc r -> acc +. r.Resilience.load_fraction) 0.0 reports
+  in
+  feq "load fractions" 1.0 total
+
+let test_worst_link_no_edges () =
+  let ctx =
+    Context.of_points_and_populations [| Point.make 0.0 0.0 |] [| 1.0 |]
+  in
+  let net = Network.build ctx (Graph.create 1) in
+  Alcotest.check_raises "no links"
+    (Invalid_argument "Resilience.worst_link: network has no links") (fun () ->
+      ignore (Resilience.worst_link net))
+
+let test_synthesized_network_reports () =
+  (* End-to-end: a synthesized network's reports are internally consistent. *)
+  let cfg =
+    {
+      (Cold.Synthesis.default_config ~params:(Cold.Cost.params ~k2:4e-4 ()) ()) with
+      Cold.Synthesis.ga =
+        {
+          Cold.Ga.default_settings with
+          Cold.Ga.population_size = 24;
+          generations = 15;
+          num_saved = 6;
+          num_crossover = 12;
+          num_mutation = 6;
+        };
+      heuristic_permutations = 2;
+    }
+  in
+  let net = Cold.Synthesis.synthesize cfg (Context.default_spec ~n:12) ~seed:3 in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "fraction in [0,1]" true
+        (r.Resilience.stranded_fraction >= 0.0 && r.Resilience.stranded_fraction <= 1.0);
+      (* Bridges strand traffic; non-bridges strand none. *)
+      if r.Resilience.is_bridge then
+        Alcotest.(check bool) "bridge strands" true (r.Resilience.stranded_fraction > 0.0)
+      else
+        Alcotest.(check (float 1e-9)) "non-bridge strands nothing" 0.0
+          r.Resilience.stranded_fraction)
+    (Resilience.link_reports net)
+
+let () =
+  Alcotest.run "cold_resilience"
+    [
+      ( "resilience",
+        [
+          Alcotest.test_case "link failure fractions" `Quick test_link_failure_fractions;
+          Alcotest.test_case "ring survivable" `Quick test_ring_is_survivable;
+          Alcotest.test_case "path not survivable" `Quick test_path_not_survivable;
+          Alcotest.test_case "node failure" `Quick test_node_failure;
+          Alcotest.test_case "worst link" `Quick test_worst_link;
+          Alcotest.test_case "reports sorted" `Quick test_link_reports_sorted;
+          Alcotest.test_case "no edges" `Quick test_worst_link_no_edges;
+          Alcotest.test_case "synthesized consistency" `Quick
+            test_synthesized_network_reports;
+        ] );
+    ]

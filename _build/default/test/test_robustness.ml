@@ -1,0 +1,232 @@
+(* Tests for Cold_graph.Robustness (bridges, articulation points, k-cores)
+   and Cold_metrics.Spectral. *)
+
+module Graph = Cold_graph.Graph
+module Builders = Cold_graph.Builders
+module Robustness = Cold_graph.Robustness
+module Traversal = Cold_graph.Traversal
+module Spectral = Cold_metrics.Spectral
+module Prng = Cold_prng.Prng
+
+let feq2 = Alcotest.(check (float 1e-2))
+
+(* --- bridges ------------------------------------------------------------- *)
+
+let test_bridges_tree () =
+  (* Every edge of a tree is a bridge. *)
+  let g = Builders.path 6 in
+  Alcotest.(check (list (pair int int))) "all edges"
+    [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5) ]
+    (Robustness.bridges g)
+
+let test_bridges_cycle () =
+  Alcotest.(check (list (pair int int))) "none" [] (Robustness.bridges (Builders.cycle 6))
+
+let test_bridges_mixed () =
+  (* Triangle with a pendant: only the pendant edge is a bridge. *)
+  let g = Graph.of_edges 4 [ (0, 1); (1, 2); (0, 2); (2, 3) ] in
+  Alcotest.(check (list (pair int int))) "pendant only" [ (2, 3) ] (Robustness.bridges g)
+
+let test_bridges_two_cycles_joined () =
+  (* Two triangles joined by one edge: that edge is the only bridge. *)
+  let g =
+    Graph.of_edges 6 [ (0, 1); (1, 2); (0, 2); (3, 4); (4, 5); (3, 5); (2, 3) ]
+  in
+  Alcotest.(check (list (pair int int))) "joining edge" [ (2, 3) ] (Robustness.bridges g)
+
+let test_bridges_disconnected () =
+  let g = Graph.of_edges 5 [ (0, 1); (2, 3); (3, 4) ] in
+  Alcotest.(check (list (pair int int))) "per component"
+    [ (0, 1); (2, 3); (3, 4) ] (Robustness.bridges g)
+
+(* --- articulation points --------------------------------------------------- *)
+
+let test_articulation_star () =
+  Alcotest.(check (list int)) "hub" [ 0 ] (Robustness.articulation_points (Builders.star 6))
+
+let test_articulation_cycle () =
+  Alcotest.(check (list int)) "none" []
+    (Robustness.articulation_points (Builders.cycle 6))
+
+let test_articulation_path () =
+  Alcotest.(check (list int)) "inner vertices" [ 1; 2; 3 ]
+    (Robustness.articulation_points (Builders.path 5))
+
+let test_articulation_barbell () =
+  let g =
+    Graph.of_edges 6 [ (0, 1); (1, 2); (0, 2); (3, 4); (4, 5); (3, 5); (2, 3) ]
+  in
+  Alcotest.(check (list int)) "both bridge endpoints" [ 2; 3 ]
+    (Robustness.articulation_points g)
+
+let test_two_edge_connected () =
+  Alcotest.(check bool) "cycle yes" true (Robustness.is_two_edge_connected (Builders.cycle 5));
+  Alcotest.(check bool) "tree no" false (Robustness.is_two_edge_connected (Builders.path 4));
+  Alcotest.(check bool) "disconnected no" false
+    (Robustness.is_two_edge_connected (Graph.create 3));
+  Alcotest.(check bool) "trivial yes" true (Robustness.is_two_edge_connected (Graph.create 1));
+  Alcotest.(check bool) "clique yes" true (Robustness.is_two_edge_connected (Graph.complete 5))
+
+(* Oracle comparison: brute-force bridge identification by deletion. *)
+let test_bridges_oracle () =
+  let rng = Prng.create 7 in
+  for trial = 0 to 20 do
+    let n = 6 + (trial mod 5) in
+    let g = Builders.random_tree n rng in
+    for _ = 1 to n / 2 do
+      let u = Prng.int rng n and v = Prng.int rng n in
+      if u <> v then Graph.add_edge g u v
+    done;
+    let brute =
+      Graph.fold_edges g
+        (fun acc u v ->
+          let h = Graph.copy g in
+          Graph.remove_edge h u v;
+          let (_, k0) = Traversal.connected_components g in
+          let (_, k1) = Traversal.connected_components h in
+          if k1 > k0 then (u, v) :: acc else acc)
+        []
+      |> List.rev
+    in
+    Alcotest.(check (list (pair int int))) "matches deletion oracle" brute
+      (Robustness.bridges g)
+  done
+
+let test_articulation_oracle () =
+  (* Oracle: v is an articulation point iff some pair of other vertices is
+     connected in G but separated in G - v. *)
+  let rng = Prng.create 8 in
+  for trial = 0 to 20 do
+    let n = 6 + (trial mod 5) in
+    let g = Builders.random_tree n rng in
+    for _ = 1 to n / 2 do
+      let u = Prng.int rng n and v = Prng.int rng n in
+      if u <> v then Graph.add_edge g u v
+    done;
+    let (comp_g, _) = Traversal.connected_components g in
+    let brute = ref [] in
+    for v = n - 1 downto 0 do
+      let h = Graph.copy g in
+      Graph.remove_all_edges_of h v;
+      let (comp_h, _) = Traversal.connected_components h in
+      let separates = ref false in
+      for a = 0 to n - 1 do
+        for b = a + 1 to n - 1 do
+          if a <> v && b <> v && comp_g.(a) = comp_g.(b) && comp_h.(a) <> comp_h.(b)
+          then separates := true
+        done
+      done;
+      if !separates then brute := v :: !brute
+    done;
+    Alcotest.(check (list int)) "matches deletion oracle" !brute
+      (Robustness.articulation_points g)
+  done
+
+(* --- k-cores ---------------------------------------------------------------- *)
+
+let test_core_numbers () =
+  Alcotest.(check (array int)) "path cores" [| 1; 1; 1; 1 |]
+    (Robustness.core_number (Builders.path 4));
+  Alcotest.(check (array int)) "cycle cores" [| 2; 2; 2; 2; 2 |]
+    (Robustness.core_number (Builders.cycle 5));
+  Alcotest.(check (array int)) "clique cores" [| 3; 3; 3; 3 |]
+    (Robustness.core_number (Graph.complete 4));
+  Alcotest.(check (array int)) "isolated" [| 0; 0 |]
+    (Robustness.core_number (Graph.create 2))
+
+let test_core_star_with_triangle () =
+  (* Triangle 0-1-2 plus leaves off 0: leaves core 1, triangle core 2. *)
+  let g = Graph.of_edges 6 [ (0, 1); (1, 2); (0, 2); (0, 3); (0, 4); (0, 5) ] in
+  Alcotest.(check (array int)) "cores" [| 2; 2; 2; 1; 1; 1 |] (Robustness.core_number g)
+
+let test_k_core_members () =
+  let g = Graph.of_edges 6 [ (0, 1); (1, 2); (0, 2); (0, 3); (0, 4); (0, 5) ] in
+  Alcotest.(check (list int)) "2-core" [ 0; 1; 2 ] (Robustness.k_core g ~k:2);
+  Alcotest.(check (list int)) "1-core is all" [ 0; 1; 2; 3; 4; 5 ] (Robustness.k_core g ~k:1);
+  Alcotest.(check (list int)) "3-core empty" [] (Robustness.k_core g ~k:3);
+  Alcotest.(check int) "degeneracy" 2 (Robustness.degeneracy g)
+
+(* --- spectral ---------------------------------------------------------------- *)
+
+let test_spectral_radius () =
+  (* d-regular graphs: radius d. *)
+  feq2 "cycle (2-regular)" 2.0 (Spectral.spectral_radius (Builders.cycle 8));
+  feq2 "K5 (4-regular)" 4.0 (Spectral.spectral_radius (Graph.complete 5));
+  (* Star on n: sqrt(n-1). *)
+  feq2 "star" (sqrt 8.0) (Spectral.spectral_radius (Builders.star 9));
+  feq2 "edgeless" 0.0 (Spectral.spectral_radius (Graph.create 5))
+
+let test_algebraic_connectivity () =
+  (* K_n: lambda2 = n. *)
+  feq2 "K4" 4.0 (Spectral.algebraic_connectivity (Graph.complete 4));
+  (* Path P_n: 2(1 - cos(pi/n)). *)
+  feq2 "P4" (2.0 *. (1.0 -. cos (Float.pi /. 4.0)))
+    (Spectral.algebraic_connectivity (Builders.path 4));
+  (* Star S_n: 1. *)
+  feq2 "star" 1.0 (Spectral.algebraic_connectivity (Builders.star 7));
+  (* Disconnected: 0. *)
+  feq2 "disconnected" 0.0
+    (Spectral.algebraic_connectivity (Graph.of_edges 4 [ (0, 1); (2, 3) ]))
+
+let test_algebraic_connectivity_ordering () =
+  (* More connectivity, larger lambda2: cycle > path on the same n. *)
+  let c = Spectral.algebraic_connectivity (Builders.cycle 10) in
+  let p = Spectral.algebraic_connectivity (Builders.path 10) in
+  Alcotest.(check bool) "cycle beats path" true (c > p)
+
+let qcheck_core_le_degree =
+  QCheck.Test.make ~name:"core number <= degree" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_bound 40) (pair (int_bound 9) (int_bound 9)))
+    (fun pairs ->
+      let g = Graph.create 10 in
+      List.iter (fun (u, v) -> if u <> v then Graph.add_edge g u v) pairs;
+      let core = Robustness.core_number g in
+      Array.for_all Fun.id (Array.mapi (fun v c -> c <= Graph.degree g v) core))
+
+let qcheck_bridge_count_le_edges =
+  QCheck.Test.make ~name:"bridges form a subset of edges" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_bound 40) (pair (int_bound 9) (int_bound 9)))
+    (fun pairs ->
+      let g = Graph.create 10 in
+      List.iter (fun (u, v) -> if u <> v then Graph.add_edge g u v) pairs;
+      List.for_all (fun (u, v) -> Graph.mem_edge g u v) (Robustness.bridges g))
+
+let () =
+  Alcotest.run "cold_robustness"
+    [
+      ( "bridges",
+        [
+          Alcotest.test_case "tree" `Quick test_bridges_tree;
+          Alcotest.test_case "cycle" `Quick test_bridges_cycle;
+          Alcotest.test_case "paw" `Quick test_bridges_mixed;
+          Alcotest.test_case "barbell" `Quick test_bridges_two_cycles_joined;
+          Alcotest.test_case "disconnected" `Quick test_bridges_disconnected;
+          Alcotest.test_case "deletion oracle" `Quick test_bridges_oracle;
+        ] );
+      ( "articulation",
+        [
+          Alcotest.test_case "star" `Quick test_articulation_star;
+          Alcotest.test_case "cycle" `Quick test_articulation_cycle;
+          Alcotest.test_case "path" `Quick test_articulation_path;
+          Alcotest.test_case "barbell" `Quick test_articulation_barbell;
+          Alcotest.test_case "two-edge-connected" `Quick test_two_edge_connected;
+          Alcotest.test_case "deletion oracle" `Quick test_articulation_oracle;
+        ] );
+      ( "k_core",
+        [
+          Alcotest.test_case "known cores" `Quick test_core_numbers;
+          Alcotest.test_case "triangle + leaves" `Quick test_core_star_with_triangle;
+          Alcotest.test_case "members" `Quick test_k_core_members;
+        ] );
+      ( "spectral",
+        [
+          Alcotest.test_case "radius" `Quick test_spectral_radius;
+          Alcotest.test_case "algebraic connectivity" `Quick test_algebraic_connectivity;
+          Alcotest.test_case "ordering" `Quick test_algebraic_connectivity_ordering;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_core_le_degree;
+          QCheck_alcotest.to_alcotest qcheck_bridge_count_le_edges;
+        ] );
+    ]

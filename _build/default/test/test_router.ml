@@ -1,0 +1,211 @@
+(* Tests for router-level expansion (layered design). *)
+
+module Graph = Cold_graph.Graph
+module Traversal = Cold_graph.Traversal
+module Prng = Cold_prng.Prng
+module Point = Cold_geom.Point
+module Context = Cold_context.Context
+module Network = Cold_net.Network
+module Template = Cold_router.Template
+module Expand = Cold_router.Expand
+
+let test_template_selection () =
+  let th = Template.default_thresholds in
+  Alcotest.(check bool) "tiny -> single" true (Template.for_share th 0.001 = Template.Single);
+  Alcotest.(check bool) "medium -> dual" true (Template.for_share th 0.03 = Template.Dual);
+  (match Template.for_share th 0.10 with
+  | Template.Full { access } -> Alcotest.(check bool) "full has access" true (access >= 1)
+  | _ -> Alcotest.fail "expected Full");
+  Alcotest.check_raises "bad share" (Invalid_argument "Template.for_share") (fun () ->
+      ignore (Template.for_share th 1.5))
+
+let test_template_structure () =
+  Alcotest.(check int) "single routers" 1 (Template.router_count Template.Single);
+  Alcotest.(check int) "dual routers" 2 (Template.router_count Template.Dual);
+  Alcotest.(check int) "full routers" 5
+    (Template.router_count (Template.Full { access = 3 }));
+  Alcotest.(check (list (pair int int))) "dual edge" [ (0, 1) ]
+    (Template.internal_edges Template.Dual);
+  (* Full: core pair + each access dual-homed. *)
+  let edges = Template.internal_edges (Template.Full { access = 2 }) in
+  Alcotest.(check int) "full edges" 5 (List.length edges);
+  Alcotest.(check (list int)) "cores" [ 0; 1 ]
+    (Template.core_indices (Template.Full { access = 2 }))
+
+(* A context with one dominant-population PoP so templates differ. *)
+let skewed_network () =
+  let n = 8 in
+  let rng = Prng.create 3 in
+  let points = Array.init n (fun _ -> Point.make (Prng.float rng) (Prng.float rng)) in
+  let pops = Array.init n (fun i -> if i = 0 then 200.0 else 5.0) in
+  let ctx = Context.of_points_and_populations points pops in
+  let g = Cold.Heuristics.mst_topology ctx in
+  Network.build ctx g
+
+let test_expand_structure () =
+  let net = skewed_network () in
+  let r = Expand.expand net in
+  (* Router-level graph is connected and at least as big as the PoP level. *)
+  Alcotest.(check bool) "connected" true (Traversal.is_connected r.Expand.graph);
+  Alcotest.(check bool) "at least one router per PoP" true (Expand.router_count r >= 8);
+  (* The dominant PoP gets a multi-router template. *)
+  Alcotest.(check bool) "big PoP expanded" true
+    (Template.router_count r.Expand.templates.(0) >= 2);
+  (* Router records are consistent with pop_base. *)
+  Array.iteri
+    (fun id router ->
+      let members = Expand.routers_of_pop r router.Expand.pop in
+      Alcotest.(check bool) "router listed under its PoP" true (List.mem id members))
+    r.Expand.routers
+
+let test_expand_partition () =
+  let net = skewed_network () in
+  let r = Expand.expand net in
+  (* PoP router lists partition the router id space. *)
+  let seen = Array.make (Expand.router_count r) false in
+  for pop = 0 to 7 do
+    List.iter
+      (fun id ->
+        Alcotest.(check bool) "no overlap" false seen.(id);
+        seen.(id) <- true)
+      (Expand.routers_of_pop r pop)
+  done;
+  Alcotest.(check bool) "full cover" true (Array.for_all Fun.id seen)
+
+let test_inter_pop_links_on_cores () =
+  let net = skewed_network () in
+  let r = Expand.expand net in
+  Graph.iter_edges r.Expand.graph (fun u v ->
+      let ru = r.Expand.routers.(u) and rv = r.Expand.routers.(v) in
+      if ru.Expand.pop <> rv.Expand.pop then begin
+        Alcotest.(check bool) "endpoint u is core" true ru.Expand.is_core;
+        Alcotest.(check bool) "endpoint v is core" true rv.Expand.is_core
+      end)
+
+let test_inter_pop_link_count () =
+  let net = skewed_network () in
+  let r = Expand.expand net in
+  let inter = ref 0 in
+  Graph.iter_edges r.Expand.graph (fun u v ->
+      if r.Expand.routers.(u).Expand.pop <> r.Expand.routers.(v).Expand.pop then incr inter);
+  Alcotest.(check int) "one router link per PoP link"
+    (Graph.edge_count net.Network.graph) !inter
+
+let test_capacities_inherited () =
+  let net = skewed_network () in
+  let r = Expand.expand net in
+  (* Every inter-PoP router link must carry the PoP link's capacity. *)
+  Graph.iter_edges r.Expand.graph (fun u v ->
+      let ru = r.Expand.routers.(u) and rv = r.Expand.routers.(v) in
+      if ru.Expand.pop <> rv.Expand.pop then begin
+        let expected =
+          Cold_net.Capacity.capacity net.Network.capacities ru.Expand.pop rv.Expand.pop
+        in
+        Alcotest.(check (float 1e-6)) "capacity inherited" expected
+          (r.Expand.link_capacity (u, v))
+      end)
+
+let test_single_templates_when_uniform () =
+  (* Uniform small populations: every PoP under the dual threshold on a large
+     network → all Single, expansion is isomorphic to the PoP level. *)
+  let n = 60 in
+  let rng = Prng.create 4 in
+  let points = Array.init n (fun _ -> Point.make (Prng.float rng) (Prng.float rng)) in
+  let pops = Array.make n 1.0 in
+  let ctx = Context.of_points_and_populations points pops in
+  let net = Network.build ctx (Cold.Heuristics.mst_topology ctx) in
+  let r = Expand.expand net in
+  Alcotest.(check int) "same size" n (Expand.router_count r);
+  Alcotest.(check int) "same links" (n - 1) (Graph.edge_count r.Expand.graph)
+
+(* --- router-level networks ----------------------------------------------------- *)
+
+module Router_network = Cold_router.Router_network
+module Gravity = Cold_traffic.Gravity
+
+let test_router_network_routes () =
+  let pop_net = skewed_network () in
+  let rn = Router_network.build pop_net in
+  let g = rn.Router_network.network.Network.graph in
+  Alcotest.(check bool) "router net connected" true (Traversal.is_connected g);
+  Alcotest.(check int) "same size as expansion"
+    (Cold_router.Expand.router_count rn.Router_network.expansion)
+    (Graph.node_count g);
+  (* Capacities cover routed loads with the default 2x policy. *)
+  Alcotest.(check bool) "utilization 0.5" true
+    (Float.abs
+       (Cold_net.Capacity.utilization
+          rn.Router_network.network.Network.capacities
+          rn.Router_network.network.Network.loads
+       -. 0.5)
+    < 1e-9)
+
+let test_router_network_demand_conservation () =
+  (* Inter-PoP demand at the router level equals the PoP-level demand. *)
+  let pop_net = skewed_network () in
+  let rn = Router_network.build pop_net in
+  let pop_tm = pop_net.Network.context.Context.tm in
+  for a = 0 to 7 do
+    for b = 0 to 7 do
+      if a <> b then
+        Alcotest.(check (float 1e-6))
+          (Printf.sprintf "demand %d->%d preserved" a b)
+          (Gravity.demand pop_tm a b)
+          (Router_network.inter_pop_demand rn a b)
+    done
+  done
+
+let test_router_network_pop_mapping () =
+  let pop_net = skewed_network () in
+  let rn = Router_network.build pop_net in
+  let n = Cold_router.Expand.router_count rn.Router_network.expansion in
+  for r = 0 to n - 1 do
+    let pop = Router_network.pop_of_router rn r in
+    Alcotest.(check bool) "pop in range" true (pop >= 0 && pop < 8);
+    (* The router sits (almost) at its PoP's location. *)
+    let rp = rn.Router_network.network.Network.context.Context.points.(r) in
+    let pp = pop_net.Network.context.Context.points.(pop) in
+    Alcotest.(check bool) "placed at its PoP" true (Cold_geom.Point.distance rp pp < 1.0)
+  done
+
+let test_router_network_resilience_works () =
+  (* The whole net toolchain applies at the router level. *)
+  let pop_net = skewed_network () in
+  let rn = Router_network.build pop_net in
+  let reports = Cold_net.Resilience.link_reports rn.Router_network.network in
+  Alcotest.(check bool) "has reports" true (List.length reports > 0);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "fractions sane" true
+        (r.Cold_net.Resilience.stranded_fraction >= 0.0
+        && r.Cold_net.Resilience.stranded_fraction <= 1.0))
+    reports
+
+let () =
+  Alcotest.run "cold_router"
+    [
+      ( "template",
+        [
+          Alcotest.test_case "selection" `Quick test_template_selection;
+          Alcotest.test_case "structure" `Quick test_template_structure;
+        ] );
+      ( "expand",
+        [
+          Alcotest.test_case "structure" `Quick test_expand_structure;
+          Alcotest.test_case "partition" `Quick test_expand_partition;
+          Alcotest.test_case "links on cores" `Quick test_inter_pop_links_on_cores;
+          Alcotest.test_case "link count" `Quick test_inter_pop_link_count;
+          Alcotest.test_case "capacities" `Quick test_capacities_inherited;
+          Alcotest.test_case "uniform -> identity" `Quick
+            test_single_templates_when_uniform;
+        ] );
+      ( "router_network",
+        [
+          Alcotest.test_case "routes" `Quick test_router_network_routes;
+          Alcotest.test_case "demand conservation" `Quick
+            test_router_network_demand_conservation;
+          Alcotest.test_case "pop mapping" `Quick test_router_network_pop_mapping;
+          Alcotest.test_case "resilience applies" `Quick
+            test_router_network_resilience_works;
+        ] );
+    ]

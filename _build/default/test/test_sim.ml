@@ -1,0 +1,197 @@
+(* Tests for the flow-level simulator: max-min fairness and the event loop. *)
+
+module Prng = Cold_prng.Prng
+module Point = Cold_geom.Point
+module Builders = Cold_graph.Builders
+module Context = Cold_context.Context
+module Network = Cold_net.Network
+module Fair_share = Cold_sim.Fair_share
+module Flow_sim = Cold_sim.Flow_sim
+
+
+(* --- fair share --------------------------------------------------------------- *)
+
+let flow id links = { Fair_share.id; links }
+
+let test_single_link_split () =
+  let capacity _ = 10.0 in
+  let rates = Fair_share.allocate ~capacity [ flow 0 [ (0, 1) ]; flow 1 [ (0, 1) ] ] in
+  Alcotest.(check (list (pair int (float 1e-6)))) "equal halves"
+    [ (0, 5.0); (1, 5.0) ] rates
+
+let test_classic_water_filling () =
+  (* Bertsekas–Gallager example: flows B,C cross the thin link l2 (cap 10)
+     and the thick link l1 (cap 30); flow A uses only l1. B,C get 5; A gets
+     the rest of l1: 20. *)
+  let capacity l = if l = (1, 2) then 10.0 else 30.0 in
+  let rates =
+    Fair_share.allocate ~capacity
+      [
+        flow 0 [ (0, 1) ];
+        flow 1 [ (0, 1); (1, 2) ];
+        flow 2 [ (0, 1); (1, 2) ];
+      ]
+  in
+  Alcotest.(check (list (pair int (float 1e-6)))) "water filling"
+    [ (0, 20.0); (1, 5.0); (2, 5.0) ] rates
+
+let test_disjoint_flows () =
+  let capacity l = if l = (0, 1) then 7.0 else 3.0 in
+  let rates = Fair_share.allocate ~capacity [ flow 0 [ (0, 1) ]; flow 1 [ (2, 3) ] ] in
+  Alcotest.(check (list (pair int (float 1e-6)))) "each gets its bottleneck"
+    [ (0, 7.0); (1, 3.0) ] rates
+
+let test_allocate_errors () =
+  Alcotest.check_raises "empty route"
+    (Invalid_argument "Fair_share.allocate: flow with empty route") (fun () ->
+      ignore (Fair_share.allocate ~capacity:(fun _ -> 1.0) [ flow 0 [] ]));
+  Alcotest.check_raises "duplicate id"
+    (Invalid_argument "Fair_share.allocate: duplicate flow id") (fun () ->
+      ignore
+        (Fair_share.allocate ~capacity:(fun _ -> 1.0)
+           [ flow 0 [ (0, 1) ]; flow 0 [ (1, 2) ] ]));
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Fair_share.allocate: non-positive capacity") (fun () ->
+      ignore (Fair_share.allocate ~capacity:(fun _ -> 0.0) [ flow 0 [ (0, 1) ] ]))
+
+let test_is_max_min_oracle () =
+  let capacity l = if l = (1, 2) then 10.0 else 30.0 in
+  let flows =
+    [ flow 0 [ (0, 1) ]; flow 1 [ (0, 1); (1, 2) ]; flow 2 [ (0, 1); (1, 2) ] ]
+  in
+  let rates = Fair_share.allocate ~capacity flows in
+  Alcotest.(check bool) "allocation passes the oracle" true
+    (Fair_share.is_max_min ~capacity flows rates);
+  (* A uniform split is feasible but NOT max-min (flow 0 could grow). *)
+  Alcotest.(check bool) "uniform split rejected" false
+    (Fair_share.is_max_min ~capacity flows [ (0, 5.0); (1, 5.0); (2, 5.0) ])
+
+let qcheck_allocation_is_max_min =
+  QCheck.Test.make ~name:"allocation satisfies the max-min property" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 12)
+              (pair (int_bound 5) (int_bound 5)))
+    (fun pair_list ->
+      (* Random flows over a 6-node line's links with varying capacities. *)
+      let capacity (u, v) = float_of_int (3 + ((u + v) mod 5)) in
+      let flows =
+        List.mapi
+          (fun i (a, b) ->
+            let lo = min a b and hi = max a b in
+            let lo, hi = if lo = hi then (lo, hi + 1) else (lo, hi) in
+            (* Route: consecutive line links lo..hi. *)
+            let links = List.init (hi - lo) (fun k -> (lo + k, lo + k + 1)) in
+            flow i links)
+          pair_list
+      in
+      let rates = Fair_share.allocate ~capacity flows in
+      Fair_share.is_max_min ~capacity flows rates)
+
+(* --- flow simulation ------------------------------------------------------------ *)
+
+let test_network () =
+  let points =
+    [| Point.make 0.0 0.0; Point.make 1.0 0.0; Point.make 2.0 0.0; Point.make 3.0 0.0 |]
+  in
+  let ctx = Context.of_points_and_populations points [| 5.0; 5.0; 5.0; 5.0 |] in
+  Network.build ctx (Builders.path 4)
+
+let quick = { Flow_sim.default_config with Flow_sim.flow_limit = 300; warmup = 30 }
+
+let test_sim_runs_and_is_sane () =
+  let stats = Flow_sim.run quick (test_network ()) (Prng.create 1) in
+  Alcotest.(check int) "completions" 300 stats.Flow_sim.completed;
+  Alcotest.(check bool) "positive FCT" true (stats.Flow_sim.mean_fct > 0.0);
+  Alcotest.(check bool) "p95 >= mean-ish" true
+    (stats.Flow_sim.p95_fct >= stats.Flow_sim.mean_fct *. 0.5);
+  Alcotest.(check bool) "positive throughput" true (stats.Flow_sim.mean_throughput > 0.0);
+  Alcotest.(check bool) "time advanced" true (stats.Flow_sim.sim_time > 0.0);
+  Alcotest.(check bool) "some concurrency" true (stats.Flow_sim.peak_active >= 1)
+
+let test_sim_deterministic () =
+  let run () = Flow_sim.run quick (test_network ()) (Prng.create 7) in
+  let a = run () and b = run () in
+  Alcotest.(check (float 1e-12)) "same mean FCT" a.Flow_sim.mean_fct b.Flow_sim.mean_fct;
+  Alcotest.(check int) "same peak" a.Flow_sim.peak_active b.Flow_sim.peak_active
+
+let test_sim_load_sensitivity () =
+  (* Higher offered load -> longer completion times (queueing). The default
+     capacity policy provisions 2x the design load, so load 1.8 approaches
+     saturation. *)
+  let net = test_network () in
+  let at load =
+    (Flow_sim.run { quick with Flow_sim.load } net (Prng.create 3)).Flow_sim.mean_fct
+  in
+  let light = at 0.2 and heavy = at 1.8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "FCT grows with load (%.3f -> %.3f)" light heavy)
+    true (heavy > light)
+
+let test_sim_throughput_bounded_by_capacity () =
+  (* A flow can never beat its bottleneck capacity. On this network the
+     largest capacity bounds every per-flow throughput. *)
+  let net = test_network () in
+  let stats = Flow_sim.run { quick with Flow_sim.load = 0.1 } net (Prng.create 9) in
+  let max_cap = Cold_net.Capacity.total net.Network.capacities in
+  Alcotest.(check bool) "throughput below total capacity" true
+    (stats.Flow_sim.mean_throughput < max_cap)
+
+let test_sim_invalid () =
+  let net = test_network () in
+  Alcotest.check_raises "bad load"
+    (Invalid_argument "Flow_sim.run: load and mean_flow_size must be positive")
+    (fun () ->
+      ignore (Flow_sim.run { quick with Flow_sim.load = 0.0 } net (Prng.create 1)));
+  Alcotest.check_raises "bad warmup"
+    (Invalid_argument "Flow_sim.run: need 0 <= warmup < flow_limit") (fun () ->
+      ignore
+        (Flow_sim.run { quick with Flow_sim.warmup = 1000 } net (Prng.create 1)))
+
+let test_sim_on_synthesized_network () =
+  (* End to end: simulate on an actual COLD output. *)
+  let cfg =
+    {
+      (Cold.Synthesis.default_config ~params:(Cold.Cost.params ~k2:4e-4 ()) ()) with
+      Cold.Synthesis.ga =
+        {
+          Cold.Ga.default_settings with
+          Cold.Ga.population_size = 24;
+          generations = 15;
+          num_saved = 6;
+          num_crossover = 12;
+          num_mutation = 6;
+        };
+      heuristic_permutations = 2;
+    }
+  in
+  let net = Cold.Synthesis.synthesize cfg (Context.default_spec ~n:10) ~seed:4 in
+  let stats =
+    Flow_sim.run { quick with Flow_sim.flow_limit = 200; warmup = 20 } net
+      (Prng.create 5)
+  in
+  Alcotest.(check int) "completions" 200 stats.Flow_sim.completed;
+  Alcotest.(check bool) "finite FCT" true (Float.is_finite stats.Flow_sim.mean_fct)
+
+let () =
+  Alcotest.run "cold_sim"
+    [
+      ( "fair_share",
+        [
+          Alcotest.test_case "single link" `Quick test_single_link_split;
+          Alcotest.test_case "water filling" `Quick test_classic_water_filling;
+          Alcotest.test_case "disjoint" `Quick test_disjoint_flows;
+          Alcotest.test_case "errors" `Quick test_allocate_errors;
+          Alcotest.test_case "oracle" `Quick test_is_max_min_oracle;
+        ] );
+      ( "flow_sim",
+        [
+          Alcotest.test_case "sanity" `Quick test_sim_runs_and_is_sane;
+          Alcotest.test_case "deterministic" `Quick test_sim_deterministic;
+          Alcotest.test_case "load sensitivity" `Quick test_sim_load_sensitivity;
+          Alcotest.test_case "throughput bounded" `Quick
+            test_sim_throughput_bounded_by_capacity;
+          Alcotest.test_case "invalid" `Quick test_sim_invalid;
+          Alcotest.test_case "on synthesized network" `Quick
+            test_sim_on_synthesized_network;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest qcheck_allocation_is_max_min ]);
+    ]

@@ -1,0 +1,261 @@
+(* Tests for Cold_stats. *)
+
+module Prng = Cold_prng.Prng
+module D = Cold_stats.Descriptive
+module Bootstrap = Cold_stats.Bootstrap
+module Histogram = Cold_stats.Histogram
+module Regression = Cold_stats.Regression
+
+let feq = Alcotest.(check (float 1e-9))
+let feq4 = Alcotest.(check (float 1e-4))
+
+let sample = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |]
+
+let test_descriptive () =
+  feq "mean" 5.0 (D.mean sample);
+  (* population variance 4 → sample variance 32/7. *)
+  feq4 "variance" (32.0 /. 7.0) (D.variance sample);
+  feq4 "stddev" (sqrt (32.0 /. 7.0)) (D.stddev sample);
+  feq "cv (population)" (2.0 /. 5.0) (D.coefficient_of_variation sample);
+  feq "min" 2.0 (D.min_value sample);
+  feq "max" 9.0 (D.max_value sample);
+  feq "sum" 40.0 (D.sum sample);
+  feq "sum empty" 0.0 (D.sum [||])
+
+let test_descriptive_singleton () =
+  feq "variance of single" 0.0 (D.variance [| 3.0 |]);
+  feq "mean single" 3.0 (D.mean [| 3.0 |])
+
+let test_descriptive_empty () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Descriptive.mean: empty sample")
+    (fun () -> ignore (D.mean [||]))
+
+let test_quantile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  feq "q0" 1.0 (D.quantile xs 0.0);
+  feq "q1" 4.0 (D.quantile xs 1.0);
+  feq "median interpolated" 2.5 (D.quantile xs 0.5);
+  feq "q1/3" 2.0 (D.quantile xs (1.0 /. 3.0));
+  feq "median via median" 2.5 (D.median xs);
+  (* Input not mutated. *)
+  let ys = [| 3.0; 1.0; 2.0 |] in
+  ignore (D.median ys);
+  Alcotest.(check (array (float 0.0))) "unmutated" [| 3.0; 1.0; 2.0 |] ys
+
+let test_quantile_invalid () =
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Descriptive.quantile: q out of range") (fun () ->
+      ignore (D.quantile [| 1.0 |] 1.5))
+
+let test_bootstrap_mean_ci () =
+  let g = Prng.create 42 in
+  let xs = Array.init 200 (fun i -> float_of_int (i mod 10)) in
+  let ci = Bootstrap.mean_ci g xs in
+  feq4 "point is sample mean" (D.mean xs) ci.Bootstrap.point;
+  Alcotest.(check bool) "lo <= point" true (ci.Bootstrap.lo <= ci.Bootstrap.point);
+  Alcotest.(check bool) "point <= hi" true (ci.Bootstrap.point <= ci.Bootstrap.hi);
+  (* Interval should be reasonably tight for n=200 of bounded values. *)
+  Alcotest.(check bool) "tight" true (ci.Bootstrap.hi -. ci.Bootstrap.lo < 1.5)
+
+let test_bootstrap_deterministic () =
+  let run () = Bootstrap.mean_ci (Prng.create 7) [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  let a = run () and b = run () in
+  feq "same lo" a.Bootstrap.lo b.Bootstrap.lo;
+  feq "same hi" a.Bootstrap.hi b.Bootstrap.hi
+
+let test_bootstrap_constant_sample () =
+  let ci = Bootstrap.mean_ci (Prng.create 1) [| 5.0; 5.0; 5.0 |] in
+  feq "degenerate lo" 5.0 ci.Bootstrap.lo;
+  feq "degenerate hi" 5.0 ci.Bootstrap.hi
+
+let test_bootstrap_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Bootstrap: empty sample") (fun () ->
+      ignore (Bootstrap.mean_ci (Prng.create 1) [||]));
+  Alcotest.check_raises "bad level" (Invalid_argument "Bootstrap: level out of range")
+    (fun () -> ignore (Bootstrap.mean_ci ~level:1.0 (Prng.create 1) [| 1.0 |]))
+
+let test_bootstrap_custom_statistic () =
+  let g = Prng.create 3 in
+  let ci =
+    Bootstrap.confidence_interval ~statistic:D.max_value g [| 1.0; 2.0; 10.0 |]
+  in
+  feq "point is max" 10.0 ci.Bootstrap.point
+
+let test_histogram () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 [| 0.5; 1.0; 3.0; 9.9; 11.0; -1.0 |] in
+  Alcotest.(check int) "first bin gets clamped low" 3 h.Histogram.counts.(0);
+  Alcotest.(check int) "last bin gets clamped high" 2 h.Histogram.counts.(4);
+  Alcotest.(check int) "bin of 3.0" 1 h.Histogram.counts.(1);
+  feq "bin width" 2.0 (Histogram.bin_width h);
+  feq "fraction" 0.5 (Histogram.fraction h 0)
+
+let test_cdf () =
+  let cdf = Histogram.cdf [| 1.0; 2.0; 3.0; 4.0 |] in
+  feq "below all" 0.0 (cdf 0.5);
+  feq "half" 0.5 (cdf 2.0);
+  feq "above all" 1.0 (cdf 10.0);
+  feq "interior" 0.75 (cdf 3.5)
+
+let test_fraction_above () =
+  feq "strictly above" 0.25 (Histogram.fraction_above [| 1.0; 2.0; 3.0; 4.0 |] 3.0);
+  feq "empty" 0.0 (Histogram.fraction_above [||] 0.0)
+
+let test_linear_regression () =
+  let fit = Regression.linear [| (0.0, 1.0); (1.0, 3.0); (2.0, 5.0) |] in
+  feq4 "slope" 2.0 fit.Regression.slope;
+  feq4 "intercept" 1.0 fit.Regression.intercept;
+  feq4 "perfect fit" 1.0 fit.Regression.r_squared
+
+let test_linear_regression_noise () =
+  let fit = Regression.linear [| (0.0, 0.0); (1.0, 1.1); (2.0, 1.9); (3.0, 3.05) |] in
+  Alcotest.(check bool) "slope near 1" true (Float.abs (fit.Regression.slope -. 1.0) < 0.1);
+  Alcotest.(check bool) "r2 high" true (fit.Regression.r_squared > 0.99)
+
+let test_regression_errors () =
+  Alcotest.check_raises "too few"
+    (Invalid_argument "Regression.linear: need at least 2 points") (fun () ->
+      ignore (Regression.linear [| (1.0, 1.0) |]));
+  Alcotest.check_raises "no x variance"
+    (Invalid_argument "Regression.linear: zero x-variance") (fun () ->
+      ignore (Regression.linear [| (1.0, 1.0); (1.0, 2.0) |]))
+
+let test_power_law () =
+  (* y = 3 x^2.5 exactly. *)
+  let points = Array.init 10 (fun i ->
+      let x = float_of_int (i + 1) in
+      (x, 3.0 *. (x ** 2.5)))
+  in
+  let e = ref 0.0 and c = ref 0.0 in
+  let r2 = Regression.power_law points ~exponent:e ~coefficient:c in
+  feq4 "exponent" 2.5 !e;
+  feq4 "coefficient" 3.0 !c;
+  feq4 "r2" 1.0 r2
+
+let test_power_law_invalid () =
+  let e = ref 0.0 and c = ref 0.0 in
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Regression.power_law: coordinates must be positive") (fun () ->
+      ignore (Regression.power_law [| (0.0, 1.0); (1.0, 2.0) |] ~exponent:e ~coefficient:c))
+
+(* --- hypothesis testing -------------------------------------------------------- *)
+
+module Hypothesis = Cold_stats.Hypothesis
+
+let test_mann_whitney_identical_distributions () =
+  (* Same distribution: p should usually be large. *)
+  let g = Prng.create 50 in
+  let xs = Array.init 30 (fun _ -> Prng.float g) in
+  let ys = Array.init 30 (fun _ -> Prng.float g) in
+  let r = Hypothesis.mann_whitney_u xs ys in
+  Alcotest.(check bool) "not significant" false (Hypothesis.significant r);
+  Alcotest.(check bool) "p in range" true (r.Hypothesis.p_value >= 0.0 && r.Hypothesis.p_value <= 1.0)
+
+let test_mann_whitney_shifted () =
+  let g = Prng.create 51 in
+  let xs = Array.init 30 (fun _ -> Prng.float g) in
+  let ys = Array.init 30 (fun _ -> 2.0 +. Prng.float g) in
+  let r = Hypothesis.mann_whitney_u xs ys in
+  Alcotest.(check bool) "clearly significant" true (Hypothesis.significant r);
+  Alcotest.(check bool) "direction: xs rank lower" true (r.Hypothesis.z_score < 0.0)
+
+let test_mann_whitney_ties () =
+  (* Heavily tied data must not crash and keeps sensible p. *)
+  let xs = [| 1.0; 1.0; 2.0; 2.0; 3.0; 3.0 |] in
+  let ys = [| 2.0; 2.0; 3.0; 3.0; 4.0; 4.0 |] in
+  let r = Hypothesis.mann_whitney_u xs ys in
+  Alcotest.(check bool) "p in range" true (r.Hypothesis.p_value > 0.0 && r.Hypothesis.p_value <= 1.0)
+
+let test_mann_whitney_known_u () =
+  (* xs all smaller than ys: U = 0. *)
+  let r = Hypothesis.mann_whitney_u [| 1.0; 2.0; 3.0 |] [| 10.0; 11.0; 12.0 |] in
+  Alcotest.(check (float 1e-9)) "U = 0" 0.0 r.Hypothesis.u_statistic
+
+let test_mann_whitney_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Hypothesis.mann_whitney_u: empty sample")
+    (fun () -> ignore (Hypothesis.mann_whitney_u [||] [| 1.0 |]));
+  Alcotest.check_raises "constant"
+    (Invalid_argument "Hypothesis.mann_whitney_u: pooled sample is constant") (fun () ->
+      ignore (Hypothesis.mann_whitney_u [| 1.0; 1.0 |] [| 1.0; 1.0 |]))
+
+let qcheck_mann_whitney_symmetric =
+  QCheck.Test.make ~name:"Mann-Whitney p is symmetric in sample order" ~count:100
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 3 20) (float_range 0. 10.))
+              (list_of_size (QCheck.Gen.int_range 3 20) (float_range 0. 10.)))
+    (fun (l1, l2) ->
+      let xs = Array.of_list l1 and ys = Array.of_list l2 in
+      QCheck.assume
+        (Array.length xs > 0 && Array.length ys > 0
+        &&
+        let all = Array.append xs ys in
+        Array.exists (fun x -> x <> all.(0)) all);
+      let a = Hypothesis.mann_whitney_u xs ys in
+      let b = Hypothesis.mann_whitney_u ys xs in
+      Float.abs (a.Hypothesis.p_value -. b.Hypothesis.p_value) < 1e-9)
+
+let qcheck_quantile_bounds =
+  QCheck.Test.make ~name:"quantile between min and max" ~count:300
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 30) (float_range (-100.) 100.))
+              (float_bound_inclusive 1.0))
+    (fun (l, q) ->
+      let xs = Array.of_list l in
+      let v = D.quantile xs q in
+      v >= D.min_value xs -. 1e-9 && v <= D.max_value xs +. 1e-9)
+
+let qcheck_bootstrap_brackets_point =
+  QCheck.Test.make ~name:"bootstrap CI brackets the point estimate" ~count:50
+    QCheck.(pair small_int (list_of_size (QCheck.Gen.int_range 2 40) (float_range 0. 10.)))
+    (fun (seed, l) ->
+      let xs = Array.of_list l in
+      let ci = Bootstrap.mean_ci (Prng.create seed) xs in
+      ci.Bootstrap.lo <= ci.Bootstrap.point +. 1e-9
+      && ci.Bootstrap.point <= ci.Bootstrap.hi +. 1e-9)
+
+let () =
+  Alcotest.run "cold_stats"
+    [
+      ( "descriptive",
+        [
+          Alcotest.test_case "moments" `Quick test_descriptive;
+          Alcotest.test_case "singleton" `Quick test_descriptive_singleton;
+          Alcotest.test_case "empty" `Quick test_descriptive_empty;
+          Alcotest.test_case "quantile" `Quick test_quantile;
+          Alcotest.test_case "quantile invalid" `Quick test_quantile_invalid;
+        ] );
+      ( "bootstrap",
+        [
+          Alcotest.test_case "mean ci" `Quick test_bootstrap_mean_ci;
+          Alcotest.test_case "deterministic" `Quick test_bootstrap_deterministic;
+          Alcotest.test_case "constant sample" `Quick test_bootstrap_constant_sample;
+          Alcotest.test_case "errors" `Quick test_bootstrap_errors;
+          Alcotest.test_case "custom statistic" `Quick test_bootstrap_custom_statistic;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bins" `Quick test_histogram;
+          Alcotest.test_case "cdf" `Quick test_cdf;
+          Alcotest.test_case "fraction above" `Quick test_fraction_above;
+        ] );
+      ( "regression",
+        [
+          Alcotest.test_case "linear exact" `Quick test_linear_regression;
+          Alcotest.test_case "linear noisy" `Quick test_linear_regression_noise;
+          Alcotest.test_case "errors" `Quick test_regression_errors;
+          Alcotest.test_case "power law" `Quick test_power_law;
+          Alcotest.test_case "power law invalid" `Quick test_power_law_invalid;
+        ] );
+      ( "hypothesis",
+        [
+          Alcotest.test_case "identical distributions" `Quick
+            test_mann_whitney_identical_distributions;
+          Alcotest.test_case "shifted" `Quick test_mann_whitney_shifted;
+          Alcotest.test_case "ties" `Quick test_mann_whitney_ties;
+          Alcotest.test_case "known U" `Quick test_mann_whitney_known_u;
+          Alcotest.test_case "errors" `Quick test_mann_whitney_errors;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_quantile_bounds;
+          QCheck_alcotest.to_alcotest qcheck_bootstrap_brackets_point;
+          QCheck_alcotest.to_alcotest qcheck_mann_whitney_symmetric;
+        ] );
+    ]

@@ -1,0 +1,165 @@
+(* Tests for Cold_traffic: population models and gravity matrices. *)
+
+module Prng = Cold_prng.Prng
+module Population = Cold_traffic.Population
+module Gravity = Cold_traffic.Gravity
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_population_means () =
+  let g = Prng.create 1 in
+  let n = 100_000 in
+  let mean model =
+    let xs = Population.generate model ~n g in
+    Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+  in
+  let m = mean Population.default in
+  Alcotest.(check bool) "exponential mean 30" true (Float.abs (m -. 30.0) < 0.6);
+  let m = mean Population.pareto_moderate in
+  Alcotest.(check bool) "pareto 1.5 mean 30" true (Float.abs (m -. 30.0) < 5.0);
+  feq "constant" 7.0 (mean (Population.Constant 7.0))
+
+let test_population_positive () =
+  let g = Prng.create 2 in
+  List.iter
+    (fun model ->
+      Array.iter
+        (fun p -> if p < 0.0 then Alcotest.fail "negative population")
+        (Population.generate model ~n:1000 g))
+    [ Population.default; Population.pareto_heavy; Population.pareto_moderate ]
+
+let test_pareto_heavier_tail () =
+  (* Pareto 10/9 should show a larger max/mean ratio than exponential. *)
+  let g = Prng.create 3 in
+  let ratio model =
+    let xs = Population.generate model ~n:20_000 g in
+    let mx = Array.fold_left max 0.0 xs in
+    let mean = Array.fold_left ( +. ) 0.0 xs /. 20_000.0 in
+    mx /. mean
+  in
+  Alcotest.(check bool) "heavy tail dominates" true
+    (ratio Population.pareto_heavy > ratio Population.default)
+
+let test_mean_of () =
+  feq "exp" 30.0 (Population.mean_of Population.default);
+  feq "pareto" 30.0 (Population.mean_of Population.pareto_heavy);
+  feq "const" 5.0 (Population.mean_of (Population.Constant 5.0));
+  feq "log-normal" 30.0
+    (Population.mean_of (Population.Log_normal { mean = 30.0; sigma = 1.0 }));
+  feq "capital" 30.0
+    (Population.mean_of (Population.Capital { mean = 30.0; dominance = 5.0 }))
+
+let test_log_normal () =
+  let g = Prng.create 40 in
+  let model = Population.Log_normal { mean = 30.0; sigma = 1.0 } in
+  let xs = Population.generate model ~n:100_000 g in
+  let mean = Array.fold_left ( +. ) 0.0 xs /. 100_000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "log-normal mean near 30 (got %.2f)" mean)
+    true
+    (Float.abs (mean -. 30.0) < 1.0);
+  Array.iter (fun x -> if x <= 0.0 then Alcotest.fail "non-positive draw") xs
+
+let test_capital () =
+  let g = Prng.create 41 in
+  let model = Population.Capital { mean = 30.0; dominance = 6.0 } in
+  let xs = Population.generate model ~n:20 g in
+  feq "capital is dominance * mean" 180.0 xs.(0);
+  (* Overall mean preserved in expectation: residual mean is
+     30*(20-6)/19 ≈ 22.1; check over many draws. *)
+  let total = ref 0.0 in
+  let trials = 3000 in
+  for _ = 1 to trials do
+    let xs = Population.generate model ~n:20 g in
+    total := !total +. (Array.fold_left ( +. ) 0.0 xs /. 20.0)
+  done;
+  let overall = !total /. float_of_int trials in
+  Alcotest.(check bool)
+    (Printf.sprintf "overall mean preserved (got %.2f)" overall)
+    true
+    (Float.abs (overall -. 30.0) < 1.0);
+  Alcotest.check_raises "dominance too large"
+    (Invalid_argument "Population.generate: dominance must be in [0, n)") (fun () ->
+      ignore
+        (Population.generate
+           (Population.Capital { mean = 30.0; dominance = 5.0 })
+           ~n:4 g))
+
+let test_gravity_demands () =
+  let tm = Gravity.of_populations [| 2.0; 3.0; 5.0 |] in
+  feq "demand product" 6.0 (Gravity.demand tm 0 1);
+  feq "symmetric populations" (Gravity.demand tm 1 0) (Gravity.demand tm 0 1);
+  feq "diagonal zero" 0.0 (Gravity.demand tm 1 1);
+  feq "pair demand doubles" 12.0 (Gravity.pair_demand tm 0 1);
+  Alcotest.(check int) "size" 3 (Gravity.size tm)
+
+let test_gravity_totals () =
+  let tm = Gravity.of_populations [| 2.0; 3.0; 5.0 |] in
+  (* total = (sum² - sum of squares) = 100 - 38 = 62. *)
+  feq "total" 62.0 (Gravity.total tm);
+  (* row 0: 2*(3+5) = 16. *)
+  feq "row total" 16.0 (Gravity.row_total tm 0);
+  (* Row totals sum to the grand total. *)
+  feq "rows sum to total" (Gravity.total tm)
+    (Gravity.row_total tm 0 +. Gravity.row_total tm 1 +. Gravity.row_total tm 2)
+
+let test_gravity_scale () =
+  let tm = Gravity.of_populations ~scale:2.0 [| 1.0; 4.0 |] in
+  feq "scaled demand" 8.0 (Gravity.demand tm 0 1);
+  let rescaled = Gravity.scale_total tm ~target:100.0 in
+  feq "rescaled total" 100.0 (Gravity.total rescaled);
+  (* Original untouched. *)
+  feq "original total" 16.0 (Gravity.total tm)
+
+let test_gravity_errors () =
+  Alcotest.check_raises "negative population"
+    (Invalid_argument "Gravity.of_populations: negative population") (fun () ->
+      ignore (Gravity.of_populations [| 1.0; -2.0 |]));
+  let tm = Gravity.of_populations [| 1.0; 2.0 |] in
+  Alcotest.check_raises "bad index" (Invalid_argument "Gravity.demand") (fun () ->
+      ignore (Gravity.demand tm 0 5))
+
+let test_populations_copy () =
+  let pops = [| 1.0; 2.0 |] in
+  let tm = Gravity.of_populations pops in
+  let out = Gravity.populations tm in
+  out.(0) <- 99.0;
+  feq "internal state unaffected" 2.0 (Gravity.demand tm 0 1)
+
+let qcheck_gravity_maximum_entropy_consistency =
+  (* For any positive populations: total = Σ_s row_total(s) and each demand
+     is non-negative. *)
+  QCheck.Test.make ~name:"gravity row totals consistent" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 2 12) (float_range 0.1 50.0))
+    (fun pops ->
+      let tm = Gravity.of_populations (Array.of_list pops) in
+      let n = Gravity.size tm in
+      let rows = ref 0.0 in
+      for s = 0 to n - 1 do
+        rows := !rows +. Gravity.row_total tm s
+      done;
+      Float.abs (!rows -. Gravity.total tm) < 1e-6 *. (1.0 +. Gravity.total tm))
+
+let () =
+  Alcotest.run "cold_traffic"
+    [
+      ( "population",
+        [
+          Alcotest.test_case "means" `Quick test_population_means;
+          Alcotest.test_case "positive" `Quick test_population_positive;
+          Alcotest.test_case "pareto tail" `Quick test_pareto_heavier_tail;
+          Alcotest.test_case "mean_of" `Quick test_mean_of;
+          Alcotest.test_case "log-normal" `Quick test_log_normal;
+          Alcotest.test_case "capital" `Quick test_capital;
+        ] );
+      ( "gravity",
+        [
+          Alcotest.test_case "demands" `Quick test_gravity_demands;
+          Alcotest.test_case "totals" `Quick test_gravity_totals;
+          Alcotest.test_case "scale" `Quick test_gravity_scale;
+          Alcotest.test_case "errors" `Quick test_gravity_errors;
+          Alcotest.test_case "populations copy" `Quick test_populations_copy;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest qcheck_gravity_maximum_entropy_consistency ] );
+    ]

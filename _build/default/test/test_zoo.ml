@@ -1,0 +1,121 @@
+(* Tests for the Topology-Zoo substitute. *)
+
+module Graph = Cold_graph.Graph
+module Traversal = Cold_graph.Traversal
+module Degree = Cold_metrics.Degree
+module Histogram = Cold_stats.Histogram
+module Zoo = Cold_zoo.Zoo
+
+let test_abilene () =
+  let e = Zoo.abilene () in
+  Alcotest.(check int) "11 PoPs" 11 (Graph.node_count e.Zoo.graph);
+  Alcotest.(check int) "14 links" 14 (Graph.edge_count e.Zoo.graph);
+  Alcotest.(check bool) "connected" true (Traversal.is_connected e.Zoo.graph);
+  (* Abilene is 2-ish regular: degrees between 2 and 3. *)
+  Alcotest.(check bool) "degrees sane" true
+    (Degree.max_degree e.Zoo.graph <= 4 && Degree.leaf_count e.Zoo.graph = 0)
+
+let test_nsfnet () =
+  let e = Zoo.nsfnet () in
+  Alcotest.(check int) "14 PoPs" 14 (Graph.node_count e.Zoo.graph);
+  Alcotest.(check int) "21 links" 21 (Graph.edge_count e.Zoo.graph);
+  Alcotest.(check bool) "connected" true (Traversal.is_connected e.Zoo.graph);
+  Alcotest.(check (float 1e-9)) "average degree 3" 3.0 (Degree.average e.Zoo.graph)
+
+let test_reference_structure () =
+  (* Hop diameters of the embedded maps, as documented properties. *)
+  Alcotest.(check int) "Abilene diameter" 5
+    (Cold_metrics.Distance_metrics.diameter (Zoo.abilene ()).Zoo.graph);
+  Alcotest.(check int) "NSFNET diameter" 4
+    (Cold_metrics.Distance_metrics.diameter (Zoo.nsfnet ()).Zoo.graph);
+  (* Both backbones are survivable rings-of-rings: no bridges. *)
+  Alcotest.(check bool) "Abilene two-edge-connected" true
+    (Cold_graph.Robustness.is_two_edge_connected (Zoo.abilene ()).Zoo.graph);
+  Alcotest.(check bool) "NSFNET two-edge-connected" true
+    (Cold_graph.Robustness.is_two_edge_connected (Zoo.nsfnet ()).Zoo.graph)
+
+let test_stylized () =
+  let hs = Zoo.stylized_hub_spoke () in
+  Alcotest.(check bool) "hub-spoke CVND > 1.3" true
+    (Degree.coefficient_of_variation hs.Zoo.graph > 1.3);
+  Alcotest.(check int) "two hubs" 2 (Degree.hub_count hs.Zoo.graph);
+  let rm = Zoo.stylized_ring_mesh () in
+  Alcotest.(check bool) "ring-mesh connected" true (Traversal.is_connected rm.Zoo.graph);
+  Alcotest.(check bool) "ring-mesh CVND moderate" true
+    (Degree.coefficient_of_variation rm.Zoo.graph < 1.0)
+
+let test_reference_set () =
+  Alcotest.(check int) "four reference maps" 4 (List.length (Zoo.reference ()))
+
+let test_synthetic_basics () =
+  let zoo = Zoo.synthetic ~count:120 ~seed:5 () in
+  Alcotest.(check int) "count" 120 (List.length zoo);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) (e.Zoo.name ^ " connected") true
+        (Traversal.is_connected e.Zoo.graph);
+      let n = Graph.node_count e.Zoo.graph in
+      Alcotest.(check bool) "size in 5..60" true (n >= 5 && n <= 60))
+    zoo
+
+let test_synthetic_deterministic () =
+  let a = Zoo.synthetic ~count:30 ~seed:9 () in
+  let b = Zoo.synthetic ~count:30 ~seed:9 () in
+  List.iter2
+    (fun x y ->
+      Alcotest.(check string) "same names" x.Zoo.name y.Zoo.name;
+      Alcotest.(check bool) "same graphs" true (Graph.equal x.Zoo.graph y.Zoo.graph))
+    a b
+
+let test_synthetic_cvnd_calibration () =
+  (* Fig 8a: ~15 % of networks with CVND > 1 (we accept 8–25 %), with values
+     reaching toward 2. *)
+  let zoo = Zoo.synthetic ~count:250 ~seed:1 () in
+  let cvnd = Zoo.cvnd_values zoo in
+  let above = Histogram.fraction_above cvnd 1.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "fraction over 1 in [0.08,0.25] (got %.3f)" above)
+    true
+    (above >= 0.08 && above <= 0.25);
+  let max_cvnd = Array.fold_left max 0.0 cvnd in
+  Alcotest.(check bool)
+    (Printf.sprintf "max CVND approaches 2 (got %.2f)" max_cvnd)
+    true (max_cvnd > 1.6)
+
+let test_synthetic_gcc_calibration () =
+  (* §6: "90 % of the GCCs are below 0.25, and all of the higher GCCs belong
+     to networks with very few nodes". *)
+  let zoo = Zoo.synthetic ~count:250 ~seed:2 () in
+  let gcc = Zoo.gcc_values zoo in
+  let below = 1.0 -. Histogram.fraction_above gcc 0.25 in
+  Alcotest.(check bool)
+    (Printf.sprintf "fraction below 0.25 >= 0.85 (got %.3f)" below)
+    true (below >= 0.85);
+  (* High-GCC networks are small. *)
+  List.iter
+    (fun e ->
+      if Cold_metrics.Clustering.global e.Zoo.graph > 0.25 then
+        Alcotest.(check bool) "high GCC only on small nets" true
+          (Graph.node_count e.Zoo.graph <= 15))
+    zoo
+
+let () =
+  Alcotest.run "cold_zoo"
+    [
+      ( "reference",
+        [
+          Alcotest.test_case "abilene" `Quick test_abilene;
+          Alcotest.test_case "nsfnet" `Quick test_nsfnet;
+          Alcotest.test_case "reference structure" `Quick test_reference_structure;
+          Alcotest.test_case "stylized" `Quick test_stylized;
+          Alcotest.test_case "set" `Quick test_reference_set;
+        ] );
+      ( "synthetic",
+        [
+          Alcotest.test_case "basics" `Quick test_synthetic_basics;
+          Alcotest.test_case "deterministic" `Quick test_synthetic_deterministic;
+          Alcotest.test_case "CVND calibration (Fig 8a)" `Quick
+            test_synthetic_cvnd_calibration;
+          Alcotest.test_case "GCC calibration (§6)" `Quick test_synthetic_gcc_calibration;
+        ] );
+    ]
