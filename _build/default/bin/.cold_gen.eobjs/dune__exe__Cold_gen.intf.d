@@ -1,0 +1,1 @@
+bin/cold_gen.mli:

@@ -1,0 +1,1 @@
+bin/cold_lint_main.ml: Arg Cold_lint List Printf String

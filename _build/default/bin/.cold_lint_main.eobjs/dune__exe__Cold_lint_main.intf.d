@@ -1,0 +1,1 @@
+bin/cold_lint_main.mli:

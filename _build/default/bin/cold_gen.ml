@@ -342,10 +342,18 @@ let epsilon_arg =
   Arg.(value & opt float 0.35 & info [ "epsilon" ] ~docv:"EPS" ~doc)
 
 let fit input seed trials epsilon =
-  let g =
+  let parsed =
     if Filename.check_suffix input ".gml" then
       Cold_netio.Gml_parser.read_file ~path:input
     else Cold_netio.Edge_list.read_file ~path:input
+  in
+  let g =
+    match parsed with
+    | Ok g -> g
+    | Error e ->
+      Printf.eprintf "cold fit: cannot parse %s: %s\n" input
+        (Cold_netio.Parse_error.to_string e);
+      exit 1
   in
   let obs = Cold.Abc.observe g in
   Printf.printf

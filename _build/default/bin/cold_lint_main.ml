@@ -1,0 +1,50 @@
+(* cold_lint: enforce COLD's determinism and correctness invariants.
+
+   Exit codes: 0 clean, 1 violations found, 2 usage or I/O error. *)
+
+let usage = "usage: cold_lint [--json] [--rules r1,r2] [--list-rules] PATH..."
+
+let () =
+  let json = ref false in
+  let rules = ref None in
+  let list_rules = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " emit findings as a JSON array");
+      ( "--rules",
+        Arg.String
+          (fun s ->
+            rules :=
+              Some (String.split_on_char ',' s |> List.filter (( <> ) ""))),
+        "R1,R2 run only the named rules" );
+      ("--list-rules", Arg.Set list_rules, " print the rule catalogue and exit");
+    ]
+  in
+  (try Arg.parse spec (fun p -> paths := p :: !paths) usage
+   with _ -> exit 2);
+  if !list_rules then begin
+    List.iter
+      (fun (r : Cold_lint.Rules.t) ->
+        Printf.printf "%-24s %s\n" r.Cold_lint.Rules.name
+          r.Cold_lint.Rules.summary)
+      Cold_lint.Rules.all;
+    exit 0
+  end;
+  let paths = List.rev !paths in
+  if paths = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  match Cold_lint.Engine.check_paths ?only:!rules paths with
+  | Error msg ->
+    Printf.eprintf "cold_lint: %s\n" msg;
+    exit 2
+  | exception Sys_error msg ->
+    Printf.eprintf "cold_lint: %s\n" msg;
+    exit 2
+  | Ok findings ->
+    print_string
+      (if !json then Cold_lint.Report.json findings
+       else Cold_lint.Report.text findings);
+    if findings = [] then exit 0 else exit 1

@@ -1,1 +1,1 @@
-examples/network_evolution.ml: Cold Cold_graph Cold_metrics Cold_net Cold_prng List Printf
+examples/network_evolution.ml: Cold Cold_metrics Cold_net Cold_prng List Printf

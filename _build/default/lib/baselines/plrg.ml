@@ -1,5 +1,4 @@
 module Graph = Cold_graph.Graph
-module Prng = Cold_prng.Prng
 module Dist = Cold_prng.Dist
 
 let power_law_weights ~n ~exponent ~average =

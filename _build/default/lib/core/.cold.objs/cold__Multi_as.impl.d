@@ -1,1 +1,1 @@
-lib/core/multi_as.ml: Array Cold_context Cold_geom Cold_net Cold_prng Cold_traffic Hashtbl List Synthesis
+lib/core/multi_as.ml: Array Cold_context Cold_geom Cold_net Cold_prng Cold_traffic Float Hashtbl List Synthesis

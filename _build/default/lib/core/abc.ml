@@ -1,6 +1,5 @@
 module Prng = Cold_prng.Prng
 module Dist = Cold_prng.Dist
-module Graph = Cold_graph.Graph
 module Context = Cold_context.Context
 module Summary = Cold_metrics.Summary
 
@@ -62,6 +61,9 @@ let reduced_ga =
     num_mutation = 12;
   }
 
+(* The paper fixes k1 as the unit of cost; ABC infers only k0, k2, k3. *)
+let unit_k1 = 1.0
+
 let infer ?(prior = default_prior) ?(trials = 200) ?(epsilon = 0.35)
     ?(ga = reduced_ga) obs ~seed =
   if obs.n < 2 then invalid_arg "Abc.infer: observation too small";
@@ -77,7 +79,7 @@ let infer ?(prior = default_prior) ?(trials = 200) ?(epsilon = 0.35)
     (* Keep posterior mass at "no hub cost": small draws collapse to 0 on a
        coin flip. *)
     let k3 = if k3_raw < 1.0 && Prng.bool rng then 0.0 else k3_raw in
-    let params = Cost.params ~k0 ~k1:1.0 ~k2 ~k3 () in
+    let params = Cost.params ~k0 ~k1:unit_k1 ~k2 ~k3 () in
     let cfg =
       { (Synthesis.default_config ~params ()) with Synthesis.ga;
         seed_with_heuristics = false }
@@ -88,7 +90,7 @@ let infer ?(prior = default_prior) ?(trials = 200) ?(epsilon = 0.35)
     let d = distance obs sim in
     if d <= epsilon then accepted := { params; distance = d } :: !accepted
   done;
-  List.sort (fun a b -> compare a.distance b.distance) !accepted
+  List.sort (fun a b -> Float.compare a.distance b.distance) !accepted
 
 let posterior_mean = function
   | [] -> None
@@ -102,7 +104,7 @@ let posterior_mean = function
     in
     let arith f = List.fold_left (fun acc s -> acc +. f s.params) 0.0 samples /. k in
     Some
-      (Cost.params ~k0:(geo (fun p -> p.Cost.k0)) ~k1:1.0
+      (Cost.params ~k0:(geo (fun p -> p.Cost.k0)) ~k1:unit_k1
          ~k2:(geo (fun p -> p.Cost.k2))
          ~k3:(arith (fun p -> p.Cost.k3))
          ())

@@ -12,6 +12,7 @@ type breakdown = {
   total : float;
 }
 
+(* lint: allow magic-cost-constant — these defaults are the canonical values. *)
 let params ?(k0 = 10.0) ?(k1 = 1.0) ?(k2 = 1e-4) ?(k3 = 0.0) () =
   if k0 < 0.0 || k1 < 0.0 || k2 < 0.0 || k3 < 0.0 then
     invalid_arg "Cost.params: costs must be non-negative";

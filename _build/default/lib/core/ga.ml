@@ -1,6 +1,5 @@
 module Graph = Cold_graph.Graph
 module Mst = Cold_graph.Mst
-module Prng = Cold_prng.Prng
 module Dist = Cold_prng.Dist
 module Context = Cold_context.Context
 
@@ -80,7 +79,7 @@ let initial_population ~seeds settings ~objective ctx rng evaluations =
   in
   let pop = Array.append fixed randoms in
   (* If seeds overflow the population, keep the cheapest M. *)
-  Array.sort (fun (_, a) (_, b) -> compare a b) pop;
+  Array.sort (fun (_, a) (_, b) -> Float.compare a b) pop;
   if Array.length pop > settings.population_size then
     Array.sub pop 0 settings.population_size
   else pop
@@ -128,7 +127,7 @@ let run_custom ?(seeds = []) settings ~objective ctx rng =
       else Operators.link_mutation ctx mutant rng;
       next.(settings.num_saved + settings.num_crossover + i) <- evaluate mutant
     done;
-    Array.sort (fun (_, a) (_, b) -> compare a b) next;
+    Array.sort (fun (_, a) (_, b) -> Float.compare a b) next;
     pop := next;
     history.(gen) <- snd next.(0)
   done;

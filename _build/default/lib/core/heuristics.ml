@@ -1,6 +1,5 @@
 module Graph = Cold_graph.Graph
 module Mst = Cold_graph.Mst
-module Prng = Cold_prng.Prng
 module Dist = Cold_prng.Dist
 module Context = Cold_context.Context
 

@@ -11,7 +11,7 @@ let inverse_cost_weights pop =
   in
   (* A custom objective can render a whole pool infeasible (e.g. frozen
      legacy links): fall back to uniform choice rather than failing. *)
-  if Array.for_all (fun x -> x = 0.0) w then Array.map (fun _ -> 1.0) w else w
+  if Array.for_all (fun x -> Float.equal x 0.0) w then Array.map (fun _ -> 1.0) w else w
 
 let select_inverse_cost pop rng =
   if Array.length pop = 0 then invalid_arg "Operators.select_inverse_cost: empty";
@@ -22,7 +22,7 @@ let tournament ~pool ~winners pop rng =
   let n = Array.length pop in
   if n = 0 then invalid_arg "Operators.tournament: empty population";
   let picks = Array.init pool (fun _ -> pop.(Prng.int rng n)) in
-  Array.sort (fun (_, a) (_, b) -> compare a b) picks;
+  Array.sort (fun (_, a) (_, b) -> Float.compare a b) picks;
   Array.sub picks 0 winners
 
 let crossover ctx ~parents rng =

@@ -1,1 +1,1 @@
-lib/dk/dk.ml: Cold_graph Hashtbl List Option
+lib/dk/dk.ml: Cold_graph Hashtbl Int List Option

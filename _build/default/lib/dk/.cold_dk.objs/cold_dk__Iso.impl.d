@@ -1,1 +1,1 @@
-lib/dk/iso.ml: Array Cold_graph Hashtbl List Option
+lib/dk/iso.ml: Array Cold_graph Hashtbl Int List Option

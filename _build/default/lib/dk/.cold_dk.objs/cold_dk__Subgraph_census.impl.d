@@ -1,1 +1,1 @@
-lib/dk/subgraph_census.ml: Array Bool Cold_graph Fun Hashtbl List Option
+lib/dk/subgraph_census.ml: Array Bool Cold_graph Fun Hashtbl Int List Option

@@ -11,6 +11,19 @@ type three_k = {
   triangles : ((int * int * int) * int) list;
 }
 
+(* Typed comparators: distribution entries are keyed by small int tuples, and
+   canonical order must not depend on polymorphic compare. *)
+let compare_pair (a1, b1) (a2, b2) =
+  match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
+
+let compare_keyed compare_key ((k1, c1) : 'a * int) ((k2, c2) : 'a * int) =
+  match compare_key k1 k2 with 0 -> Int.compare c1 c2 | c -> c
+
+let compare_triple (a1, b1, c1) (a2, b2, c2) =
+  match Int.compare a1 a2 with
+  | 0 -> (match Int.compare b1 b2 with 0 -> Int.compare c1 c2 | c -> c)
+  | c -> c
+
 let zero_k g =
   let n = Graph.node_count g in
   if n = 0 then 0.0 else 2.0 *. float_of_int (Graph.edge_count g) /. float_of_int n
@@ -21,7 +34,7 @@ let one_k g =
     let d = Graph.degree g v in
     Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
   done;
-  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  List.sort (compare_keyed Int.compare) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
 
 let two_k g =
   let tbl = Hashtbl.create 64 in
@@ -29,7 +42,7 @@ let two_k g =
       let du = Graph.degree g u and dv = Graph.degree g v in
       let key = (min du dv, max du dv) in
       Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)));
-  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  List.sort (compare_keyed compare_pair) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
 
 let three_k g =
   let wedge_tbl = Hashtbl.create 256 in
@@ -49,7 +62,7 @@ let three_k g =
               if Graph.mem_edge g a b then begin
                 (* Count each triangle once: at its smallest vertex id. *)
                 if c < a && c < b then begin
-                  let s = List.sort compare [ da; db; dc ] in
+                  let s = List.sort Int.compare [ da; db; dc ] in
                   match s with
                   | [ x; y; z ] -> bump tri_tbl (x, y, z)
                   | _ -> assert false
@@ -59,8 +72,8 @@ let three_k g =
             end))
   done;
   {
-    wedges = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) wedge_tbl []);
-    triangles = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tri_tbl []);
+    wedges = List.sort (compare_keyed compare_triple) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) wedge_tbl []);
+    triangles = List.sort (compare_keyed compare_triple) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tri_tbl []);
   }
 
 let equal_one_k (a : one_k) b = a = b

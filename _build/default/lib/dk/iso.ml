@@ -2,11 +2,19 @@ module Graph = Cold_graph.Graph
 
 (* Per-vertex invariant: (degree, sorted neighbour degrees, triangle count).
    Vertices can only map to vertices with equal invariants. *)
+let compare_invariant (d1, nd1, t1) (d2, nd2, t2) =
+  match Int.compare d1 d2 with
+  | 0 -> (
+    match List.compare Int.compare nd1 nd2 with
+    | 0 -> Int.compare t1 t2
+    | c -> c)
+  | c -> c
+
 let vertex_invariants g =
   let n = Graph.node_count g in
   Array.init n (fun v ->
       let nbr_degs =
-        List.sort compare (List.map (Graph.degree g) (Graph.neighbors g v))
+        List.sort Int.compare (List.map (Graph.degree g) (Graph.neighbors g v))
       in
       let triangles = ref 0 in
       Graph.iter_neighbors g v (fun a ->
@@ -21,7 +29,7 @@ let isomorphic g h =
   else if n = 0 then true
   else begin
     let ig = vertex_invariants g and ih = vertex_invariants h in
-    let sorted a = List.sort compare (Array.to_list a) in
+    let sorted a = List.sort compare_invariant (Array.to_list a) in
     if sorted ig <> sorted ih then false
     else begin
       (* Backtracking: map g's vertices in order of rarest invariant first. *)
@@ -35,9 +43,9 @@ let isomorphic g h =
         let vs = Array.init n (fun i -> i) in
         Array.sort
           (fun a b ->
-            compare
-              (Hashtbl.find counts ig.(a), a)
-              (Hashtbl.find counts ig.(b), b))
+            match Int.compare (Hashtbl.find counts ig.(a)) (Hashtbl.find counts ig.(b)) with
+            | 0 -> Int.compare a b
+            | c -> c)
           vs;
         vs
       in

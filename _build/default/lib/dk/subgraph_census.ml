@@ -66,7 +66,7 @@ let distinct3 g =
       let key =
         if ab && ac && bc then begin
           (* Triangle: sorted degree triple. *)
-          match List.sort compare [ da; db; dc ] with
+          match List.sort Int.compare [ da; db; dc ] with
           | [ x; y; z ] -> (1, x, y, z)
           | _ -> assert false
         end

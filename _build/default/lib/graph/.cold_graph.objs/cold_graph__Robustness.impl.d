@@ -1,1 +1,1 @@
-lib/graph/robustness.ml: Array Graph List Traversal
+lib/graph/robustness.ml: Array Graph Int List Traversal

@@ -54,7 +54,10 @@ let bridges g =
   dfs_low_links g
     ~on_bridge:(fun u v -> acc := (u, v) :: !acc)
     ~on_articulation:(fun _ -> ());
-  List.sort compare !acc
+  let edge_compare (u1, v1) (u2, v2) =
+    match Int.compare u1 u2 with 0 -> Int.compare v1 v2 | c -> c
+  in
+  List.sort edge_compare !acc
 
 let articulation_points g =
   let acc = ref [] in

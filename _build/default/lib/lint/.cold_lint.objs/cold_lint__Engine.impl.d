@@ -1,0 +1,1 @@
+lib/lint/engine.ml: Array Filename Finding Fun Lexer List Printf Rules String Sys Walker

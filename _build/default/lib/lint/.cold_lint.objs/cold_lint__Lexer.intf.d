@@ -1,0 +1,1 @@
+lib/lint/lexer.mli:

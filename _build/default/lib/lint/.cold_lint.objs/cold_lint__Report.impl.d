@@ -1,0 +1,1 @@
+lib/lint/report.ml: Buffer Finding List Printf

@@ -1,0 +1,1 @@
+lib/lint/report.mli: Finding

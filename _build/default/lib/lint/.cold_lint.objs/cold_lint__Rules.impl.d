@@ -1,0 +1,1 @@
+lib/lint/rules.ml: Array Filename Finding Lexer List Printf String

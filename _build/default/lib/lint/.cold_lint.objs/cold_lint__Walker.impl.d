@@ -1,0 +1,1 @@
+lib/lint/walker.ml: Array Filename List Printf String Sys

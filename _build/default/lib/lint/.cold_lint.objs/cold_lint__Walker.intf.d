@@ -1,0 +1,1 @@
+lib/lint/walker.mli:

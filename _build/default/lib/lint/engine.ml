@@ -1,0 +1,90 @@
+(* Suppression comments: [(* lint: allow rule-a rule-b optional prose *)].
+   Each yields (rule, first_line, last_line) covering the comment's span plus
+   the following line. *)
+let suppressions tokens =
+  List.concat_map
+    (fun (t : Lexer.token) ->
+      match t.Lexer.kind with
+      | Lexer.Comment text -> (
+        let words =
+          String.split_on_char ' ' text
+          |> List.concat_map (String.split_on_char '\n')
+          |> List.concat_map (String.split_on_char '\t')
+          |> List.filter (fun w -> w <> "")
+        in
+        let rec after_allow = function
+          | "lint:" :: "allow" :: rest -> Some rest
+          | _ :: rest -> after_allow rest
+          | [] -> None
+        in
+        match after_allow words with
+        | None -> []
+        | Some rest ->
+          let rec rules_of = function
+            | w :: rest when Rules.find w <> None ->
+              w :: rules_of rest
+            | _ -> []
+          in
+          List.map
+            (fun rule -> (rule, t.Lexer.line, t.Lexer.end_line + 1))
+            (rules_of rest))
+      | _ -> [])
+    tokens
+
+let rule_set only =
+  match only with
+  | None -> Rules.all
+  | Some names ->
+    List.filter (fun (r : Rules.t) -> List.mem r.Rules.name names) Rules.all
+
+let check_source ?only ?mli_exists ~path source =
+  let tokens = Lexer.tokenize source in
+  let arr = Array.of_list tokens in
+  let ctx = { Rules.path; mli_exists } in
+  let raw =
+    List.concat_map
+      (fun (r : Rules.t) ->
+        if r.Rules.applies path then r.Rules.check ctx arr else [])
+      (rule_set only)
+  in
+  let sups = suppressions tokens in
+  raw
+  |> List.filter (fun (f : Finding.t) ->
+         not
+           (List.exists
+              (fun (rule, first, last) ->
+                rule = f.Finding.rule
+                && f.Finding.line >= first
+                && f.Finding.line <= last)
+              sups))
+  |> List.sort Finding.compare
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_file ?only path =
+  let mli_exists =
+    if Filename.check_suffix path ".ml" then
+      Some (Sys.file_exists (path ^ "i"))
+    else None
+  in
+  check_source ?only ?mli_exists ~path (read_file path)
+
+let check_paths ?only paths =
+  let unknown =
+    match only with
+    | None -> []
+    | Some names -> List.filter (fun n -> Rules.find n = None) names
+  in
+  match unknown with
+  | n :: _ -> Error (Printf.sprintf "unknown rule: %s" n)
+  | [] -> (
+    match Walker.collect paths with
+    | Error _ as e -> e
+    | Ok files ->
+      Ok
+        (List.concat_map (fun f -> check_file ?only f) files
+        |> List.sort Finding.compare))

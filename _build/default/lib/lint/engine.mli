@@ -1,0 +1,28 @@
+(** Runs the rule set over sources and filters suppressions.
+
+    A finding is suppressed by a comment [(* lint: allow <rule> ... *)]
+    placed on the same line as the violation or on the line directly above
+    it (for multi-line comments: any line the comment touches, plus one).
+    Several rule names may be listed in one comment; prose after the rule
+    names is ignored. *)
+
+val check_source :
+  ?only:string list ->
+  ?mli_exists:bool ->
+  path:string ->
+  string ->
+  Finding.t list
+(** [check_source ~path src] lints one in-memory source. [path] selects
+    which rules apply (per-directory scoping) and is echoed in findings.
+    [only] restricts to the named rules. [mli_exists] feeds the
+    [mli-required] rule; when omitted the rule cannot fire. Findings are in
+    canonical {!Finding.compare} order. *)
+
+val check_file : ?only:string list -> string -> Finding.t list
+(** [check_file path] reads and lints one file; the sibling [.mli] check is
+    resolved against the filesystem. Raises [Sys_error] if unreadable. *)
+
+val check_paths : ?only:string list -> string list -> (Finding.t list, string) result
+(** [check_paths paths] walks directories (via {!Walker.collect}), lints
+    every [.ml]/[.mli] found, and merges findings in canonical order.
+    [Error msg] on a nonexistent path or unknown rule name in [only]. *)

@@ -1,0 +1,37 @@
+type t = { rule : string; file : string; line : int; message : string }
+
+let make ~rule ~file ~line message = { rule; file; line; message }
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> (
+      match String.compare a.rule b.rule with
+      | 0 -> String.compare a.message b.message
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let to_string f =
+  Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json f =
+  Printf.sprintf {|{"rule": "%s", "file": "%s", "line": %d, "message": "%s"}|}
+    (json_escape f.rule) (json_escape f.file) f.line (json_escape f.message)

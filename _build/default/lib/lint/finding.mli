@@ -1,0 +1,16 @@
+(** A single lint violation: which rule fired, where, and why. *)
+
+type t = { rule : string; file : string; line : int; message : string }
+
+val make : rule:string -> file:string -> line:int -> string -> t
+
+val compare : t -> t -> int
+(** Orders by file, then line, then rule name, then message — the canonical
+    report order, independent of rule evaluation order. *)
+
+val to_string : t -> string
+(** ["file:line: [rule] message"] — one line, editor-clickable. *)
+
+val to_json : t -> string
+(** A single JSON object [{"rule": …, "file": …, "line": …, "message": …}]
+    with proper string escaping. *)

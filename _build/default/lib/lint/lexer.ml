@@ -1,0 +1,204 @@
+type kind =
+  | Ident of string
+  | Uident of string
+  | Int_lit of string
+  | Float_lit of string
+  | String_lit
+  | Char_lit
+  | Comment of string
+  | Op of string
+
+type token = { kind : kind; line : int; end_line : int }
+
+let is_lower c = (c >= 'a' && c <= 'z') || c = '_'
+let is_upper c = c >= 'A' && c <= 'Z'
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_char c =
+  is_lower c || is_upper c || is_digit c || c = '\''
+
+(* Characters that form multi-character operator runs ([+.], [<>], [:=], …).
+   Brackets and separators are emitted as single-character [Op]s instead so
+   that [:(], [({], … never glue together. *)
+let is_symbol_char c =
+  match c with
+  | '!' | '$' | '%' | '&' | '*' | '+' | '-' | '.' | '/' | ':' | '<' | '='
+  | '>' | '?' | '@' | '^' | '|' | '~' -> true
+  | _ -> false
+
+let is_single_punct c =
+  match c with
+  | '(' | ')' | '[' | ']' | '{' | '}' | ',' | ';' | '#' | '`' -> true
+  | _ -> false
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let line = ref 1 in
+  let emit kind start_line =
+    tokens := { kind; line = start_line; end_line = !line } :: !tokens
+  in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  (* Skip a string literal body starting after the opening quote; counts
+     newlines and honours backslash escapes. *)
+  let skip_string_body () =
+    let fin = ref false in
+    while (not !fin) && !i < n do
+      (match src.[!i] with
+      | '\\' -> if !i + 1 < n then incr i
+      | '"' -> fin := true
+      | '\n' -> incr line
+      | _ -> ());
+      incr i
+    done
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '(' && peek 1 = Some '*' then begin
+      (* Nested comment; a string inside a comment hides any close-comment
+         sequence it contains. *)
+      let start_line = !line in
+      let start = !i + 2 in
+      i := start;
+      let depth = ref 1 in
+      while !depth > 0 && !i < n do
+        if src.[!i] = '(' && peek 1 = Some '*' then begin
+          incr depth;
+          i := !i + 2
+        end
+        else if src.[!i] = '*' && peek 1 = Some ')' then begin
+          decr depth;
+          i := !i + 2
+        end
+        else if src.[!i] = '"' then begin
+          incr i;
+          skip_string_body ()
+        end
+        else begin
+          if src.[!i] = '\n' then incr line;
+          incr i
+        end
+      done;
+      let stop = if !depth = 0 then !i - 2 else !i in
+      emit (Comment (String.sub src start (max 0 (stop - start)))) start_line
+    end
+    else if c = '"' then begin
+      let start_line = !line in
+      incr i;
+      skip_string_body ();
+      emit String_lit start_line
+    end
+    else if c = '{' then begin
+      (* Quoted string literal [{id|...|id}] or plain brace. *)
+      let j = ref (!i + 1) in
+      while !j < n && (is_lower src.[!j] || is_digit src.[!j]) do
+        incr j
+      done;
+      if !j < n && src.[!j] = '|' then begin
+        let delim = String.sub src (!i + 1) (!j - !i - 1) in
+        let closing = "|" ^ delim ^ "}" in
+        let close_len = String.length closing in
+        let start_line = !line in
+        i := !j + 1;
+        let fin = ref false in
+        while (not !fin) && !i < n do
+          if
+            !i + close_len <= n
+            && String.equal (String.sub src !i close_len) closing
+          then begin
+            i := !i + close_len;
+            fin := true
+          end
+          else begin
+            if src.[!i] = '\n' then incr line;
+            incr i
+          end
+        done;
+        emit String_lit start_line
+      end
+      else begin
+        emit (Op "{") !line;
+        incr i
+      end
+    end
+    else if c = '\'' then begin
+      (* Char literal vs type variable / ident-trailing quote. *)
+      let start_line = !line in
+      match peek 1 with
+      | Some '\\' ->
+        (* Escape: consume until closing quote. *)
+        i := !i + 2;
+        while !i < n && src.[!i] <> '\'' do
+          incr i
+        done;
+        if !i < n then incr i;
+        emit Char_lit start_line
+      | Some _ when peek 2 = Some '\'' ->
+        i := !i + 3;
+        emit Char_lit start_line
+      | _ ->
+        (* Type variable ['a]: consume quote plus identifier characters. *)
+        incr i;
+        while !i < n && is_ident_char src.[!i] do
+          incr i
+        done
+    end
+    else if is_digit c then begin
+      let start_line = !line in
+      let start = !i in
+      let is_float = ref false in
+      let hex = c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') in
+      if hex then i := !i + 2;
+      let continue = ref true in
+      while !continue && !i < n do
+        let d = src.[!i] in
+        if is_digit d || d = '_'
+           || (hex
+               && ((d >= 'a' && d <= 'f') || (d >= 'A' && d <= 'F')))
+        then incr i
+        else if d = '.' then begin
+          is_float := true;
+          incr i
+        end
+        else if (not hex) && (d = 'e' || d = 'E') then begin
+          is_float := true;
+          incr i;
+          (match peek 0 with
+          | Some ('+' | '-') -> incr i
+          | _ -> ())
+        end
+        else continue := false
+      done;
+      let text = String.sub src start (!i - start) in
+      emit (if !is_float then Float_lit text else Int_lit text) start_line
+    end
+    else if is_lower c || is_upper c then begin
+      let start_line = !line in
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      emit (if is_upper c then Uident text else Ident text) start_line
+    end
+    else if is_single_punct c then begin
+      emit (Op (String.make 1 c)) !line;
+      incr i
+    end
+    else if is_symbol_char c then begin
+      let start_line = !line in
+      let start = !i in
+      while !i < n && is_symbol_char src.[!i] do
+        incr i
+      done;
+      emit (Op (String.sub src start (!i - start))) start_line
+    end
+    else incr i
+  done;
+  List.rev !tokens

@@ -1,0 +1,10 @@
+(** Rendering findings for humans and machines. *)
+
+val text : Finding.t list -> string
+(** One editor-clickable line per finding, then a summary line
+    ("N violation(s)" or "clean"). Always newline-terminated. *)
+
+val json : Finding.t list -> string
+(** A JSON array of [{"rule", "file", "line", "message"}] objects (["[]"]
+    when clean), newline-terminated — stable input for diffing lint
+    baselines across PRs. *)

@@ -1,0 +1,388 @@
+type context = { path : string; mli_exists : bool option }
+
+type t = {
+  name : string;
+  summary : string;
+  rationale : string;
+  applies : string -> bool;
+  check : context -> Lexer.token array -> Finding.t list;
+}
+
+(* --- path scopes ------------------------------------------------------------ *)
+
+let components path =
+  String.split_on_char '/' path
+  |> List.concat_map (String.split_on_char '\\')
+  |> List.filter (fun c -> c <> "" && c <> ".")
+
+let dir_components path =
+  match List.rev (components path) with [] -> [] | _ :: dirs -> List.rev dirs
+
+let in_dir d path = List.mem d (dir_components path)
+
+let basename path =
+  match List.rev (components path) with [] -> "" | b :: _ -> b
+
+let is_ml path = Filename.check_suffix path ".ml"
+
+let everywhere (_ : string) = true
+let lib_only path = in_dir "lib" path
+let lib_and_bin path = in_dir "lib" path || in_dir "bin" path
+let outside_bench path = not (in_dir "bench" path)
+
+(* --- token utilities -------------------------------------------------------- *)
+
+(* Rules match against code tokens only; comments never participate in
+   sequence patterns. *)
+let code_tokens ts =
+  Array.of_list
+    (List.filter
+       (fun (t : Lexer.token) ->
+         match t.Lexer.kind with Lexer.Comment _ -> false | _ -> true)
+       (Array.to_list ts))
+
+let kind_at (code : Lexer.token array) i =
+  if i >= 0 && i < Array.length code then Some code.(i).Lexer.kind else None
+
+let is_float_lit = function Some (Lexer.Float_lit _) -> true | _ -> false
+
+let finding ~rule ~(ctx : context) ~line message =
+  Finding.make ~rule ~file:ctx.path ~line message
+
+(* --- no-stdlib-random ------------------------------------------------------- *)
+
+let check_stdlib_random ctx ts =
+  let code = code_tokens ts in
+  let acc = ref [] in
+  Array.iteri
+    (fun _ (t : Lexer.token) ->
+      match t.Lexer.kind with
+      | Lexer.Uident "Random" ->
+        acc :=
+          finding ~rule:"no-stdlib-random" ~ctx ~line:t.Lexer.line
+            "Stdlib.Random is seeded globally and not splittable; draw from \
+             Cold_prng.Prng so runs stay reproducible"
+          :: !acc
+      | _ -> ())
+    code;
+  !acc
+
+(* --- no-wall-clock ---------------------------------------------------------- *)
+
+let wall_clock_calls =
+  [ ("Sys", "time"); ("Unix", "gettimeofday"); ("Unix", "time");
+    ("Unix", "localtime"); ("Unix", "gmtime") ]
+
+let check_wall_clock ctx ts =
+  let code = code_tokens ts in
+  let acc = ref [] in
+  for i = 0 to Array.length code - 3 do
+    match (code.(i).Lexer.kind, code.(i + 1).Lexer.kind, code.(i + 2).Lexer.kind)
+    with
+    | Lexer.Uident m, Lexer.Op ".", Lexer.Ident f
+      when List.mem (m, f) wall_clock_calls ->
+      acc :=
+        finding ~rule:"no-wall-clock" ~ctx ~line:code.(i).Lexer.line
+          (Printf.sprintf
+             "%s.%s reads the wall clock; outputs must depend only on the \
+              seed (timing belongs in bench/)"
+             m f)
+        :: !acc
+    | _ -> ()
+  done;
+  !acc
+
+(* --- no-polymorphic-compare ------------------------------------------------- *)
+
+let check_poly_compare ctx ts =
+  let code = code_tokens ts in
+  let acc = ref [] in
+  let flag line =
+    acc :=
+      finding ~rule:"no-polymorphic-compare" ~ctx ~line
+        "polymorphic compare silently depends on memory representation; use \
+         a typed comparator (Int.compare, Float.compare, a record comparator)"
+      :: !acc
+  in
+  Array.iteri
+    (fun i (t : Lexer.token) ->
+      match t.Lexer.kind with
+      | Lexer.Ident "compare" -> (
+        let prev = kind_at code (i - 1) in
+        let next = kind_at code (i + 1) in
+        let qualified = prev = Some (Lexer.Op ".") in
+        let poly_module =
+          qualified
+          && (kind_at code (i - 2) = Some (Lexer.Uident "Stdlib")
+             || kind_at code (i - 2) = Some (Lexer.Uident "Poly"))
+        in
+        let is_definition =
+          match prev with
+          | Some (Lexer.Ident ("let" | "and" | "rec" | "method" | "val" | "external"))
+            -> true
+          | _ -> false
+        in
+        let is_label =
+          prev = Some (Lexer.Op "~")
+          ||
+          match next with
+          | Some (Lexer.Op op) -> String.length op > 0 && op.[0] = ':'
+          | _ -> false
+        in
+        if poly_module then flag t.Lexer.line
+        else if (not qualified) && (not is_definition) && not is_label then
+          flag t.Lexer.line)
+      | _ -> ())
+    code;
+  !acc
+
+(* --- no-failwith-in-lib ----------------------------------------------------- *)
+
+let check_failwith ctx ts =
+  let code = code_tokens ts in
+  let acc = ref [] in
+  Array.iteri
+    (fun i (t : Lexer.token) ->
+      match t.Lexer.kind with
+      | Lexer.Ident "failwith"
+        when kind_at code (i - 1) <> Some (Lexer.Op ".") ->
+        acc :=
+          finding ~rule:"no-failwith-in-lib" ~ctx ~line:t.Lexer.line
+            "library errors must be typed: return a result or raise an \
+             exception declared in the .mli (failwith hides the contract)"
+          :: !acc
+      | _ -> ())
+    code;
+  !acc
+
+(* --- mli-required ----------------------------------------------------------- *)
+
+let check_mli ctx (_ : Lexer.token array) =
+  match ctx.mli_exists with
+  | Some false ->
+    [ finding ~rule:"mli-required" ~ctx ~line:1
+        "library modules need a .mli: an explicit interface is the contract \
+         the lint rules (and reviewers) check errors and determinism against" ]
+  | _ -> []
+
+(* --- no-naked-float-eq ------------------------------------------------------ *)
+
+(* [=] doubles as binding syntax, so only flag it when backward context says
+   we are inside an expression comparison. [<>], [==] and [!=] are always
+   comparisons. *)
+let comparison_context code i =
+  let rec scan j steps =
+    if j < 0 || steps > 40 then false
+    else
+      match code.(j).Lexer.kind with
+      | Lexer.Ident
+          ( "if" | "when" | "while" | "then" | "else" | "begin" | "do" | "in"
+          | "not" ) -> true
+      | Lexer.Op ("&&" | "||" | "->") -> true
+      | Lexer.Ident
+          ( "let" | "and" | "with" | "fun" | "function" | "module" | "type"
+          | "method" | "val" | "mutable" ) -> false
+      | Lexer.Op ("{" | ";" | "," | "|" | "~" | "?" | "<-" | ":=") -> false
+      | _ -> scan (j - 1) (steps + 1)
+  in
+  scan (i - 1) 0
+
+let check_float_eq ctx ts =
+  let code = code_tokens ts in
+  let acc = ref [] in
+  let flag line op =
+    acc :=
+      finding ~rule:"no-naked-float-eq" ~ctx ~line
+        (Printf.sprintf
+           "'%s' on a float literal: exact float equality is \
+            representation-dependent; use Float.equal for intentional exact \
+            tests or compare against an epsilon"
+           op)
+      :: !acc
+  in
+  Array.iteri
+    (fun i (t : Lexer.token) ->
+      match t.Lexer.kind with
+      | Lexer.Op (("=" | "<>" | "==" | "!=") as op) ->
+        let prev_float = is_float_lit (kind_at code (i - 1)) in
+        let next_float = is_float_lit (kind_at code (i + 1)) in
+        if prev_float || next_float then
+          if op <> "=" then flag t.Lexer.line op
+          else if prev_float || comparison_context code i then
+            flag t.Lexer.line op
+      | _ -> ())
+    code;
+  !acc
+
+(* --- todo-tracker ----------------------------------------------------------- *)
+
+let todo_markers = [ "TODO"; "FIXME"; "XXX" ]
+
+let find_bare_marker text =
+  (* A marker counts as tracked when immediately followed by '(' — e.g.
+     TODO(owner) or FIXME(#42). *)
+  let n = String.length text in
+  let is_word_char c =
+    (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  let rec try_marker = function
+    | [] -> None
+    | m :: rest ->
+      let ml = String.length m in
+      let rec scan i =
+        if i + ml > n then try_marker rest
+        else if
+          String.sub text i ml = m
+          && (i = 0 || not (is_word_char text.[i - 1]))
+          && (i + ml >= n || text.[i + ml] <> '(')
+          && (i + ml >= n || not (is_word_char text.[i + ml]))
+        then Some m
+        else scan (i + 1)
+      in
+      scan 0
+  in
+  try_marker todo_markers
+
+let check_todo ctx ts =
+  let acc = ref [] in
+  Array.iter
+    (fun (t : Lexer.token) ->
+      match t.Lexer.kind with
+      | Lexer.Comment text -> (
+        match find_bare_marker text with
+        | Some m ->
+          acc :=
+            finding ~rule:"todo-tracker" ~ctx ~line:t.Lexer.line
+              (Printf.sprintf
+                 "untracked %s: attach an owner or issue, e.g. %s(name), so \
+                  stale markers cannot silently accumulate"
+                 m m)
+            :: !acc
+        | None -> ())
+      | _ -> ())
+    ts;
+  !acc
+
+(* --- magic-cost-constant ---------------------------------------------------- *)
+
+let cost_params = [ "k0"; "k1"; "k2"; "k3" ]
+
+(* Value position may open with parens or unary minus before the literal. *)
+let rec literal_after code i =
+  match kind_at code i with
+  | Some (Lexer.Op ("(" | "-" | "-." | "+." | "+")) -> literal_after code (i + 1)
+  | Some (Lexer.Int_lit _ | Lexer.Float_lit _) -> true
+  | _ -> false
+
+let check_magic_cost ctx ts =
+  let code = code_tokens ts in
+  let acc = ref [] in
+  let flag line k =
+    acc :=
+      finding ~rule:"magic-cost-constant" ~ctx ~line
+        (Printf.sprintf
+           "magic literal for cost parameter %s: name it or take it from \
+            Presets so the paper's parameter points stay in one place"
+           k)
+      :: !acc
+  in
+  Array.iteri
+    (fun i (t : Lexer.token) ->
+      match t.Lexer.kind with
+      | Lexer.Ident k when List.mem k cost_params -> (
+        let next = kind_at code (i + 1) in
+        let labelled =
+          kind_at code (i - 1) = Some (Lexer.Op "~")
+          &&
+          match next with
+          | Some (Lexer.Op op) -> String.length op > 0 && op.[0] = ':'
+          | _ -> false
+        in
+        let bound = next = Some (Lexer.Op "=") in
+        if (labelled || bound) && literal_after code (i + 2) then
+          flag t.Lexer.line k)
+      | _ -> ())
+    code;
+  !acc
+
+(* --- catalogue -------------------------------------------------------------- *)
+
+let all =
+  [
+    {
+      name = "no-stdlib-random";
+      summary = "all randomness must flow through Cold_prng.Prng";
+      rationale =
+        "Stdlib.Random has hidden global state; a stray call desynchronizes \
+         seeded ensembles without failing any test.";
+      applies = everywhere;
+      check = check_stdlib_random;
+    };
+    {
+      name = "no-wall-clock";
+      summary = "no Sys.time / Unix.gettimeofday outside bench/";
+      rationale =
+        "Wall-clock reads make output depend on when a run happened, \
+         breaking bit-reproducibility of synthesized topologies.";
+      applies = outside_bench;
+      check = check_wall_clock;
+    };
+    {
+      name = "no-polymorphic-compare";
+      summary = "use typed comparators instead of bare compare";
+      rationale =
+        "Polymorphic compare on records, tuples-of-floats or lazy values is \
+         representation-dependent; canonical orderings (edge lists, GA \
+         populations) must be typed to stay stable across refactors.";
+      applies = lib_and_bin;
+      check = check_poly_compare;
+    };
+    {
+      name = "no-failwith-in-lib";
+      summary = "library errors must be typed results or declared exceptions";
+      rationale =
+        "failwith \"...\" turns every caller mistake into an untyped crash; \
+         parsers and validators must expose errors callers can match on.";
+      applies = lib_only;
+      check = check_failwith;
+    };
+    {
+      name = "mli-required";
+      summary = "every lib/**/*.ml needs a sibling .mli";
+      rationale =
+        "Without an interface, internal helpers leak and the determinism \
+         audit cannot tell the contract from the implementation.";
+      applies = (fun p -> lib_only p && is_ml p);
+      check = check_mli;
+    };
+    {
+      name = "no-naked-float-eq";
+      summary = "no =, <>, == or != against float literals";
+      rationale =
+        "Exact float comparison against literals hides rounding assumptions \
+         that differ across optimization levels and platforms.";
+      applies = lib_and_bin;
+      check = check_float_eq;
+    };
+    {
+      name = "todo-tracker";
+      summary = "TODO/FIXME/XXX must carry an owner or issue reference";
+      rationale =
+        "Bare markers rot; tracked ones — TODO(name) — keep the backlog \
+         auditable as the system scales.";
+      applies = everywhere;
+      check = check_todo;
+    };
+    {
+      name = "magic-cost-constant";
+      summary = "k0–k3 literals belong in presets.ml (or a named constant)";
+      rationale =
+        "The paper's cost-parameter points define every figure; scattering \
+         literal k-values makes ensembles incomparable across modules.";
+      applies = (fun p -> lib_only p && basename p <> "presets.ml");
+      check = check_magic_cost;
+    };
+  ]
+
+let find name = List.find_opt (fun r -> r.name = name) all

@@ -1,0 +1,28 @@
+(** The COLD lint rule set.
+
+    Each rule is a token-level check over one source file, paired with a
+    default path scope (per-directory configuration): reproducibility rules
+    run everywhere, strictness rules run on library code only, and [bench/]
+    is exempt from wall-clock checks. See [doc/LINTS.md] for the catalogue
+    and the reproducibility rationale behind every rule. *)
+
+type context = {
+  path : string;  (** path as handed to the engine, used in findings *)
+  mli_exists : bool option;
+      (** [Some false] iff the file is a [.ml] whose sibling [.mli] is known
+          to be missing; [None] when linting an in-memory string *)
+}
+
+type t = {
+  name : string;  (** kebab-case rule id, used in suppression comments *)
+  summary : string;  (** one-line description for [--list-rules] *)
+  rationale : string;  (** why the rule matters for COLD *)
+  applies : string -> bool;  (** default scope, from the file path *)
+  check : context -> Lexer.token array -> Finding.t list;
+}
+
+val all : t list
+(** Every rule, in catalogue order. *)
+
+val find : string -> t option
+(** Look up a rule by [name]. *)

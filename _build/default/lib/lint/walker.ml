@@ -1,0 +1,24 @@
+let is_source name =
+  Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
+
+let hidden name = String.length name > 0 && (name.[0] = '.' || name.[0] = '_')
+
+let collect paths =
+  let acc = ref [] in
+  let rec walk path =
+    if Sys.is_directory path then
+      Array.iter
+        (fun entry ->
+          if not (hidden entry) then walk (Filename.concat path entry))
+        (Sys.readdir path)
+    else if is_source path then acc := path :: !acc
+  in
+  let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
+  match missing with
+  | p :: _ -> Error (Printf.sprintf "no such file or directory: %s" p)
+  | [] ->
+    (* Explicit non-source file arguments are linted anyway: the user asked. *)
+    List.iter
+      (fun p -> if Sys.is_directory p then walk p else acc := p :: !acc)
+      paths;
+    Ok (List.sort_uniq String.compare !acc)

@@ -1,0 +1,8 @@
+(** Deterministic source-tree walking for the linter. *)
+
+val collect : string list -> (string list, string) result
+(** [collect paths] expands each path: files are taken as-is, directories
+    are walked recursively gathering [*.ml] and [*.mli] files. Entries whose
+    name starts with ['.'] or ['_'] (e.g. [_build]) are skipped. The result
+    is duplicate-free and sorted, so reports and baselines are stable.
+    [Error msg] if a path does not exist. *)

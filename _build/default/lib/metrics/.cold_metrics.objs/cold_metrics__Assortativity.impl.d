@@ -1,1 +1,1 @@
-lib/metrics/assortativity.ml: Cold_graph
+lib/metrics/assortativity.ml: Cold_graph Float

@@ -1,1 +1,1 @@
-lib/metrics/degree.ml: Cold_graph Hashtbl List Option
+lib/metrics/degree.ml: Cold_graph Float Hashtbl Int List Option

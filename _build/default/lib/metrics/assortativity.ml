@@ -16,5 +16,5 @@ let degree_assortativity g =
     let mean = inv *. !sum_x in
     let num = (inv *. !sum_xy) -. (mean *. mean) in
     let den = (inv *. !sum_x2) -. (mean *. mean) in
-    if den = 0.0 then nan else num /. den
+    if Float.equal den 0.0 then nan else num /. den
   end

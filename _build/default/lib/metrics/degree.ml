@@ -9,7 +9,7 @@ let coefficient_of_variation g =
   if n = 0 then 0.0
   else begin
     let mean = average g in
-    if mean = 0.0 then 0.0
+    if Float.equal mean 0.0 then 0.0
     else begin
       let var = ref 0.0 in
       for v = 0 to n - 1 do
@@ -26,7 +26,10 @@ let distribution g =
     let d = Graph.degree g v in
     Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
   done;
-  List.sort compare (Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [])
+  List.sort
+    (fun (d1, c1) (d2, c2) ->
+      match Int.compare d1 d2 with 0 -> Int.compare c1 c2 | c -> c)
+    (Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [])
 
 let hub_count = Graph.core_count
 

@@ -1,1 +1,1 @@
-lib/net/resilience.ml: Array Cold_context Cold_graph Cold_traffic List Network Routing
+lib/net/resilience.ml: Array Cold_context Cold_graph Cold_traffic Float Int List Network Routing

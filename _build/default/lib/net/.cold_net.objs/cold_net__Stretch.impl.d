@@ -1,1 +1,1 @@
-lib/net/stretch.ml: Array Cold_context Cold_graph Cold_traffic Network
+lib/net/stretch.ml: Array Cold_context Cold_graph Cold_traffic Float Network

@@ -33,7 +33,7 @@ let average net =
         den := !den +. w
       done
     done;
-    if !den = 0.0 then nan else !num /. !den
+    if Float.equal !den 0.0 then nan else !num /. !den
   end
 
 let maximum net =

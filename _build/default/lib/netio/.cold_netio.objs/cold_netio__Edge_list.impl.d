@@ -1,1 +1,1 @@
-lib/netio/edge_list.ml: Buffer Cold_graph Fun List Printf String
+lib/netio/edge_list.ml: Buffer Cold_graph Fun List Parse_error Printf String

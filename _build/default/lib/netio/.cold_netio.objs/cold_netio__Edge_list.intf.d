@@ -1,1 +1,1 @@
-lib/netio/edge_list.mli: Cold_graph
+lib/netio/edge_list.mli: Cold_graph Parse_error

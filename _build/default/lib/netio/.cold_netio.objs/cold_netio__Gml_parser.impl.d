@@ -1,1 +1,1 @@
-lib/netio/gml_parser.ml: Cold_graph Fun Gml Hashtbl List String
+lib/netio/gml_parser.ml: Cold_graph Fun Gml Hashtbl Int List Parse_error String

@@ -1,1 +1,1 @@
-lib/netio/gml_parser.mli: Cold_graph
+lib/netio/gml_parser.mli: Cold_graph Parse_error

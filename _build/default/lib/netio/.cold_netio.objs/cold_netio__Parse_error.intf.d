@@ -1,0 +1,1 @@
+lib/netio/parse_error.mli:

@@ -4,11 +4,13 @@
 
 val to_string : Cold_graph.Graph.t -> string
 
-val of_string : string -> Cold_graph.Graph.t
-(** Raises [Failure] with a line-numbered message on malformed input
-    (bad header, vertex out of range, self-loop, wrong edge count). Blank
-    lines and [#] comment lines are ignored. *)
+val of_string : string -> (Cold_graph.Graph.t, Parse_error.t) result
+(** [of_string s] parses; malformed input (bad header, vertex out of range,
+    self-loop, wrong edge count) yields [Error] carrying the offending
+    1-based line. Blank lines and [#] comment lines are ignored. *)
 
 val write_file : path:string -> Cold_graph.Graph.t -> unit
 
-val read_file : path:string -> Cold_graph.Graph.t
+val read_file : path:string -> (Cold_graph.Graph.t, Parse_error.t) result
+(** [read_file ~path] parses a file. I/O failures still raise [Sys_error];
+    only parse problems are reported as [Error]. *)

@@ -7,13 +7,15 @@
     real Zoo files load. Node ids need not be dense — they are compacted to
     [0 .. n-1] preserving id order. *)
 
-val parse : string -> Cold_graph.Graph.t
+val parse : string -> (Cold_graph.Graph.t, Parse_error.t) result
 (** [parse text] builds the topology. Duplicate edges collapse; self-loops
-    are dropped (Zoo files contain both). Raises [Failure] with a
-    descriptive message on malformed input (unbalanced brackets, edge
-    endpoints without node declarations, missing fields). *)
+    are dropped (Zoo files contain both). Malformed input (unbalanced
+    brackets, edge endpoints without node declarations, missing fields)
+    yields [Error] carrying the offending source line. *)
 
-val read_file : path:string -> Cold_graph.Graph.t
+val read_file : path:string -> (Cold_graph.Graph.t, Parse_error.t) result
+(** [read_file ~path] parses a file. I/O failures still raise [Sys_error];
+    only parse problems are reported as [Error]. *)
 
 val roundtrip_check : Cold_graph.Graph.t -> bool
 (** [roundtrip_check g] is [true] iff writing [g] with {!Gml.of_graph} and

@@ -1,0 +1,7 @@
+type t = { line : int; message : string }
+
+let make ~line message = { line; message }
+
+let to_string e =
+  if e.line > 0 then Printf.sprintf "line %d: %s" e.line e.message
+  else e.message

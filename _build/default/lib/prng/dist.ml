@@ -19,7 +19,7 @@ let pareto_with_mean g ~shape ~mean =
 
 let geometric g ~p =
   if p <= 0.0 || p > 1.0 then invalid_arg "Dist.geometric: p must be in (0,1]";
-  if p = 1.0 then 0
+  if Float.equal p 1.0 then 0
   else begin
     let u = 1.0 -. Prng.float g in
     (* Inverse CDF: k = floor (log u / log (1-p)). *)
@@ -33,7 +33,7 @@ let normal g ~mean ~stddev =
 
 let poisson g ~mean =
   if mean < 0.0 then invalid_arg "Dist.poisson: mean must be non-negative";
-  if mean = 0.0 then 0
+  if Float.equal mean 0.0 then 0
   else if mean > 60.0 then
     (* Normal approximation with continuity correction. *)
     max 0 (int_of_float (Float.round (normal g ~mean ~stddev:(sqrt mean))))

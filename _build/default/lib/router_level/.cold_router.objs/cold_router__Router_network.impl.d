@@ -1,1 +1,1 @@
-lib/router_level/router_network.ml: Array Cold_context Cold_geom Cold_graph Cold_net Cold_traffic Expand Float Template
+lib/router_level/router_network.ml: Array Cold_context Cold_geom Cold_net Cold_traffic Expand Float Template

@@ -1,1 +1,1 @@
-lib/sim/fair_share.ml: Float Hashtbl List Option
+lib/sim/fair_share.ml: Float Hashtbl Int List Option

@@ -61,7 +61,10 @@ let allocate ~capacity flows =
             f.links)
         bottleneck_flows
   done;
-  List.sort compare (List.map (fun f -> (f.id, Hashtbl.find rates f.id)) flows)
+  List.sort
+    (fun (i1, r1) (i2, r2) ->
+      match Int.compare i1 i2 with 0 -> Float.compare r1 r2 | c -> c)
+    (List.map (fun f -> (f.id, Hashtbl.find rates f.id)) flows)
 
 let is_max_min ~capacity flows rates =
   let rate_of id = List.assoc id rates in

@@ -1,4 +1,3 @@
-module Prng = Cold_prng.Prng
 module Dist = Cold_prng.Dist
 module Graph = Cold_graph.Graph
 module Context = Cold_context.Context
@@ -141,7 +140,7 @@ let run config (net : Network.t) rng =
     if Array.length xs = 0 then nan
     else begin
       let sorted = Array.copy xs in
-      Array.sort compare sorted;
+      Array.sort Float.compare sorted;
       sorted.(min (Array.length sorted - 1)
                 (int_of_float (0.95 *. float_of_int (Array.length sorted))))
     end

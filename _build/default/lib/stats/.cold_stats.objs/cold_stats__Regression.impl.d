@@ -1,1 +1,1 @@
-lib/stats/regression.ml: Array
+lib/stats/regression.ml: Array Float

@@ -22,7 +22,7 @@ let stddev xs = sqrt (variance xs)
 let coefficient_of_variation xs =
   check xs "coefficient_of_variation";
   let m = mean xs in
-  if m = 0.0 then 0.0
+  if Float.equal m 0.0 then 0.0
   else begin
     let n = float_of_int (Array.length xs) in
     let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
@@ -41,7 +41,7 @@ let quantile xs q =
   check xs "quantile";
   if q < 0.0 || q > 1.0 then invalid_arg "Descriptive.quantile: q out of range";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let h = q *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor h) in

@@ -19,7 +19,7 @@ let mann_whitney_u xs ys =
   let pooled =
     Array.append (Array.map (fun x -> (x, true)) xs) (Array.map (fun y -> (y, false)) ys)
   in
-  Array.sort (fun (a, _) (b, _) -> compare a b) pooled;
+  Array.sort (fun (a, _) (b, _) -> Float.compare a b) pooled;
   let n = n1 + n2 in
   let ranks = Array.make n 0.0 in
   let tie_correction = ref 0.0 in

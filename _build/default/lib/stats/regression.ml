@@ -9,7 +9,7 @@ let linear points =
   let sxx = Array.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 points in
   let sxy = Array.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 points in
   let denom = (fn *. sxx) -. (sx *. sx) in
-  if denom = 0.0 then invalid_arg "Regression.linear: zero x-variance";
+  if Float.equal denom 0.0 then invalid_arg "Regression.linear: zero x-variance";
   let slope = ((fn *. sxy) -. (sx *. sy)) /. denom in
   let intercept = (sy -. (slope *. sx)) /. fn in
   let mean_y = sy /. fn in
@@ -21,7 +21,7 @@ let linear points =
         a +. (e *. e))
       0.0 points
   in
-  let r_squared = if ss_tot = 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+  let r_squared = if Float.equal ss_tot 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
   { slope; intercept; r_squared }
 
 let power_law points ~exponent ~coefficient =

@@ -1,0 +1,1 @@
+test/test_lint.ml: Alcotest Cold_lint List String

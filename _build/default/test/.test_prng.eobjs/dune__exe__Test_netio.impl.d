@@ -1,1 +1,1 @@
-test/test_netio.ml: Alcotest Cold_context Cold_geom Cold_graph Cold_net Cold_netio Cold_prng Filename List QCheck QCheck_alcotest String Sys
+test/test_netio.ml: Alcotest Cold_context Cold_geom Cold_graph Cold_net Cold_netio Cold_prng Filename List Option QCheck QCheck_alcotest String Sys

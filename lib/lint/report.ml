@@ -1,0 +1,26 @@
+let text findings =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (Finding.to_string f);
+      Buffer.add_char buf '\n')
+    findings;
+  (match findings with
+  | [] -> Buffer.add_string buf "cold_lint: clean\n"
+  | fs ->
+    Buffer.add_string buf
+      (Printf.sprintf "cold_lint: %d violation(s)\n" (List.length fs)));
+  Buffer.contents buf
+
+let json findings =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf "\n  ";
+      Buffer.add_string buf (Finding.to_json f))
+    findings;
+  if findings <> [] then Buffer.add_char buf '\n';
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf

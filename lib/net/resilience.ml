@@ -78,12 +78,17 @@ let link_reports (net : Network.t) =
         :: acc)
       []
   in
-  List.sort
-    (fun a b ->
-      compare
-        (-.a.stranded_fraction, -.a.load_fraction, a.link)
-        (-.b.stranded_fraction, -.b.load_fraction, b.link))
-    reports
+  let report_order a b =
+    match Float.compare (-.a.stranded_fraction) (-.b.stranded_fraction) with
+    | 0 -> (
+      match Float.compare (-.a.load_fraction) (-.b.load_fraction) with
+      | 0 ->
+        let (u1, v1) = a.link and (u2, v2) = b.link in
+        (match Int.compare u1 u2 with 0 -> Int.compare v1 v2 | c -> c)
+      | c -> c)
+    | c -> c
+  in
+  List.sort report_order reports
 
 let worst_link net =
   match link_reports net with

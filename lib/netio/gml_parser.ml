@@ -1,32 +1,49 @@
 module Graph = Cold_graph.Graph
 
-type token = Lbracket | Rbracket | Word of string
+(* Internal control flow only; every public entry point catches this and
+   returns a typed [result]. *)
+exception Err of Parse_error.t
+
+let err line message = raise (Err (Parse_error.make ~line message))
+
+type token = { kind : kind; line : int }
+and kind = Lbracket | Rbracket | Word of string
 
 let tokenize text =
   let tokens = ref [] in
   let n = String.length text in
   let i = ref 0 in
+  let line = ref 1 in
+  let push kind = tokens := { kind; line = !line } :: !tokens in
   while !i < n do
     let c = text.[!i] in
     if c = '[' then begin
-      tokens := Lbracket :: !tokens;
+      push Lbracket;
       incr i
     end
     else if c = ']' then begin
-      tokens := Rbracket :: !tokens;
+      push Rbracket;
       incr i
     end
     else if c = '"' then begin
       (* Quoted string: consumed as one token, quotes stripped. *)
+      let start_line = !line in
       let j = ref (!i + 1) in
       while !j < n && text.[!j] <> '"' do
+        if text.[!j] = '\n' then incr line;
         incr j
       done;
-      if !j >= n then failwith "Gml_parser: unterminated string";
-      tokens := Word (String.sub text (!i + 1) (!j - !i - 1)) :: !tokens;
+      if !j >= n then err start_line "unterminated string";
+      tokens :=
+        { kind = Word (String.sub text (!i + 1) (!j - !i - 1)); line = start_line }
+        :: !tokens;
       i := !j + 1
     end
-    else if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '\n' then begin
+      incr line;
+      incr i
+    end
     else begin
       let j = ref !i in
       while
@@ -37,71 +54,75 @@ let tokenize text =
       do
         incr j
       done;
-      tokens := Word (String.sub text !i (!j - !i)) :: !tokens;
+      push (Word (String.sub text !i (!j - !i)));
       i := !j
     end
   done;
   List.rev !tokens
 
 (* A GML value is either a scalar word or a bracketed list of (key, value)
-   pairs. *)
-type value = Scalar of string | Block of (string * value) list
+   pairs; values remember the source line of their key for error reports. *)
+type value = Scalar of string | Block of (string * located) list
+and located = { value : value; vline : int }
 
 (* Parses pairs until Rbracket (closed = true) or end of input
    (closed = false); returns (pairs, rest, closed). *)
 let rec parse_block tokens =
   match tokens with
   | [] -> ([], [], false)
-  | Rbracket :: rest -> ([], rest, true)
-  | Word key :: Lbracket :: rest ->
+  | { kind = Rbracket; _ } :: rest -> ([], rest, true)
+  | { kind = Word key; line } :: { kind = Lbracket; _ } :: rest ->
     let (inner, rest, closed) = parse_block rest in
-    if not closed then failwith ("Gml_parser: unterminated block: " ^ key);
+    if not closed then err line ("unterminated block: " ^ key);
     let (siblings, rest, closed) = parse_block rest in
-    ((key, Block inner) :: siblings, rest, closed)
-  | Word key :: Word v :: rest ->
+    ((key, { value = Block inner; vline = line }) :: siblings, rest, closed)
+  | { kind = Word key; line } :: { kind = Word v; _ } :: rest ->
     let (siblings, rest, closed) = parse_block rest in
-    ((key, Scalar v) :: siblings, rest, closed)
-  | Word key :: ([] | Rbracket :: _) ->
-    failwith ("Gml_parser: key without value: " ^ key)
-  | Lbracket :: _ -> failwith "Gml_parser: unexpected '['"
+    ((key, { value = Scalar v; vline = line }) :: siblings, rest, closed)
+  | { kind = Word key; line } :: ([] | { kind = Rbracket; _ } :: _) ->
+    err line ("key without value: " ^ key)
+  | { kind = Lbracket; line } :: _ -> err line "unexpected '['"
 
 let find_all key pairs =
   List.filter_map (fun (k, v) -> if k = key then Some v else None) pairs
 
 let find_scalar key pairs =
   match find_all key pairs with
-  | Scalar s :: _ -> Some s
+  | { value = Scalar s; _ } :: _ -> Some s
   | _ -> None
 
-let parse text =
+let parse_internal text =
   let tokens = tokenize text in
   let (top, rest, closed) = parse_block tokens in
-  if closed || rest <> [] then failwith "Gml_parser: unbalanced brackets";
+  if closed || rest <> [] then begin
+    let line = match rest with t :: _ -> t.line | [] -> 0 in
+    err line "unbalanced brackets"
+  end;
   let graph_pairs =
     match find_all "graph" top with
-    | Block pairs :: _ -> pairs
-    | _ -> failwith "Gml_parser: no graph block"
+    | { value = Block pairs; _ } :: _ -> pairs
+    | _ -> err 0 "no graph block"
   in
   let node_ids =
     List.filter_map
       (function
-        | Block pairs -> (
+        | { value = Block pairs; vline } -> (
           match find_scalar "id" pairs with
           | Some s -> (
             match int_of_string_opt s with
             | Some id -> Some id
-            | None -> failwith "Gml_parser: non-integer node id")
-          | None -> failwith "Gml_parser: node without id")
-        | Scalar _ -> failwith "Gml_parser: malformed node")
+            | None -> err vline "non-integer node id")
+          | None -> err vline "node without id")
+        | { value = Scalar _; vline } -> err vline "malformed node")
       (find_all "node" graph_pairs)
   in
-  let sorted = List.sort_uniq compare node_ids in
+  let sorted = List.sort_uniq Int.compare node_ids in
   let index = Hashtbl.create (List.length sorted) in
   List.iteri (fun i id -> Hashtbl.replace index id i) sorted;
   let g = Graph.create (List.length sorted) in
   List.iter
     (function
-      | Block pairs -> (
+      | { value = Block pairs; vline } -> (
         let endpoint key =
           match find_scalar key pairs with
           | Some s -> (
@@ -109,16 +130,21 @@ let parse text =
             | Some id -> (
               match Hashtbl.find_opt index id with
               | Some i -> i
-              | None -> failwith "Gml_parser: edge endpoint is not a declared node")
-            | None -> failwith "Gml_parser: non-integer edge endpoint")
-          | None -> failwith "Gml_parser: edge without source/target"
+              | None -> err vline "edge endpoint is not a declared node")
+            | None -> err vline "non-integer edge endpoint")
+          | None -> err vline "edge without source/target"
         in
         let u = endpoint "source" and v = endpoint "target" in
         (* Zoo files contain self-loops and parallel edges; drop/collapse. *)
         if u <> v then Graph.add_edge g u v)
-      | Scalar _ -> failwith "Gml_parser: malformed edge")
+      | { value = Scalar _; vline } -> err vline "malformed edge")
     (find_all "edge" graph_pairs);
   g
+
+let parse text =
+  match parse_internal text with
+  | g -> Ok g
+  | exception Err e -> Error e
 
 let read_file ~path =
   let ic = open_in path in
@@ -126,4 +152,7 @@ let read_file ~path =
     ~finally:(fun () -> close_in ic)
     (fun () -> parse (really_input_string ic (in_channel_length ic)))
 
-let roundtrip_check g = Graph.equal g (parse (Gml.of_graph g))
+let roundtrip_check g =
+  match parse (Gml.of_graph g) with
+  | Ok h -> Graph.equal g h
+  | Error _ -> false

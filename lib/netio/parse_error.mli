@@ -1,0 +1,11 @@
+(** Shared error type for the topology parsers ({!Gml_parser},
+    {!Edge_list}). Carries the 1-based source line the problem was detected
+    on ([line = 0] when no position applies, e.g. empty input). *)
+
+type t = { line : int; message : string }
+
+val make : line:int -> string -> t
+
+val to_string : t -> string
+(** [to_string e] renders ["line L: message"] (or just the message when no
+    position is attached) for CLI and log output. *)

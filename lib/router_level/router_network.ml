@@ -1,4 +1,3 @@
-module Graph = Cold_graph.Graph
 module Point = Cold_geom.Point
 module Context = Cold_context.Context
 module Gravity = Cold_traffic.Gravity

@@ -21,7 +21,7 @@ let fraction t i =
 
 let cdf xs =
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   fun x ->
     if n = 0 then 0.0
