@@ -1,0 +1,1 @@
+bench/ga_hotpath.ml: Cold Cold_context Cold_par Cold_prng Config Float Fun List Printf String

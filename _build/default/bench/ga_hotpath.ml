@@ -1,0 +1,113 @@
+(* GA hot-path throughput: evaluations/sec of the domain-parallel evaluation
+   engine, sequential vs autodetected domains, at n = 20 and n = 40.
+
+   This seeds the repo's perf trajectory: every run rewrites BENCH_ga.json
+   with one record per (n, domains) cell using the schema
+     {bench, n, domains, evals_per_sec, wall_s, speedup_vs_seq}
+   so later PRs can diff throughput against this baseline. The fitness memo
+   is disabled for the measurement: with the cache on, duplicate children
+   skip routing and evals/sec stops being a routing-throughput number (the
+   memo's effect is reported separately on stdout). *)
+
+module Prng = Cold_prng.Prng
+module Context = Cold_context.Context
+module Par = Cold_par.Par
+
+type cell = {
+  n : int;
+  domains : int;
+  evals_per_sec : float;
+  wall_s : float;
+  speedup_vs_seq : float;
+}
+
+let settings =
+  match Config.scale with
+  | Config.Smoke ->
+    {
+      Cold.Ga.default_settings with
+      Cold.Ga.population_size = 20;
+      generations = 10;
+      num_saved = 4;
+      num_crossover = 10;
+      num_mutation = 6;
+    }
+  | Config.Quick ->
+    {
+      Cold.Ga.default_settings with
+      Cold.Ga.population_size = 40;
+      generations = 25;
+      num_saved = 8;
+      num_crossover = 20;
+      num_mutation = 12;
+    }
+  | Config.Full -> Cold.Ga.default_settings
+
+let measure ~n ~domains =
+  let ctx =
+    Context.generate (Context.default_spec ~n) (Prng.create (Config.master_seed + n))
+  in
+  let params = Cold.Cost.params ~k2:1e-4 () in
+  let run () =
+    Cold.Ga.run ~domains ~cache_slots:0 settings params ctx (Prng.create 42)
+  in
+  let (result, wall) = Config.time_it run in
+  (result, wall, float_of_int result.Cold.Ga.evaluations /. wall)
+
+let json_of_cells cells =
+  let row c =
+    Printf.sprintf
+      "  {\"bench\": \"ga_hotpath\", \"n\": %d, \"domains\": %d, \
+       \"evals_per_sec\": %.1f, \"wall_s\": %.3f, \"speedup_vs_seq\": %.3f}"
+      c.n c.domains c.evals_per_sec c.wall_s c.speedup_vs_seq
+  in
+  "[\n" ^ String.concat ",\n" (List.map row cells) ^ "\n]\n"
+
+let run () =
+  Config.section "GA hot path: domain-parallel evaluation (BENCH_ga.json)";
+  let auto = Par.resolve ~domains:0 () in
+  Printf.printf "autodetected domains: %d\n" auto;
+  let cells =
+    List.concat_map
+      (fun n ->
+        let (seq_result, seq_wall, seq_eps) = measure ~n ~domains:1 in
+        let seq_cell =
+          { n; domains = 1; evals_per_sec = seq_eps; wall_s = seq_wall;
+            speedup_vs_seq = 1.0 }
+        in
+        let par_cell =
+          if auto = 1 then []
+          else begin
+            let (par_result, par_wall, par_eps) = measure ~n ~domains:auto in
+            assert (Float.equal par_result.Cold.Ga.best_cost seq_result.Cold.Ga.best_cost);
+            [ { n; domains = auto; evals_per_sec = par_eps; wall_s = par_wall;
+                speedup_vs_seq = par_eps /. seq_eps } ]
+          end
+        in
+        (* The memo's contribution, reported alongside (not in the JSON):
+           same workload with the default cache. *)
+        let (cached, cached_wall) =
+          Config.time_it (fun () ->
+              Cold.Ga.run ~domains:1 settings
+                (Cold.Cost.params ~k2:1e-4 ())
+                (Context.generate (Context.default_spec ~n)
+                   (Prng.create (Config.master_seed + n)))
+                (Prng.create 42))
+        in
+        Printf.printf
+          "n=%-3d seq %7.1f evals/s (%.2fs); cache on: %.2fs, %d/%d hits\n%!" n
+          seq_eps seq_wall cached_wall cached.Cold.Ga.cache_hits
+          cached.Cold.Ga.evaluations;
+        List.iter
+          (fun c ->
+            Printf.printf "n=%-3d %d domains %7.1f evals/s (%.2fs)  speedup %.2fx\n%!"
+              c.n c.domains c.evals_per_sec c.wall_s c.speedup_vs_seq)
+          par_cell;
+        seq_cell :: par_cell)
+      [ 20; 40 ]
+  in
+  let oc = open_out "BENCH_ga.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (json_of_cells cells));
+  Printf.printf "wrote BENCH_ga.json (%d cells)\n" (List.length cells)

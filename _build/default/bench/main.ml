@@ -21,5 +21,6 @@ let () =
   Evolution_experiment.run ();
   Abc_experiment.run ();
   Ablation_routing.run ();
+  Ga_hotpath.run ();
   Micro.run ();
   Printf.printf "\ntotal harness time: %.0fs\n" (Unix.gettimeofday () -. t0)

@@ -42,6 +42,14 @@ let population =
   let doc = "GA population size (paper default 100)." in
   Arg.(value & opt int 100 & info [ "population" ] ~docv:"M" ~doc)
 
+let domains =
+  let doc =
+    "Domains evaluating candidates concurrently (0 = autodetect from the \
+     machine). Synthesized networks are bit-identical at every setting; \
+     only wall-clock time changes. See doc/PERF.md."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"K" ~doc)
+
 let pareto =
   let doc = "Use Pareto(1.5) populations instead of exponential." in
   Arg.(value & flag & info [ "pareto" ] ~doc)
@@ -101,7 +109,7 @@ let params_of ?preset ~k0 ~k2 ~k3 () =
       in
       failwith (Printf.sprintf "unknown preset %S (known: %s)" name known))
 
-let config_of ?preset ~k0 ~k2 ~k3 ~generations ~population () =
+let config_of ?preset ?(domains = 1) ~k0 ~k2 ~k3 ~generations ~population () =
   let params = params_of ?preset ~k0 ~k2 ~k3 () in
   let saved = max 1 (population / 5) in
   let crossover = max 1 (population / 2) in
@@ -117,6 +125,7 @@ let config_of ?preset ~k0 ~k2 ~k3 ~generations ~population () =
         num_crossover = crossover;
         num_mutation = mutation;
       };
+    domains;
   }
 
 let emit ~output text =
@@ -141,8 +150,8 @@ let render fmt net =
 
 (* --- generate ---------------------------------------------------------------- *)
 
-let generate pops seed k0 k2 k3 preset generations population pareto bursty fmt output =
-  let cfg = config_of ?preset ~k0 ~k2 ~k3 ~generations ~population () in
+let generate pops seed k0 k2 k3 preset generations population domains pareto bursty fmt output =
+  let cfg = config_of ?preset ~domains ~k0 ~k2 ~k3 ~generations ~population () in
   let spec = spec_of ~pops ~pareto ~bursty in
   let net = Cold.Synthesis.synthesize cfg spec ~seed in
   emit ~output (render fmt net);
@@ -154,7 +163,7 @@ let generate_cmd =
     (Cmd.info "generate" ~doc)
     Term.(
       const generate $ pops $ seed $ k0 $ k2 $ k3 $ preset_arg $ generations
-      $ population $ pareto $ bursty $ format_arg $ output)
+      $ population $ domains $ pareto $ bursty $ format_arg $ output)
 
 (* --- ensemble ---------------------------------------------------------------- *)
 
@@ -162,10 +171,12 @@ let count =
   let doc = "Number of networks in the ensemble." in
   Arg.(value & opt int 10 & info [ "c"; "count" ] ~docv:"COUNT" ~doc)
 
-let ensemble pops seed k0 k2 k3 generations population pareto bursty count =
+let ensemble pops seed k0 k2 k3 generations population domains pareto bursty count =
+  (* Parallelism pays best at the widest fan-out: whole ensemble members
+     run concurrently while each inner GA stays sequential. *)
   let cfg = config_of ~k0 ~k2 ~k3 ~generations ~population () in
   let spec = spec_of ~pops ~pareto ~bursty in
-  let e = Cold.Ensemble.generate cfg spec ~count ~seed in
+  let e = Cold.Ensemble.generate ~domains cfg spec ~count ~seed in
   Printf.printf "%s\n" Summary.to_csv_header;
   Array.iter (fun s -> Printf.printf "%s\n" (Summary.to_csv_row s)) e.Cold.Ensemble.summaries;
   let stat name f =
@@ -187,7 +198,7 @@ let ensemble_cmd =
     (Cmd.info "ensemble" ~doc)
     Term.(
       const ensemble $ pops $ seed $ k0 $ k2 $ k3 $ generations $ population
-      $ pareto $ bursty $ count)
+      $ domains $ pareto $ bursty $ count)
 
 (* --- zoo ---------------------------------------------------------------------- *)
 
@@ -215,8 +226,8 @@ let zoo_cmd =
 
 (* --- expand ------------------------------------------------------------------- *)
 
-let expand pops seed k0 k2 k3 generations population pareto bursty =
-  let cfg = config_of ~k0 ~k2 ~k3 ~generations ~population () in
+let expand pops seed k0 k2 k3 generations population domains pareto bursty =
+  let cfg = config_of ~domains ~k0 ~k2 ~k3 ~generations ~population () in
   let spec = spec_of ~pops ~pareto ~bursty in
   let net = Cold.Synthesis.synthesize cfg spec ~seed in
   let r = Cold_router.Expand.expand net in
@@ -244,12 +255,12 @@ let expand_cmd =
     (Cmd.info "expand" ~doc)
     Term.(
       const expand $ pops $ seed $ k0 $ k2 $ k3 $ generations $ population
-      $ pareto $ bursty)
+      $ domains $ pareto $ bursty)
 
 (* --- resilience ---------------------------------------------------------------- *)
 
-let resilience pops seed k0 k2 k3 generations population pareto bursty =
-  let cfg = config_of ~k0 ~k2 ~k3 ~generations ~population () in
+let resilience pops seed k0 k2 k3 generations population domains pareto bursty =
+  let cfg = config_of ~domains ~k0 ~k2 ~k3 ~generations ~population () in
   let spec = spec_of ~pops ~pareto ~bursty in
   let net = Cold.Synthesis.synthesize cfg spec ~seed in
   let module R = Cold_net.Resilience in
@@ -277,7 +288,7 @@ let resilience_cmd =
     (Cmd.info "resilience" ~doc)
     Term.(
       const resilience $ pops $ seed $ k0 $ k2 $ k3 $ generations $ population
-      $ pareto $ bursty)
+      $ domains $ pareto $ bursty)
 
 (* --- evolve ------------------------------------------------------------------- *)
 
@@ -341,7 +352,7 @@ let epsilon_arg =
   let doc = "ABC acceptance threshold (normalized statistic distance)." in
   Arg.(value & opt float 0.35 & info [ "epsilon" ] ~docv:"EPS" ~doc)
 
-let fit input seed trials epsilon =
+let fit input seed trials epsilon domains =
   let parsed =
     if Filename.check_suffix input ".gml" then
       Cold_netio.Gml_parser.read_file ~path:input
@@ -361,7 +372,7 @@ let fit input seed trials epsilon =
      running %d ABC trials (this synthesizes %d networks)...\n%!"
     obs.Cold.Abc.n obs.Cold.Abc.average_degree obs.Cold.Abc.global_clustering
     obs.Cold.Abc.cvnd obs.Cold.Abc.diameter trials trials;
-  let samples = Cold.Abc.infer ~trials ~epsilon obs ~seed in
+  let samples = Cold.Abc.infer ~domains ~trials ~epsilon obs ~seed in
   Printf.printf "accepted %d/%d\n" (List.length samples) trials;
   (match Cold.Abc.posterior_mean samples with
   | None ->
@@ -380,7 +391,9 @@ let fit_cmd =
     "Estimate COLD cost parameters for an observed topology via ABC \
      (Approximate Bayesian Computation)."
   in
-  Cmd.v (Cmd.info "fit" ~doc) Term.(const fit $ input_arg $ seed $ trials_arg $ epsilon_arg)
+  Cmd.v
+    (Cmd.info "fit" ~doc)
+    Term.(const fit $ input_arg $ seed $ trials_arg $ epsilon_arg $ domains)
 
 (* --- main ---------------------------------------------------------------------- *)
 

@@ -1,1 +1,1 @@
-lib/core/abc.ml: Cold_context Cold_metrics Cold_prng Cost Float Ga List Synthesis
+lib/core/abc.ml: Array Cold_context Cold_metrics Cold_par Cold_prng Cost Float Ga List Synthesis

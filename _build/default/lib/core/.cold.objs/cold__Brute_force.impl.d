@@ -1,1 +1,1 @@
-lib/core/brute_force.ml: Array Cold_context Cold_graph Cost Option
+lib/core/brute_force.ml: Array Cold_context Cold_graph Cold_par Cost Int Option

@@ -1,1 +1,1 @@
-lib/core/ensemble.ml: Array Cold_context Cold_graph Cold_metrics Cold_net Cold_prng Cold_stats Synthesis
+lib/core/ensemble.ml: Array Cold_context Cold_graph Cold_metrics Cold_net Cold_par Cold_prng Cold_stats Synthesis

@@ -1,0 +1,1 @@
+lib/core/fitness_cache.ml: Array Cold_graph Int64 Mutex

@@ -1,0 +1,1 @@
+lib/core/fitness_cache.mli: Cold_graph

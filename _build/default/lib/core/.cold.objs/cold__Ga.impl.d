@@ -1,1 +1,1 @@
-lib/core/ga.ml: Array Cold_context Cold_graph Cold_prng Cost Float List Operators Repair
+lib/core/ga.ml: Array Cold_context Cold_graph Cold_par Cold_prng Cost Fitness_cache Float List Operators Repair

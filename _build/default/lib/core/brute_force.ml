@@ -28,16 +28,13 @@ let graph_of_mask n pair_array mask =
     pair_array;
   g
 
-let optimal ?(max_n = 8) params ctx =
-  let n = Context.n ctx in
-  if n < 2 then invalid_arg "Brute_force.optimal: need at least 2 PoPs";
-  if n > max_n then invalid_arg "Brute_force.optimal: too many PoPs to enumerate";
-  let pair_array = pairs n in
-  let bits = Array.length pair_array in
+let rec popcount m acc = if m = 0 then acc else popcount (m lsr 1) (acc + (m land 1))
+
+(* Earliest strict minimum over one contiguous mask range. *)
+let best_in_range n pair_array params ctx ~lo ~hi =
   let best = ref None in
-  for mask = 0 to (1 lsl bits) - 1 do
+  for mask = lo to hi - 1 do
     (* A connected graph needs at least n-1 edges: cheap popcount prune. *)
-    let rec popcount m acc = if m = 0 then acc else popcount (m lsr 1) (acc + (m land 1)) in
     if popcount mask 0 >= n - 1 && mask_connected n pair_array mask then begin
       let g = graph_of_mask n pair_array mask in
       let c = Cost.evaluate params ctx g in
@@ -46,7 +43,41 @@ let optimal ?(max_n = 8) params ctx =
       | Some (_, bc) -> if c < bc then best := Some (g, c)
     end
   done;
-  Option.get !best
+  !best
+
+let optimal ?(domains = 1) ?(max_n = 8) params ctx =
+  let n = Context.n ctx in
+  if n < 2 then invalid_arg "Brute_force.optimal: need at least 2 PoPs";
+  if n > max_n then invalid_arg "Brute_force.optimal: too many PoPs to enumerate";
+  let pair_array = pairs n in
+  let bits = Array.length pair_array in
+  let total = 1 lsl bits in
+  let streams = Cold_par.Par.resolve ~domains () in
+  (* Contiguous chunks, merged in mask order with strict improvement only:
+     the winner is the earliest mask attaining the minimum cost — the same
+     candidate the sequential scan keeps — for any chunking, so the result
+     does not depend on the chunk count or on scheduling. *)
+  let chunks = Int.min total (Int.max 1 (streams * 8)) in
+  let ranges =
+    Array.init chunks (fun i ->
+        (i * total / chunks, (i + 1) * total / chunks))
+  in
+  let candidates =
+    Cold_par.Par.with_pool ~domains (fun pool ->
+        Cold_par.Par.map_array pool
+          (fun (lo, hi) -> best_in_range n pair_array params ctx ~lo ~hi)
+          ranges)
+  in
+  let best =
+    Array.fold_left
+      (fun acc candidate ->
+        match (acc, candidate) with
+        | (None, c) -> c
+        | (Some _, None) -> acc
+        | (Some (_, bc), Some (_, c)) -> if c < bc then candidate else acc)
+      None candidates
+  in
+  Option.get best
 
 let count_connected n =
   if n < 1 || n > 6 then invalid_arg "Brute_force.count_connected: n must be in 1..6";

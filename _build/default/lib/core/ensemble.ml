@@ -4,6 +4,8 @@ module Network = Cold_net.Network
 module Summary = Cold_metrics.Summary
 module Graph = Cold_graph.Graph
 
+module Par = Cold_par.Par
+
 type t = { networks : Network.t array; summaries : Summary.t array }
 
 let finish networks =
@@ -12,26 +14,37 @@ let finish networks =
     summaries = Array.map (fun n -> Summary.compute n.Network.graph) networks;
   }
 
-let generate ?(on_progress = fun _ -> ()) cfg spec ~count ~seed =
+(* Members already draw from per-trial child PRNG streams (split_at), so
+   each trial is a self-contained synthesis task: one context + GA per pool
+   slot, results landing in trial order whatever domain ran them. *)
+let generate ?(domains = 1) ?(on_progress = fun _ -> ()) cfg spec ~count ~seed =
   if count < 0 then invalid_arg "Ensemble.generate";
   let root = Prng.create seed in
+  let trials = Array.init count (fun i -> i) in
   let networks =
-    Array.init count (fun i ->
-        let rng = Prng.split_at root i in
-        let ctx = Context.generate spec rng in
-        let net = Synthesis.design cfg ctx rng in
-        on_progress i;
-        net)
+    Par.with_pool ~domains (fun pool ->
+        Par.map_array pool
+          (fun i ->
+            let rng = Prng.split_at root i in
+            let ctx = Context.generate spec rng in
+            let net = Synthesis.design cfg ctx rng in
+            on_progress i;
+            net)
+          trials)
   in
   finish networks
 
-let same_context cfg ctx ~count ~seed =
+let same_context ?(domains = 1) cfg ctx ~count ~seed =
   if count < 0 then invalid_arg "Ensemble.same_context";
   let root = Prng.create seed in
+  let trials = Array.init count (fun i -> i) in
   let networks =
-    Array.init count (fun i ->
-        let rng = Prng.split_at root i in
-        Synthesis.design cfg ctx rng)
+    Par.with_pool ~domains (fun pool ->
+        Par.map_array pool
+          (fun i ->
+            let rng = Prng.split_at root i in
+            Synthesis.design cfg ctx rng)
+          trials)
   in
   finish networks
 

@@ -1,0 +1,58 @@
+module Graph = Cold_graph.Graph
+
+type 'a entry = { key : Graph.t; value : 'a }
+
+type 'a t = {
+  mutex : Mutex.t;
+  slots : 'a entry option array;  (* direct-mapped: slot = fingerprint mod capacity *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~slots =
+  if slots < 0 then invalid_arg "Fitness_cache.create: slots must be >= 0";
+  { mutex = Mutex.create (); slots = Array.make slots None; hits = 0; misses = 0 }
+
+let slot_of cache g =
+  let capacity = Array.length cache.slots in
+  let fp = Graph.fingerprint g in
+  (* Mask the sign away before reducing mod capacity. *)
+  Int64.to_int (Int64.rem (Int64.logand fp Int64.max_int) (Int64.of_int capacity))
+
+let find_or_compute cache g compute =
+  if Array.length cache.slots = 0 then begin
+    Mutex.lock cache.mutex;
+    cache.misses <- cache.misses + 1;
+    Mutex.unlock cache.mutex;
+    compute ()
+  end
+  else begin
+    let slot = slot_of cache g in
+    Mutex.lock cache.mutex;
+    match cache.slots.(slot) with
+    | Some e when Graph.equal e.key g ->
+      cache.hits <- cache.hits + 1;
+      Mutex.unlock cache.mutex;
+      e.value
+    | _ ->
+      cache.misses <- cache.misses + 1;
+      Mutex.unlock cache.mutex;
+      let value = compute () in
+      let e = { key = Graph.copy g; value } in
+      Mutex.lock cache.mutex;
+      cache.slots.(slot) <- Some e;
+      Mutex.unlock cache.mutex;
+      value
+  end
+
+let hits cache =
+  Mutex.lock cache.mutex;
+  let h = cache.hits in
+  Mutex.unlock cache.mutex;
+  h
+
+let misses cache =
+  Mutex.lock cache.mutex;
+  let m = cache.misses in
+  Mutex.unlock cache.mutex;
+  m

@@ -1,0 +1,41 @@
+(** Bounded memoization of topology fitness.
+
+    Crossover of similar parents and elite-heavy populations make the GA
+    re-evaluate byte-identical chromosomes constantly; each such duplicate
+    costs n Dijkstras plus a load-accumulation pass for an answer already
+    computed. This cache keys on a canonical fingerprint of the adjacency
+    matrix ({!Cold_graph.Graph.fingerprint}, FNV-1a over the adjacency
+    bytes) and confirms every hit with a full structural equality check, so
+    a fingerprint collision can never return the wrong cost.
+
+    The store is a fixed-size direct-mapped table: slot = fingerprint mod
+    capacity, insert evicts whatever occupied the slot. Eviction affects
+    only the hit rate, never a returned value — a memoized objective must
+    be a pure function of the graph, so hits are bit-identical to
+    recomputation by construction.
+
+    All operations are guarded by a mutex; the cache is safe to share
+    across the domains of a {!Cold_par.Par} pool. Keys are defensively
+    copied on insert, so callers may mutate their graph afterwards. *)
+
+type 'a t
+
+val create : slots:int -> 'a t
+(** [create ~slots] makes a cache with [slots] direct-mapped entries.
+    [slots = 0] disables memoization (every lookup computes; counters still
+    track). Raises [Invalid_argument] if [slots < 0]. *)
+
+val find_or_compute : 'a t -> Cold_graph.Graph.t -> (unit -> 'a) -> 'a
+(** [find_or_compute cache g compute] returns the cached value for [g] or
+    runs [compute ()] and stores the result. [compute] runs outside the
+    cache lock, so independent misses evaluate concurrently; two domains
+    racing on the same key may both compute (both results are identical for
+    a pure objective — the second store is a no-op in effect). *)
+
+val hits : 'a t -> int
+(** Lookups answered from the store. With a multi-domain pool the split
+    between {!hits} and {!misses} can vary by a few counts across runs
+    (racing duplicates); their sum — total lookups — cannot. *)
+
+val misses : 'a t -> int
+(** Lookups that ran [compute]. *)

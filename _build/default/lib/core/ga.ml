@@ -2,6 +2,7 @@ module Graph = Cold_graph.Graph
 module Mst = Cold_graph.Mst
 module Dist = Cold_prng.Dist
 module Context = Cold_context.Context
+module Par = Cold_par.Par
 
 type settings = {
   population_size : int;
@@ -21,6 +22,8 @@ type result = {
   final_population : (Graph.t * float) array;
   history : float array;
   evaluations : int;
+  cache_hits : int;
+  cache_misses : int;
 }
 
 let default_settings =
@@ -35,6 +38,8 @@ let default_settings =
     node_mutation_prob = 0.5;
     init_edge_factor = 1.5;
   }
+
+let default_cache_slots = 1024
 
 let validate s =
   if s.population_size < 2 then invalid_arg "Ga: population_size must be >= 2";
@@ -61,30 +66,34 @@ let erdos_renyi_repaired ctx ~p rng =
   ignore (Repair.repair ctx g);
   g
 
-let initial_population ~seeds settings ~objective ctx rng evaluations =
+(* Candidate graphs are produced serially with the RNG (so the random
+   stream is identical at every domain count), then costed as one batch:
+   the pool writes each cost into the slot named by its candidate's index,
+   which keeps population order — and every downstream sort and tie-break —
+   bit-identical to the sequential run. *)
+let initial_population ~seeds settings ctx rng ~evaluate_batch =
   let n = Context.n ctx in
-  let evaluate g =
-    incr evaluations;
-    (g, objective g)
-  in
   let mst = Mst.mst_graph ~n ~weight:(fun u v -> Context.distance ctx u v) in
   let clique = Graph.complete n in
-  let fixed = evaluate mst :: evaluate clique :: List.map evaluate seeds in
-  let fixed = Array.of_list fixed in
+  let fixed = mst :: clique :: seeds in
+  let fixed_count = List.length fixed in
   let pairs = float_of_int (n * (n - 1) / 2) in
   let p = Float.min 1.0 (settings.init_edge_factor *. float_of_int n /. pairs) in
-  let random_count = max 0 (settings.population_size - Array.length fixed) in
-  let randoms =
-    Array.init random_count (fun _ -> evaluate (erdos_renyi_repaired ctx ~p rng))
-  in
-  let pop = Array.append fixed randoms in
+  let random_count = max 0 (settings.population_size - fixed_count) in
+  let graphs = Array.make (fixed_count + random_count) clique in
+  List.iteri (fun i g -> graphs.(i) <- g) fixed;
+  for i = 0 to random_count - 1 do
+    graphs.(fixed_count + i) <- erdos_renyi_repaired ctx ~p rng
+  done;
+  let pop = evaluate_batch graphs in
   (* If seeds overflow the population, keep the cheapest M. *)
   Array.sort (fun (_, a) (_, b) -> Float.compare a b) pop;
   if Array.length pop > settings.population_size then
     Array.sub pop 0 settings.population_size
   else pop
 
-let run_custom ?(seeds = []) settings ~objective ctx rng =
+let run_custom ?(domains = 1) ?(cache_slots = default_cache_slots) ?(seeds = [])
+    settings ~objective ctx rng =
   validate settings;
   let n = Context.n ctx in
   if n < 2 then invalid_arg "Ga.run: need at least 2 PoPs";
@@ -93,53 +102,64 @@ let run_custom ?(seeds = []) settings ~objective ctx rng =
       if Graph.node_count g <> n then
         invalid_arg "Ga.run: seed topology size does not match context")
     seeds;
+  let cache = Fitness_cache.create ~slots:cache_slots in
   let evaluations = ref 0 in
-  let evaluate g =
-    incr evaluations;
-    (g, objective g)
-  in
-  let pop = ref (initial_population ~seeds settings ~objective ctx rng evaluations) in
-  (* Population is kept sorted ascending by cost. *)
-  let history = Array.make (settings.generations + 1) infinity in
-  history.(0) <- snd !pop.(0);
-  for gen = 1 to settings.generations do
-    let prev = !pop in
-    let next =
-      Array.make settings.population_size prev.(0)
-    in
-    (* Elites survive unchanged (they are never mutated in place). *)
-    for i = 0 to settings.num_saved - 1 do
-      next.(i) <- prev.(i)
-    done;
-    for i = 0 to settings.num_crossover - 1 do
-      let parents =
-        Operators.tournament ~pool:settings.tournament_pool
-          ~winners:settings.tournament_winners prev rng
+  Par.with_pool ~domains (fun pool ->
+      let evaluate_batch graphs =
+        evaluations := !evaluations + Array.length graphs;
+        Par.map_array pool
+          (fun g -> (g, Fitness_cache.find_or_compute cache g (fun () -> objective g)))
+          graphs
       in
-      let child = Operators.crossover ctx ~parents rng in
-      next.(settings.num_saved + i) <- evaluate child
-    done;
-    for i = 0 to settings.num_mutation - 1 do
-      let idx = Operators.select_inverse_cost prev rng in
-      let mutant = Graph.copy (fst prev.(idx)) in
-      if Dist.bernoulli rng ~p:settings.node_mutation_prob then
-        Operators.node_mutation ctx mutant rng
-      else Operators.link_mutation ctx mutant rng;
-      next.(settings.num_saved + settings.num_crossover + i) <- evaluate mutant
-    done;
-    Array.sort (fun (_, a) (_, b) -> Float.compare a b) next;
-    pop := next;
-    history.(gen) <- snd next.(0)
-  done;
-  let (best, best_cost) = !pop.(0) in
-  {
-    best;
-    best_cost;
-    final_population = !pop;
-    history;
-    evaluations = !evaluations;
-  }
+      let pop = ref (initial_population ~seeds settings ctx rng ~evaluate_batch) in
+      (* Population is kept sorted ascending by cost. *)
+      let history = Array.make (settings.generations + 1) infinity in
+      history.(0) <- snd !pop.(0);
+      let children_count = settings.num_crossover + settings.num_mutation in
+      for gen = 1 to settings.generations do
+        let prev = !pop in
+        (* Children are bred serially — tournament, crossover and mutation
+           all draw from the single RNG stream in the original order — and
+           only their (pure) evaluations fan out across domains. *)
+        let children = Array.make (max children_count 1) (fst prev.(0)) in
+        for i = 0 to settings.num_crossover - 1 do
+          let parents =
+            Operators.tournament ~pool:settings.tournament_pool
+              ~winners:settings.tournament_winners prev rng
+          in
+          children.(i) <- Operators.crossover ctx ~parents rng
+        done;
+        for i = 0 to settings.num_mutation - 1 do
+          let idx = Operators.select_inverse_cost prev rng in
+          let mutant = Graph.copy (fst prev.(idx)) in
+          if Dist.bernoulli rng ~p:settings.node_mutation_prob then
+            Operators.node_mutation ctx mutant rng
+          else Operators.link_mutation ctx mutant rng;
+          children.(settings.num_crossover + i) <- mutant
+        done;
+        let evaluated = evaluate_batch (Array.sub children 0 children_count) in
+        let next = Array.make settings.population_size prev.(0) in
+        (* Elites survive unchanged (they are never mutated in place). *)
+        for i = 0 to settings.num_saved - 1 do
+          next.(i) <- prev.(i)
+        done;
+        Array.blit evaluated 0 next settings.num_saved children_count;
+        Array.sort (fun (_, a) (_, b) -> Float.compare a b) next;
+        pop := next;
+        history.(gen) <- snd next.(0)
+      done;
+      let (best, best_cost) = !pop.(0) in
+      {
+        best;
+        best_cost;
+        final_population = !pop;
+        history;
+        evaluations = !evaluations;
+        cache_hits = Fitness_cache.hits cache;
+        cache_misses = Fitness_cache.misses cache;
+      })
 
-let run ?seeds settings params ctx rng =
-  run_custom ?seeds settings ~objective:(fun g -> Cost.evaluate params ctx g) ctx
-    rng
+let run ?domains ?cache_slots ?seeds settings params ctx rng =
+  run_custom ?domains ?cache_slots ?seeds settings
+    ~objective:(fun g -> Cost.evaluate params ctx g)
+    ctx rng

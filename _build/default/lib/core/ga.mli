@@ -36,10 +36,21 @@ type result = {
           run yields a whole population of solutions (§3.3, "non-exclusive"). *)
   history : float array;  (** Best cost after each generation (length T+1,
                               starting with the initial population). *)
-  evaluations : int;  (** Number of cost evaluations performed. *)
+  evaluations : int;
+      (** Number of fitness evaluations requested. Identical at every
+          [?domains] and [?cache_slots] setting; memoized duplicates count
+          (see {!result.cache_hits} for how many skipped routing). *)
+  cache_hits : int;
+      (** Evaluations answered by the fitness memo without routing. With
+          [domains > 1] the hit/miss split may shift by a few counts across
+          runs (racing duplicate evaluations); results never do. *)
+  cache_misses : int;  (** Evaluations that ran the objective. *)
 }
 
 val default_settings : settings
+
+val default_cache_slots : int
+(** Default size of the per-run fitness memo (1024 direct-mapped slots). *)
 
 val validate : settings -> unit
 (** Raises [Invalid_argument] unless
@@ -47,6 +58,8 @@ val validate : settings -> unit
     counts are sane. *)
 
 val run :
+  ?domains:int ->
+  ?cache_slots:int ->
   ?seeds:Cold_graph.Graph.t list ->
   settings ->
   Cost.params ->
@@ -55,9 +68,24 @@ val run :
   result
 (** [run ?seeds settings params ctx rng] evolves topologies for [ctx].
     Deterministic given the rng state. All returned topologies are
-    connected. *)
+    connected.
+
+    [?domains] (default 1) sets how many domains evaluate candidates
+    concurrently; [0] autodetects ([Domain.recommended_domain_count]).
+    Children are bred serially from the single RNG stream and only their
+    evaluations fan out, with results written into index-addressed slots —
+    so [best], [best_cost], [history], [final_population] and
+    [evaluations] are bit-identical at every domain count (doc/PERF.md has
+    the full argument).
+
+    [?cache_slots] (default {!default_cache_slots}) bounds the fitness
+    memo that lets duplicate chromosomes skip routing; [0] disables it.
+    Hits return the exact float the objective produced, so the setting
+    never changes results. *)
 
 val run_custom :
+  ?domains:int ->
+  ?cache_slots:int ->
   ?seeds:Cold_graph.Graph.t list ->
   settings ->
   objective:(Cold_graph.Graph.t -> float) ->
@@ -67,4 +95,8 @@ val run_custom :
 (** Like {!run} but minimizing an arbitrary objective — the hook through
     which extensions add costs (§2 "extensibility"; e.g. the legacy-link
     charges of {!Evolution}). The objective should return [infinity] for
-    topologies it deems infeasible. *)
+    topologies it deems infeasible.
+
+    The objective must be a pure function of the graph: with [domains > 1]
+    it runs concurrently on several domains, and with [cache_slots > 0]
+    repeated values are assumed interchangeable. *)

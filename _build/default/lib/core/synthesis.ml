@@ -9,6 +9,7 @@ type config = {
   seed_with_heuristics : bool;
   heuristic_permutations : int;
   capacity : Capacity.policy;
+  domains : int;
 }
 
 let default_config ?(params = Cost.params ()) () =
@@ -18,6 +19,7 @@ let default_config ?(params = Cost.params ()) () =
     seed_with_heuristics = true;
     heuristic_permutations = 10;
     capacity = Capacity.default;
+    domains = 1;
   }
 
 let design_ga cfg ctx rng =
@@ -27,7 +29,7 @@ let design_ga cfg ctx rng =
         ctx rng
     else []
   in
-  Ga.run ~seeds cfg.ga cfg.params ctx rng
+  Ga.run ~domains:cfg.domains ~seeds cfg.ga cfg.params ctx rng
 
 let design cfg ctx rng =
   let result = design_ga cfg ctx rng in

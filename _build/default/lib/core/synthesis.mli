@@ -16,10 +16,15 @@ type config = {
           tested". *)
   heuristic_permutations : int;  (** Random-greedy restarts. Default 10. *)
   capacity : Cold_net.Capacity.policy;
+  domains : int;
+      (** Domains evaluating GA candidates concurrently; [1] (the default)
+          is sequential, [0] autodetects. Results are bit-identical at
+          every setting — see {!Ga.run}. *)
 }
 
 val default_config : ?params:Cost.params -> unit -> config
-(** T = M = 100 GA, heuristic seeding on, capacity over-provisioning 2. *)
+(** T = M = 100 GA, heuristic seeding on, capacity over-provisioning 2,
+    sequential evaluation ([domains = 1]). *)
 
 val design :
   config -> Cold_context.Context.t -> Cold_prng.Prng.t -> Cold_net.Network.t

@@ -1,1 +1,1 @@
-lib/geom/distmat.ml: Array Point
+lib/geom/distmat.ml: Array Float Point

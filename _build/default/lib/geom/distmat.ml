@@ -23,7 +23,7 @@ let get t i j =
   if i < 0 || j < 0 || i >= t.n || j >= t.n then invalid_arg "Distmat.get";
   if i = j then 0.0 else t.data.(index t i j)
 
-let max_distance t = Array.fold_left max 0.0 t.data
+let max_distance t = Array.fold_left Float.max 0.0 t.data
 
 let nearest t i ~except =
   if i < 0 || i >= t.n then invalid_arg "Distmat.nearest";

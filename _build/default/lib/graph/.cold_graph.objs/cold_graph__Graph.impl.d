@@ -1,1 +1,1 @@
-lib/graph/graph.ml: Array Bytes Format List
+lib/graph/graph.ml: Array Bytes Char Format Int64 List

@@ -1,1 +1,1 @@
-lib/graph/shortest_path.ml: Array Graph Heap Traversal
+lib/graph/shortest_path.ml: Array Float Graph Heap Traversal

@@ -114,6 +114,32 @@ let degree_sequence g = Array.copy g.deg
 
 let equal g h = g.n = h.n && g.m = h.m && Bytes.equal g.adj h.adj
 
+let fingerprint g =
+  (* FNV-1a over the adjacency bytes, seeded with n so that empty graphs of
+     different sizes differ. The adjacency matrix is symmetric with a zero
+     diagonal, so it is already a canonical encoding of the edge set. *)
+  let fnv_prime = 0x100000001B3L in
+  let h = ref 0xCBF29CE484222325L in
+  let mix b =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int b)) fnv_prime
+  in
+  mix g.n;
+  Bytes.iter (fun c -> mix (Char.code c)) g.adj;
+  !h
+
+let adjacency_arrays g =
+  Array.init g.n (fun v ->
+      let a = Array.make g.deg.(v) 0 in
+      let k = ref 0 in
+      let row = v * g.n in
+      for u = 0 to g.n - 1 do
+        if Bytes.unsafe_get g.adj (row + u) = '\001' then begin
+          a.(!k) <- u;
+          incr k
+        end
+      done;
+      a)
+
 let remove_all_edges_of g v =
   check_vertex g v "remove_all_edges_of";
   iter_neighbors g v (fun u -> remove_edge g u v)

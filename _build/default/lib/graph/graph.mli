@@ -80,6 +80,20 @@ val degree_sequence : t -> int array
 val equal : t -> t -> bool
 (** Structural equality: same vertex count and same edge set. *)
 
+val fingerprint : t -> int64
+(** [fingerprint g] is a 64-bit FNV-1a hash of the vertex count and the
+    adjacency matrix — a canonical fingerprint of the labelled topology:
+    equal graphs always collide, unequal graphs almost never do. Callers
+    needing certainty (e.g. fitness memoization) must confirm a match with
+    {!equal}. O(n²). *)
+
+val adjacency_arrays : t -> int array array
+(** [adjacency_arrays g] materializes each vertex's neighbours as an array,
+    ascending — the same order {!iter_neighbors} visits. One O(n²) scan
+    buys O(deg) neighbour iteration for algorithms that sweep the graph
+    many times (e.g. n-source Dijkstra); the arrays are a snapshot and do
+    not track later mutation. *)
+
 val remove_all_edges_of : t -> int -> unit
 (** [remove_all_edges_of g v] detaches vertex [v] entirely (used by the
     node-mutation operator that turns a hub into a leaf, §4.1.2). *)

@@ -14,10 +14,18 @@ type tree = {
   order : int array;  (** Vertices in settling order (ascending distance); length = number of reachable vertices. *)
 }
 
-val dijkstra : Graph.t -> length:(int -> int -> float) -> source:int -> tree
+val dijkstra :
+  ?adj:int array array -> Graph.t -> length:(int -> int -> float) -> source:int -> tree
 (** [dijkstra g ~length ~source] computes the shortest-path tree. [length u v]
     must be the positive length of edge [{u,v}]; it is queried only for
-    existing edges. *)
+    existing edges.
+
+    [?adj] accepts the graph's {!Graph.adjacency_arrays}: callers running
+    many sources over one topology (all-pairs routing, the GA's cost
+    evaluation) precompute it once and replace the O(n) adjacency-row scan
+    per settled vertex with an O(degree) array sweep. The arrays must
+    describe [g] exactly; neighbour visit order (ascending) and hence every
+    tie-break is identical with and without [?adj]. *)
 
 val path : tree -> int -> int list option
 (** [path t v] is the source→[v] vertex sequence, or [None] if unreachable. *)

@@ -136,6 +136,80 @@ let check_poly_compare ctx ts =
     code;
   !acc
 
+(* --- no-polymorphic-minmax --------------------------------------------------- *)
+
+(* Token-level float detection: a float literal or a well-known float
+   constant in an argument window right after the callee. Type information
+   would catch more (see doc/LINTS.md), but this shape already covers the
+   characteristic [max 0.0 x] / [Array.fold_left max 0.0 xs] accumulators. *)
+let floatish_token = function
+  | Some (Lexer.Float_lit _) -> true
+  | Some
+      (Lexer.Ident
+        ("infinity" | "neg_infinity" | "nan" | "max_float" | "min_float"
+        | "epsilon_float")) -> true
+  | _ -> false
+
+(* Stop scanning at tokens that end the argument list of a simple
+   application, so floats in a later expression cannot trigger a match. *)
+let argument_window_break = function
+  | Some (Lexer.Op (";" | "|" | "->" | ")" | "]" | "}" | "," | "<-" | ":="))
+  | Some
+      (Lexer.Ident
+        ("then" | "else" | "in" | "do" | "done" | "with" | "when" | "and")) ->
+    true
+  | None -> true
+  | _ -> false
+
+let check_poly_minmax ctx ts =
+  let code = code_tokens ts in
+  let acc = ref [] in
+  let flag line name =
+    acc :=
+      finding ~rule:"no-polymorphic-minmax" ~ctx ~line
+        (Printf.sprintf
+           "polymorphic '%s' on float-looking operands compares boxed \
+            representations; use Float.%s (explicit NaN/-0. semantics, no \
+            polymorphic dispatch)"
+           name
+           (match name with "compare" -> "compare" | n -> n))
+      :: !acc
+  in
+  Array.iteri
+    (fun i (t : Lexer.token) ->
+      match t.Lexer.kind with
+      | Lexer.Ident (("min" | "max" | "compare") as name) -> (
+        let prev = kind_at code (i - 1) in
+        let next = kind_at code (i + 1) in
+        let qualified = prev = Some (Lexer.Op ".") in
+        let is_definition =
+          match prev with
+          | Some (Lexer.Ident ("let" | "and" | "rec" | "method" | "val" | "external"))
+            -> true
+          | _ -> false
+        in
+        let is_label =
+          prev = Some (Lexer.Op "~")
+          ||
+          match next with
+          | Some (Lexer.Op op) -> String.length op > 0 && op.[0] = ':'
+          | _ -> false
+        in
+        (* [max = ...] is a binding or record field, never an application. *)
+        let is_binding = next = Some (Lexer.Op "=") in
+        if not (qualified || is_definition || is_label || is_binding) then begin
+          let rec scan j =
+            if j > i + 4 then ()
+            else if argument_window_break (kind_at code j) then ()
+            else if floatish_token (kind_at code j) then flag t.Lexer.line name
+            else scan (j + 1)
+          in
+          scan (i + 1)
+        end)
+      | _ -> ())
+    code;
+  !acc
+
 (* --- no-failwith-in-lib ----------------------------------------------------- *)
 
 let check_failwith ctx ts =
@@ -337,6 +411,18 @@ let all =
          populations) must be typed to stay stable across refactors.";
       applies = lib_and_bin;
       check = check_poly_compare;
+    };
+    {
+      name = "no-polymorphic-minmax";
+      summary = "use Float.min/Float.max/Float.compare on float operands";
+      rationale =
+        "Polymorphic min/max/compare on floats dispatch on the boxed \
+         representation and pin down no NaN or -0. semantics; the Float \
+         module's versions are explicit and branch-free. Detection is \
+         token-level (a float literal or constant in the argument window) \
+         — the typed-operand generalization is a ROADMAP item.";
+      applies = lib_and_bin;
+      check = check_poly_minmax;
     };
     {
       name = "no-failwith-in-lib";

@@ -1,1 +1,1 @@
-lib/net/routing.ml: Array Cold_graph Cold_traffic List
+lib/net/routing.ml: Array Cold_graph Cold_traffic Float List

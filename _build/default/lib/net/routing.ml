@@ -14,8 +14,10 @@ let route ?(multipath = false) g ~length ~tm =
   let n = Graph.node_count g in
   if Gravity.size tm <> n then invalid_arg "Routing.route: size mismatch";
   let matrix = Array.make (n * n) 0.0 in
+  (* One adjacency materialization serves all n single-source trees. *)
+  let adj = Graph.adjacency_arrays g in
   let trees =
-    Array.init n (fun s -> Shortest_path.dijkstra g ~length ~source:s)
+    Array.init n (fun s -> Shortest_path.dijkstra ~adj g ~length ~source:s)
   in
   let subtree = Array.make n 0.0 in
   let add_load u v w =
@@ -27,7 +29,7 @@ let route ?(multipath = false) g ~length ~tm =
     let dist = tree.Shortest_path.dist in
     (* Every demand from s must be routable. *)
     for d = 0 to n - 1 do
-      if Gravity.demand tm s d > 0.0 && dist.(d) = infinity then
+      if Gravity.demand tm s d > 0.0 && Float.equal dist.(d) infinity then
         raise Disconnected
     done;
     Array.fill subtree 0 n 0.0;
@@ -48,7 +50,11 @@ let route ?(multipath = false) g ~length ~tm =
               dist.(u) +. length u v <= dist.(v) +. (1e-9 *. (1.0 +. dist.(v)))
               && dist.(u) < dist.(v)
             in
-            let preds = Graph.fold_neighbors g v (fun acc u -> if on_path u then u :: acc else acc) [] in
+            let preds =
+              Array.fold_left
+                (fun acc u -> if on_path u then u :: acc else acc)
+                [] adj.(v)
+            in
             (* Degenerate geometries (zero-length links) can leave the strict
                distance test empty; fall back to the tree predecessor. *)
             let preds = if preds = [] then [ tree.Shortest_path.pred.(v) ] else preds in
@@ -87,6 +93,6 @@ let fold ld f init =
 let total_volume_length ld ~length =
   fold ld (fun acc u v w -> acc +. (w *. length u v)) 0.0
 
-let max_load ld = Array.fold_left max 0.0 ld.matrix
+let max_load ld = Array.fold_left Float.max 0.0 ld.matrix
 
 let trees ld = ld.trees

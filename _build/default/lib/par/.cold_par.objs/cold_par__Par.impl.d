@@ -1,0 +1,1 @@
+lib/par/par.ml: Array Condition Domain Fun List Mutex Printexc

@@ -1,0 +1,1 @@
+lib/par/par.mli:

@@ -1,0 +1,61 @@
+(** Deterministic fixed-size domain pool for evaluation fan-outs.
+
+    COLD's optimizer spends essentially all of its time in [Cost.evaluate];
+    a GA run performs ~10⁴ independent evaluations per context and the
+    ensemble layers multiply that by dozens of contexts. This module turns
+    those fan-outs into multicore work without changing a single bit of
+    output: tasks are indexed, every worker writes its result into the slot
+    named by the task's index, and the caller reduces the result {e array}
+    in index order. Reduction order — and therefore every float sum and
+    tie-break downstream — is identical to the sequential run regardless of
+    how the scheduler interleaves workers.
+
+    Only the OCaml 5 stdlib is used: [Domain], [Mutex] and [Condition].
+
+    {b Purity requirement.} With more than one domain the mapped function
+    runs concurrently on several domains, so it must not mutate shared
+    state (drawing from a shared {!Cold_prng.Prng} counts as mutation).
+    Pure functions of their argument — like COLD cost evaluation — qualify.
+
+    {b Determinism of exceptions.} If several tasks raise, the exception
+    re-raised by {!map_array} is the one from the {e smallest} task index,
+    matching what a sequential left-to-right run would report first. All
+    tasks run to completion before the exception propagates. *)
+
+type t
+(** A pool of worker domains (or the sequential no-pool degenerate). Pools
+    are not reentrant: do not call {!map_array} on the same pool from
+    within a mapped function. *)
+
+val resolve : ?domains:int -> unit -> int
+(** [resolve ?domains ()] normalizes the user-facing concurrency knob:
+    [None] and [Some 1] mean sequential (1), [Some 0] autodetects via
+    [Domain.recommended_domain_count ()], [Some k] with [k >= 2] means [k]
+    concurrent evaluation streams. Raises [Invalid_argument] if
+    [domains < 0]. *)
+
+val create : domains:int -> t
+(** [create ~domains] makes a pool with [domains] concurrent evaluation
+    streams: the calling domain participates in every map, so [domains - 1]
+    worker domains are spawned. [domains = 1] spawns nothing and runs
+    purely sequentially; [domains = 0] autodetects as in {!resolve}.
+    Raises [Invalid_argument] if [domains < 0]. *)
+
+val parallelism : t -> int
+(** Number of concurrent evaluation streams (1 for a sequential pool). *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array pool f xs] is [Array.map f xs], computed by the pool.
+    [f xs.(i)] lands in slot [i] of the result whatever domain ran it.
+    Raises [Invalid_argument] if the pool has been shut down. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] is [List.map f xs], computed by the pool. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Idempotent. The pool cannot be used
+    afterwards. Sequential pools are unaffected. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f] with a fresh pool and always shuts it
+    down, even if [f] raises. *)

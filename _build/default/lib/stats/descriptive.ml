@@ -31,11 +31,11 @@ let coefficient_of_variation xs =
 
 let min_value xs =
   check xs "min_value";
-  Array.fold_left min xs.(0) xs
+  Array.fold_left Float.min xs.(0) xs
 
 let max_value xs =
   check xs "max_value";
-  Array.fold_left max xs.(0) xs
+  Array.fold_left Float.max xs.(0) xs
 
 let quantile xs q =
   check xs "quantile";

@@ -1,0 +1,1 @@
+test/test_par.ml: Alcotest Array Cold Cold_context Cold_graph Cold_net Cold_par Cold_prng Float Fun List Printf

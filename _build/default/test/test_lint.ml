@@ -141,6 +141,23 @@ let test_no_naked_float_eq () =
   check_clean "no-naked-float-eq"
     "let f x = if x = 0.0 then 1 else 2 (* lint: allow no-naked-float-eq *)"
 
+let test_no_polymorphic_minmax () =
+  check_fires "no-polymorphic-minmax" "let m = max 0.0 x";
+  check_fires "no-polymorphic-minmax" "let m = Array.fold_left max 0.0 xs";
+  check_fires "no-polymorphic-minmax" "let m = min x infinity";
+  check_fires "no-polymorphic-minmax" "let c = compare x 1.5";
+  (* Qualified, int-looking, defining and labelled uses stay quiet. *)
+  check_clean "no-polymorphic-minmax" "let m = Float.max 0.0 x";
+  check_clean "no-polymorphic-minmax" "let m = max 0 x";
+  check_clean "no-polymorphic-minmax" "let m = max a b";
+  check_clean "no-polymorphic-minmax" "let max a b = if a > b then a else b";
+  check_clean "no-polymorphic-minmax" "let f = sort ~compare:Float.compare";
+  (* A float past the argument window or a break token is out of reach. *)
+  check_clean "no-polymorphic-minmax" "let m = max a b in x +. 0.5";
+  check_clean "no-polymorphic-minmax" "let m = if max a b > 0 then 1.0 else 2.0";
+  check_clean "no-polymorphic-minmax"
+    "let m = max 0.0 x (* lint: allow no-polymorphic-minmax *)"
+
 let test_todo_tracker () =
   check_fires "todo-tracker" "(* TODO fix the frobnicator *)";
   check_fires "todo-tracker" "(* FIXME *)";
@@ -226,7 +243,7 @@ let test_reporters () =
     (String.length body > 2 && body.[0] = '[')
 
 let test_rule_catalogue () =
-  Alcotest.(check int) "eight rules" 8 (List.length Rules.all);
+  Alcotest.(check int) "nine rules" 9 (List.length Rules.all);
   List.iter
     (fun (r : Rules.t) ->
       Alcotest.(check bool)
@@ -257,6 +274,8 @@ let () =
           Alcotest.test_case "no-failwith-in-lib" `Quick test_no_failwith_in_lib;
           Alcotest.test_case "mli-required" `Quick test_mli_required;
           Alcotest.test_case "no-naked-float-eq" `Quick test_no_naked_float_eq;
+          Alcotest.test_case "no-polymorphic-minmax" `Quick
+            test_no_polymorphic_minmax;
           Alcotest.test_case "todo-tracker" `Quick test_todo_tracker;
           Alcotest.test_case "magic-cost-constant" `Quick
             test_magic_cost_constant;

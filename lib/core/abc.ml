@@ -64,14 +64,17 @@ let reduced_ga =
 (* The paper fixes k1 as the unit of cost; ABC infers only k0, k2, k3. *)
 let unit_k1 = 1.0
 
-let infer ?(prior = default_prior) ?(trials = 200) ?(epsilon = 0.35)
-    ?(ga = reduced_ga) obs ~seed =
+let infer ?(domains = 1) ?(prior = default_prior) ?(trials = 200)
+    ?(epsilon = 0.35) ?(ga = reduced_ga) obs ~seed =
   if obs.n < 2 then invalid_arg "Abc.infer: observation too small";
   if trials < 1 then invalid_arg "Abc.infer: trials must be positive";
   let root = Prng.create seed in
   let spec = Context.default_spec ~n:obs.n in
-  let accepted = ref [] in
-  for trial = 0 to trials - 1 do
+  (* Each trial owns a child PRNG stream, so trials are independent tasks;
+     acceptances are then folded in trial order, reproducing the sequential
+     accumulation (and the stable sort's ordering of equal distances)
+     exactly. *)
+  let simulate trial =
     let rng = Prng.split_at root trial in
     let k0 = log_uniform rng prior.k0_range in
     let k2 = log_uniform rng prior.k2_range in
@@ -88,9 +91,19 @@ let infer ?(prior = default_prior) ?(trials = 200) ?(epsilon = 0.35)
     let result = Synthesis.design_ga cfg ctx rng in
     let sim = observe result.Ga.best in
     let d = distance obs sim in
-    if d <= epsilon then accepted := { params; distance = d } :: !accepted
-  done;
-  List.sort (fun a b -> Float.compare a.distance b.distance) !accepted
+    if d <= epsilon then Some { params; distance = d } else None
+  in
+  let outcomes =
+    Cold_par.Par.with_pool ~domains (fun pool ->
+        Cold_par.Par.map_array pool simulate (Array.init trials (fun i -> i)))
+  in
+  let accepted =
+    Array.fold_left
+      (fun acc outcome ->
+        match outcome with Some s -> s :: acc | None -> acc)
+      [] outcomes
+  in
+  List.sort (fun a b -> Float.compare a.distance b.distance) accepted
 
 let posterior_mean = function
   | [] -> None

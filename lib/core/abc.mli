@@ -37,6 +37,7 @@ val distance : observation -> observation -> float
     comparable). *)
 
 val infer :
+  ?domains:int ->
   ?prior:prior ->
   ?trials:int ->
   ?epsilon:float ->
@@ -47,7 +48,11 @@ val infer :
 (** [infer obs ~seed] runs [trials] (default 200) simulations with reduced
     GA settings (default: M = 40, T = 40) and returns accepted samples
     (distance ≤ [epsilon], default 0.35) sorted by ascending distance.
-    Contexts are drawn fresh per trial with the observation's n. *)
+    Contexts are drawn fresh per trial with the observation's n.
+
+    [?domains] (default 1; 0 autodetects) spreads trials — each a full
+    synthesis on its own split PRNG stream — across a domain pool; the
+    accepted list is identical at every setting. *)
 
 val posterior_mean : posterior_sample list -> Cost.params option
 (** Mean of accepted parameters (geometric mean for the log-scale ki);

@@ -7,13 +7,19 @@
     graphs); guarded at [n <= 8]. *)
 
 val optimal :
+  ?domains:int ->
   ?max_n:int ->
   Cost.params ->
   Cold_context.Context.t ->
   Cold_graph.Graph.t * float
 (** [optimal params ctx] is the exact optimum and its cost. Raises
     [Invalid_argument] if the context exceeds [max_n] (default 8) or has
-    fewer than 2 PoPs. *)
+    fewer than 2 PoPs.
+
+    [?domains] (default 1; 0 autodetects) sweeps the candidate masks in
+    contiguous chunks across a domain pool. Ties keep the smallest mask at
+    every setting, so the returned topology is bit-identical to the
+    sequential scan. *)
 
 val count_connected : int -> int
 (** [count_connected n] is the number of connected labelled graphs on [n]

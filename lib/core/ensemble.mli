@@ -13,6 +13,7 @@ type t = {
 }
 
 val generate :
+  ?domains:int ->
   ?on_progress:(int -> unit) ->
   Synthesis.config ->
   Cold_context.Context.spec ->
@@ -20,9 +21,18 @@ val generate :
   seed:int ->
   t
 (** [generate cfg spec ~count ~seed] synthesizes [count] networks.
-    [on_progress i] is called after network [i] completes. *)
+    [on_progress i] is called after network [i] completes.
+
+    [?domains] (default 1; 0 autodetects) spreads whole member syntheses
+    across a domain pool — one context + GA per task. Members were already
+    independent (per-trial split PRNG streams), so the ensemble is
+    bit-identical at every setting. With [domains > 1], [on_progress] runs
+    on worker domains and completion order is not trial order; keep inner
+    GA parallelism ([cfg.domains]) at 1 unless the ensemble is smaller
+    than the machine. *)
 
 val same_context :
+  ?domains:int ->
   Synthesis.config ->
   Cold_context.Context.t ->
   count:int ->
@@ -30,7 +40,8 @@ val same_context :
   t
 (** [same_context cfg ctx ~count ~seed] designs [count] networks for a single
     fixed context (different GA streams) — the paper's "fixed context,
-    multiple topologies" simulation mode (§3.3). *)
+    multiple topologies" simulation mode (§3.3). [?domains] as in
+    {!generate}. *)
 
 val statistic : t -> (Cold_metrics.Summary.t -> float) -> float array
 (** Extract one statistic across the ensemble. *)

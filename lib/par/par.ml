@@ -1,0 +1,156 @@
+(* Fixed-size domain pool with index-addressed results.
+
+   Shared state is guarded by one mutex; two condition variables separate
+   the two waiting directions (workers waiting for work, the submitter
+   waiting for completion). A job is a closure [run : int -> unit] plus a
+   task count; domains race to claim indices off a shared cursor, run the
+   claimed task unlocked, and report completion under the lock. The
+   submitting domain participates in the draining loop, so a pool with k
+   streams spawns only k-1 domains.
+
+   Publication safety: a worker writes its result slot before taking the
+   mutex to decrement [unfinished]; the submitter only reads results after
+   observing [unfinished = 0] under the same mutex, so every write
+   happens-before every read (release/acquire via the mutex). *)
+
+type shared = {
+  mutex : Mutex.t;
+  work_ready : Condition.t;  (* a job arrived, or shutdown *)
+  work_done : Condition.t;  (* unfinished hit zero *)
+  mutable job : (int -> unit) option;
+  mutable total : int;
+  mutable cursor : int;  (* next unclaimed task index *)
+  mutable unfinished : int;  (* claimed-or-unclaimed tasks not yet finished *)
+  mutable stop : bool;
+}
+
+type pool = {
+  shared : shared;
+  workers : unit Domain.t list;
+  mutable closed : bool;
+}
+
+type t = Sequential | Pool of pool
+
+let resolve ?(domains = 1) () =
+  if domains < 0 then invalid_arg "Par.resolve: domains must be >= 0";
+  if domains = 0 then Domain.recommended_domain_count () else domains
+
+(* Claim and run tasks until the cursor reaches the job's end. Caller must
+   hold the mutex; returns with the mutex held. *)
+let drain shared =
+  match shared.job with
+  | None -> ()
+  | Some run ->
+    while shared.cursor < shared.total do
+      let i = shared.cursor in
+      shared.cursor <- i + 1;
+      Mutex.unlock shared.mutex;
+      run i;
+      Mutex.lock shared.mutex;
+      shared.unfinished <- shared.unfinished - 1;
+      if shared.unfinished = 0 then Condition.broadcast shared.work_done
+    done
+
+let rec worker_loop shared =
+  Mutex.lock shared.mutex;
+  while (not shared.stop) && (shared.job = None || shared.cursor >= shared.total)
+  do
+    Condition.wait shared.work_ready shared.mutex
+  done;
+  if shared.stop then Mutex.unlock shared.mutex
+  else begin
+    drain shared;
+    Mutex.unlock shared.mutex;
+    worker_loop shared
+  end
+
+let create ~domains =
+  let streams = resolve ~domains () in
+  if streams <= 1 then Sequential
+  else begin
+    let shared =
+      {
+        mutex = Mutex.create ();
+        work_ready = Condition.create ();
+        work_done = Condition.create ();
+        job = None;
+        total = 0;
+        cursor = 0;
+        unfinished = 0;
+        stop = false;
+      }
+    in
+    let workers =
+      List.init (streams - 1) (fun _ -> Domain.spawn (fun () -> worker_loop shared))
+    in
+    Pool { shared; workers; closed = false }
+  end
+
+let parallelism = function
+  | Sequential -> 1
+  | Pool p -> 1 + List.length p.workers
+
+let shutdown = function
+  | Sequential -> ()
+  | Pool p ->
+    if not p.closed then begin
+      p.closed <- true;
+      let shared = p.shared in
+      Mutex.lock shared.mutex;
+      shared.stop <- true;
+      Condition.broadcast shared.work_ready;
+      Mutex.unlock shared.mutex;
+      List.iter Domain.join p.workers
+    end
+
+let with_pool ~domains f =
+  let pool = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let sequential_map_array f xs = Array.map f xs
+
+let pool_map_array p f xs =
+  if p.closed then invalid_arg "Par.map_array: pool is shut down";
+  let shared = p.shared in
+  let n = Array.length xs in
+  let results = Array.make n None in
+  (* The smallest-index exception wins, whatever domain hits it. *)
+  let first_exn = ref None in
+  let run i =
+    match f xs.(i) with
+    | v -> results.(i) <- Some v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Mutex.lock shared.mutex;
+      (match !first_exn with
+      | Some (j, _, _) when j < i -> ()
+      | _ -> first_exn := Some (i, e, bt));
+      Mutex.unlock shared.mutex
+  in
+  Mutex.lock shared.mutex;
+  shared.job <- Some run;
+  shared.total <- n;
+  shared.cursor <- 0;
+  shared.unfinished <- n;
+  Condition.broadcast shared.work_ready;
+  drain shared;
+  while shared.unfinished > 0 do
+    Condition.wait shared.work_done shared.mutex
+  done;
+  shared.job <- None;
+  let failed = !first_exn in
+  Mutex.unlock shared.mutex;
+  (match failed with
+  | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
+  Array.map (function Some v -> v | None -> assert false) results
+
+let map_array t f xs =
+  if Array.length xs = 0 then [||]
+  else
+    match t with
+    | Sequential -> sequential_map_array f xs
+    | Pool p -> pool_map_array p f xs
+
+let map t f xs = Array.to_list (map_array t f (Array.of_list xs))
