@@ -1,13 +1,18 @@
 (* cold_lint: enforce COLD's determinism and correctness invariants.
 
-   Exit codes: 0 clean, 1 violations found, 2 usage or I/O error. *)
+   Exit codes: 0 clean (or no findings beyond the baseline), 1 violations
+   found, 2 usage or I/O error. *)
 
-let usage = "usage: cold_lint [--json] [--rules r1,r2] [--list-rules] PATH..."
+let usage =
+  "usage: cold_lint [--json] [--rules r1,r2] [--list-rules]\n\
+  \                 [--baseline FILE [--update-baseline]] PATH..."
 
 let () =
   let json = ref false in
   let rules = ref None in
   let list_rules = ref false in
+  let baseline = ref None in
+  let update_baseline = ref false in
   let paths = ref [] in
   let spec =
     [
@@ -19,6 +24,12 @@ let () =
               Some (String.split_on_char ',' s |> List.filter (( <> ) ""))),
         "R1,R2 run only the named rules" );
       ("--list-rules", Arg.Set list_rules, " print the rule catalogue and exit");
+      ( "--baseline",
+        Arg.String (fun f -> baseline := Some f),
+        "FILE fail only on findings not recorded in FILE" );
+      ( "--update-baseline",
+        Arg.Set update_baseline,
+        " rewrite the --baseline file from the current findings" );
     ]
   in
   (try Arg.parse spec (fun p -> paths := p :: !paths) usage
@@ -30,6 +41,11 @@ let () =
           r.Cold_lint.Rules.summary)
       Cold_lint.Rules.all;
     exit 0
+  end;
+  if !update_baseline && !baseline = None then begin
+    prerr_endline "cold_lint: --update-baseline requires --baseline FILE";
+    prerr_endline usage;
+    exit 2
   end;
   let paths = List.rev !paths in
   if paths = [] then begin
@@ -43,8 +59,47 @@ let () =
   | exception Sys_error msg ->
     Printf.eprintf "cold_lint: %s\n" msg;
     exit 2
-  | Ok findings ->
-    print_string
-      (if !json then Cold_lint.Report.json findings
-       else Cold_lint.Report.text findings);
-    if findings = [] then exit 0 else exit 1
+  | Ok findings -> (
+    match !baseline with
+    | None ->
+      print_string
+        (if !json then Cold_lint.Report.json findings
+         else Cold_lint.Report.text findings);
+      if findings = [] then exit 0 else exit 1
+    | Some file when !update_baseline ->
+      let oc =
+        try open_out_bin file
+        with Sys_error msg ->
+          Printf.eprintf "cold_lint: %s\n" msg;
+          exit 2
+      in
+      output_string oc (Cold_lint.Report.json findings);
+      close_out oc;
+      Printf.printf "cold_lint: baseline %s updated (%d finding%s)\n" file
+        (List.length findings)
+        (if List.length findings = 1 then "" else "s");
+      exit 0
+    | Some file -> (
+      match Cold_lint.Baseline.load ~path:file with
+      | Error msg ->
+        Printf.eprintf "cold_lint: %s\n" msg;
+        exit 2
+      | Ok base ->
+        let d = Cold_lint.Baseline.diff ~baseline:base findings in
+        if !json then print_string (Cold_lint.Report.json d.Cold_lint.Baseline.fresh)
+        else begin
+          print_string (Cold_lint.Report.text d.Cold_lint.Baseline.fresh);
+          if d.Cold_lint.Baseline.fresh <> [] then
+            Printf.printf "cold_lint: %d new finding%s not in baseline %s\n"
+              (List.length d.Cold_lint.Baseline.fresh)
+              (if List.length d.Cold_lint.Baseline.fresh = 1 then "" else "s")
+              file;
+          if d.Cold_lint.Baseline.stale > 0 then
+            Printf.printf
+              "cold_lint: %d baseline entr%s no longer fire%s — run \
+               --update-baseline to prune\n"
+              d.Cold_lint.Baseline.stale
+              (if d.Cold_lint.Baseline.stale = 1 then "y" else "ies")
+              (if d.Cold_lint.Baseline.stale = 1 then "s" else "")
+        end;
+        if d.Cold_lint.Baseline.fresh = [] then exit 0 else exit 1))

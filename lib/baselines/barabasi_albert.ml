@@ -1,5 +1,6 @@
 module Graph = Cold_graph.Graph
 module Prng = Cold_prng.Prng
+module Tbl = Cold_util.Tbl
 
 let generate ~n ~m rng =
   if m < 1 || m >= n then invalid_arg "Barabasi_albert.generate: need 1 <= m < n";
@@ -22,7 +23,10 @@ let generate ~n ~m rng =
       if t <> v then Hashtbl.replace chosen t ()
     done;
     let new_targets = ref [] in
-    Hashtbl.iter
+    (* Sorted iteration: the wiring (and the repeated-targets list feeding
+       later draws) must depend only on which targets were chosen, never on
+       the chosen-set's hash layout. *)
+    Tbl.iter_sorted ~cmp:Int.compare
       (fun t () ->
         Graph.add_edge g v t;
         new_targets := v :: t :: !new_targets)

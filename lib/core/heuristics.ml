@@ -115,7 +115,7 @@ let greedy_attach params ctx hubs inter_edges new_hub =
         | Some (_, bc) -> if c < bc then best := Some (t, c))
       targets;
     match !best with
-    | Some (t, c) when c < cost || cost = infinity ->
+    | Some (t, c) when c < cost || Float.equal cost infinity ->
       let edges = (min new_hub t, max new_hub t) :: edges in
       add_links edges c (List.filter (fun x -> x <> t) targets)
     | _ -> (edges, cost)

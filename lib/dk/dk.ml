@@ -11,13 +11,12 @@ type three_k = {
   triangles : ((int * int * int) * int) list;
 }
 
+module Tbl = Cold_util.Tbl
+
 (* Typed comparators: distribution entries are keyed by small int tuples, and
    canonical order must not depend on polymorphic compare. *)
 let compare_pair (a1, b1) (a2, b2) =
   match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
-
-let compare_keyed compare_key ((k1, c1) : 'a * int) ((k2, c2) : 'a * int) =
-  match compare_key k1 k2 with 0 -> Int.compare c1 c2 | c -> c
 
 let compare_triple (a1, b1, c1) (a2, b2, c2) =
   match Int.compare a1 a2 with
@@ -34,7 +33,7 @@ let one_k g =
     let d = Graph.degree g v in
     Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
   done;
-  List.sort (compare_keyed Int.compare) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  Tbl.sorted_bindings ~cmp:Int.compare tbl
 
 let two_k g =
   let tbl = Hashtbl.create 64 in
@@ -42,7 +41,7 @@ let two_k g =
       let du = Graph.degree g u and dv = Graph.degree g v in
       let key = (min du dv, max du dv) in
       Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)));
-  List.sort (compare_keyed compare_pair) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  Tbl.sorted_bindings ~cmp:compare_pair tbl
 
 let three_k g =
   let wedge_tbl = Hashtbl.create 256 in
@@ -72,8 +71,8 @@ let three_k g =
             end))
   done;
   {
-    wedges = List.sort (compare_keyed compare_triple) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) wedge_tbl []);
-    triangles = List.sort (compare_keyed compare_triple) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tri_tbl []);
+    wedges = Tbl.sorted_bindings ~cmp:compare_triple wedge_tbl;
+    triangles = Tbl.sorted_bindings ~cmp:compare_triple tri_tbl;
   }
 
 let equal_one_k (a : one_k) b = a = b

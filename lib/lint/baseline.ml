@@ -1,0 +1,202 @@
+type diff = { fresh : Finding.t list; baselined : int; stale : int }
+
+(* --- minimal JSON reader ------------------------------------------------------ *)
+
+(* Just enough JSON for the linter's own [--json] output (and hand edits of
+   it): strings with escapes, integers, arrays, objects. Kept local so the
+   linter stays dependency-free. *)
+
+type json =
+  | Str of string
+  | Num of int
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let fail pos msg = raise (Bad (Printf.sprintf "offset %d: %s" pos msg))
+
+let parse_json s =
+  let n = String.length s in
+  let i = ref 0 in
+  let peek () = if !i < n then Some s.[!i] else None in
+  let skip_ws () =
+    while !i < n && (match s.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr i
+    done
+  in
+  let expect c =
+    if !i < n && s.[!i] = c then incr i
+    else fail !i (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 32 in
+    let fin = ref false in
+    while not !fin do
+      if !i >= n then fail !i "unterminated string";
+      (match s.[!i] with
+      | '"' -> fin := true
+      | '\\' ->
+        if !i + 1 >= n then fail !i "dangling escape";
+        incr i;
+        (match s.[!i] with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+          if !i + 4 >= n then fail !i "truncated \\u escape";
+          let hex = String.sub s (!i + 1) 4 in
+          (match int_of_string_opt ("0x" ^ hex) with
+          | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
+          | Some _ ->
+            (* Non-ASCII escapes cannot occur in our own output; keep the
+               reader total by passing the escape through verbatim. *)
+            Buffer.add_string buf ("\\u" ^ hex)
+          | None -> fail !i "bad \\u escape");
+          i := !i + 4
+        | c -> fail !i (Printf.sprintf "unknown escape '\\%c'" c))
+      | c -> Buffer.add_char buf c);
+      incr i
+    done;
+    Buffer.contents buf
+  in
+  let parse_int () =
+    let start = !i in
+    if peek () = Some '-' then incr i;
+    while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+      incr i
+    done;
+    match int_of_string_opt (String.sub s start (!i - start)) with
+    | Some v -> v
+    | None -> fail start "expected integer"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '[' ->
+      expect '[';
+      skip_ws ();
+      if peek () = Some ']' then begin
+        expect ']';
+        Arr []
+      end
+      else begin
+        let items = ref [ parse_value () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          expect ',';
+          items := parse_value () :: !items;
+          skip_ws ()
+        done;
+        expect ']';
+        Arr (List.rev !items)
+      end
+    | Some '{' ->
+      expect '{';
+      skip_ws ();
+      if peek () = Some '}' then begin
+        expect '}';
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          expect ',';
+          fields := field () :: !fields;
+          skip_ws ()
+        done;
+        expect '}';
+        Obj (List.rev !fields)
+      end
+    | Some ('-' | '0' .. '9') -> Num (parse_int ())
+    | Some c -> fail !i (Printf.sprintf "unexpected character '%c'" c)
+    | None -> fail !i "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !i <> n then fail !i "trailing content";
+  v
+
+(* --- baseline file ------------------------------------------------------------ *)
+
+let finding_of_json = function
+  | Obj fields ->
+    let str k =
+      match List.assoc_opt k fields with
+      | Some (Str s) -> s
+      | _ -> raise (Bad (Printf.sprintf "finding lacks string field %S" k))
+    in
+    let line =
+      match List.assoc_opt "line" fields with
+      | Some (Num l) -> l
+      | _ -> raise (Bad "finding lacks integer field \"line\"")
+    in
+    Finding.make ~rule:(str "rule") ~file:(str "file") ~line (str "message")
+  | _ -> raise (Bad "baseline entries must be objects")
+
+let load ~path =
+  match
+    let ic = open_in_bin path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match parse_json text with
+    | Arr entries -> List.map finding_of_json entries
+    | _ -> raise (Bad "baseline must be a JSON array")
+  with
+  | findings -> Ok findings
+  | exception Bad msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | exception Sys_error msg -> Error msg
+
+(* --- line-insensitive multiset diff ------------------------------------------- *)
+
+let key (f : Finding.t) = (f.Finding.rule, f.Finding.file, f.Finding.message)
+
+let compare_key (r1, f1, m1) (r2, f2, m2) =
+  match String.compare f1 f2 with
+  | 0 -> (
+    match String.compare r1 r2 with
+    | 0 -> String.compare m1 m2
+    | c -> c)
+  | c -> c
+
+let diff ~baseline current =
+  let cur =
+    List.sort
+      (fun a b ->
+        match compare_key (key a) (key b) with
+        | 0 -> Int.compare a.Finding.line b.Finding.line
+        | c -> c)
+      current
+  in
+  let base = List.sort compare_key (List.map key baseline) in
+  let rec go cur base fresh baselined stale =
+    match (cur, base) with
+    | [], rest -> (fresh, baselined, stale + List.length rest)
+    | rest, [] -> (List.rev_append rest fresh, baselined, stale)
+    | c :: cs, b :: bs -> (
+      match compare_key (key c) b with
+      | 0 -> go cs bs fresh (baselined + 1) stale
+      | d when d < 0 -> go cs base (c :: fresh) baselined stale
+      | _ -> go cur bs fresh baselined (stale + 1))
+  in
+  let (fresh, baselined, stale) = go cur base [] 0 0 in
+  { fresh = List.sort Finding.compare fresh; baselined; stale }

@@ -1,0 +1,29 @@
+(** Baseline-gated linting: diff current findings against a committed
+    snapshot so new violations fail CI while legacy ones burn down
+    incrementally.
+
+    A baseline file is exactly the linter's [--json] output (an array of
+    [{"rule", "file", "line", "message"}] objects); [--update-baseline]
+    rewrites it from the current findings. Matching is line-insensitive —
+    a finding is identified by (rule, file, message) — so unrelated edits
+    that shift a legacy finding a few lines do not break the gate, while
+    a genuinely new violation (or a second copy of an old one) does. *)
+
+type diff = {
+  fresh : Finding.t list;
+      (** findings not covered by the baseline, canonical order; these gate *)
+  baselined : int;  (** current findings matched by a baseline entry *)
+  stale : int;
+      (** baseline entries with no current finding — fixed violations whose
+          entry should be pruned via [--update-baseline] *)
+}
+
+val load : path:string -> (Finding.t list, string) result
+(** [load ~path] reads and parses a baseline JSON file. [Error msg] when
+    the file is unreadable or not an array of finding objects; messages
+    carry the offending position. *)
+
+val diff : baseline:Finding.t list -> Finding.t list -> diff
+(** [diff ~baseline current] matches the two multisets on
+    (rule, file, message). Each baseline entry absorbs at most one current
+    finding; unmatched current findings are {!diff.fresh}. *)

@@ -49,6 +49,97 @@ let is_float_lit = function Some (Lexer.Float_lit _) -> true | _ -> false
 let finding ~rule ~(ctx : context) ~line message =
   Finding.make ~rule ~file:ctx.path ~line message
 
+(* --- float-identifier inference ---------------------------------------------- *)
+
+(* A lightweight intra-file pass that tracks let-bound identifiers whose
+   float-ness is syntactically evident: float annotations, float-literal
+   right-hand sides, results of [float_of_int]/[sqrt]/[Float.*], and float
+   arithmetic chains. The generalized min/max and float-eq rules consult
+   this set so [min x y] on inferred floats is caught without a type
+   checker. Shadowing a tracked name with a visibly non-float binding
+   removes it again, so the set stays per-file sound enough for linting. *)
+
+module SS = Set.Make (String)
+
+let float_constants =
+  SS.of_list
+    [ "infinity"; "neg_infinity"; "nan"; "max_float"; "min_float";
+      "epsilon_float" ]
+
+(* Stdlib functions that always return float. *)
+let float_builtins =
+  SS.of_list
+    [ "sqrt"; "exp"; "log"; "log10"; "expm1"; "log1p"; "cos"; "sin"; "tan";
+      "acos"; "asin"; "atan"; "atan2"; "cosh"; "sinh"; "tanh"; "ceil";
+      "floor"; "abs_float"; "mod_float"; "float_of_int"; "float_of_string";
+      "float"; "ldexp"; "copysign" ]
+
+(* Float-module members that return float (not [equal]/[compare]/[to_int]). *)
+let float_module_fns =
+  SS.of_list
+    [ "of_int"; "of_string"; "abs"; "neg"; "add"; "sub"; "mul"; "div"; "rem";
+      "fma"; "succ"; "pred"; "sqrt"; "cbrt"; "exp"; "exp2"; "log"; "log10";
+      "log2"; "expm1"; "log1p"; "pow"; "cos"; "sin"; "tan"; "acos"; "asin";
+      "atan"; "atan2"; "hypot"; "cosh"; "sinh"; "tanh"; "trunc"; "round";
+      "ceil"; "floor"; "copy_sign"; "min"; "max"; "min_num"; "max_num";
+      "nan"; "infinity"; "neg_infinity"; "pi"; "epsilon"; "max_float";
+      "min_float" ]
+
+let float_operator = function
+  | Some (Lexer.Op ("+." | "-." | "*." | "/." | "**")) -> true
+  | _ -> false
+
+let binding_break = function
+  | Some (Lexer.Ident ("in" | "let" | "and" | "done" | "then" | "else"))
+  | Some (Lexer.Op (";" | ";;" | ")" | "]" | "}" | ","))
+  | None -> true
+  | _ -> false
+
+(* Does the expression starting at [j] syntactically denote a float? *)
+let rec rhs_is_float fids code j =
+  match kind_at code j with
+  | Some (Lexer.Op ("(" | "-" | "-." | "+." | "+" | "~-." )) ->
+    rhs_is_float fids code (j + 1)
+  | Some (Lexer.Float_lit _) -> true
+  | Some (Lexer.Ident s) when SS.mem s float_constants -> true
+  | Some (Lexer.Ident s) when SS.mem s float_builtins -> true
+  | Some (Lexer.Uident "Float") ->
+    kind_at code (j + 1) = Some (Lexer.Op ".")
+    && (match kind_at code (j + 2) with
+       | Some (Lexer.Ident f) -> SS.mem f float_module_fns
+       | _ -> false)
+  | Some (Lexer.Ident s) when SS.mem s fids ->
+    (* A known float ident: an alias binding, or the head of a float
+       arithmetic chain. *)
+    float_operator (kind_at code (j + 1)) || binding_break (kind_at code (j + 1))
+  | _ -> false
+
+let float_idents code =
+  let fids = ref SS.empty in
+  let n = Array.length code in
+  for i = 0 to n - 1 do
+    (match (kind_at code i, kind_at code (i + 1)) with
+    (* [let x = <float rhs>] / [and x = <float rhs>]; a non-float rebind
+       evicts a stale entry. *)
+    | Some (Lexer.Ident ("let" | "and")), Some (Lexer.Ident x)
+      when kind_at code (i + 2) = Some (Lexer.Op "=") ->
+      if rhs_is_float !fids code (i + 3) then fids := SS.add x !fids
+      else fids := SS.remove x !fids
+    (* [let x : float = …]. *)
+    | Some (Lexer.Ident ("let" | "and")), Some (Lexer.Ident x)
+      when kind_at code (i + 2) = Some (Lexer.Op ":")
+           && kind_at code (i + 3) = Some (Lexer.Ident "float") ->
+      fids := SS.add x !fids
+    (* Annotated pattern or parameter: [(x : float)]. *)
+    | Some (Lexer.Op "("), Some (Lexer.Ident x)
+      when kind_at code (i + 2) = Some (Lexer.Op ":")
+           && kind_at code (i + 3) = Some (Lexer.Ident "float")
+           && kind_at code (i + 4) = Some (Lexer.Op ")") ->
+      fids := SS.add x !fids
+    | _ -> ())
+  done;
+  !fids
+
 (* --- no-stdlib-random ------------------------------------------------------- *)
 
 let check_stdlib_random ctx ts =
@@ -138,16 +229,15 @@ let check_poly_compare ctx ts =
 
 (* --- no-polymorphic-minmax --------------------------------------------------- *)
 
-(* Token-level float detection: a float literal or a well-known float
-   constant in an argument window right after the callee. Type information
-   would catch more (see doc/LINTS.md), but this shape already covers the
-   characteristic [max 0.0 x] / [Array.fold_left max 0.0 xs] accumulators. *)
-let floatish_token = function
+(* Float detection: a float literal, a well-known float constant, or an
+   identifier the intra-file inference pass ({!float_idents}) resolved to
+   float. The inference covers annotations, float-literal bindings and
+   [float_of_int]/[Float.*] results; floats visible only through module
+   interfaces still escape — a merlin-backed mode remains future work. *)
+let floatish_token fids = function
   | Some (Lexer.Float_lit _) -> true
-  | Some
-      (Lexer.Ident
-        ("infinity" | "neg_infinity" | "nan" | "max_float" | "min_float"
-        | "epsilon_float")) -> true
+  | Some (Lexer.Ident s) when SS.mem s float_constants -> true
+  | Some (Lexer.Ident s) when SS.mem s fids -> true
   | _ -> false
 
 (* Stop scanning at tokens that end the argument list of a simple
@@ -163,6 +253,7 @@ let argument_window_break = function
 
 let check_poly_minmax ctx ts =
   let code = code_tokens ts in
+  let fids = float_idents code in
   let acc = ref [] in
   let flag line name =
     acc :=
@@ -201,7 +292,8 @@ let check_poly_minmax ctx ts =
           let rec scan j =
             if j > i + 4 then ()
             else if argument_window_break (kind_at code j) then ()
-            else if floatish_token (kind_at code j) then flag t.Lexer.line name
+            else if floatish_token fids (kind_at code j) then
+              flag t.Lexer.line name
             else scan (j + 1)
           in
           scan (i + 1)
@@ -263,27 +355,139 @@ let comparison_context code i =
 
 let check_float_eq ctx ts =
   let code = code_tokens ts in
+  let fids = float_idents code in
   let acc = ref [] in
-  let flag line op =
+  let flag line op what =
     acc :=
       finding ~rule:"no-naked-float-eq" ~ctx ~line
         (Printf.sprintf
-           "'%s' on a float literal: exact float equality is \
-            representation-dependent; use Float.equal for intentional exact \
-            tests or compare against an epsilon"
-           op)
+           "'%s' on %s: exact float equality is representation-dependent; \
+            use Float.equal for intentional exact tests or compare against \
+            an epsilon"
+           op what)
       :: !acc
+  in
+  let float_ident = function
+    | Some (Lexer.Ident s) -> SS.mem s fids || SS.mem s float_constants
+    | _ -> false
   in
   Array.iteri
     (fun i (t : Lexer.token) ->
       match t.Lexer.kind with
       | Lexer.Op (("=" | "<>" | "==" | "!=") as op) ->
-        let prev_float = is_float_lit (kind_at code (i - 1)) in
-        let next_float = is_float_lit (kind_at code (i + 1)) in
-        if prev_float || next_float then
-          if op <> "=" then flag t.Lexer.line op
+        let prev = kind_at code (i - 1) in
+        let next = kind_at code (i + 1) in
+        let prev_float = is_float_lit prev in
+        let next_float = is_float_lit next in
+        if prev_float || next_float then begin
+          if op <> "=" then flag t.Lexer.line op "a float literal"
           else if prev_float || comparison_context code i then
-            flag t.Lexer.line op
+            flag t.Lexer.line op "a float literal"
+        end
+        else if float_ident prev || float_ident next then begin
+          (* Inferred operands: [=] only counts inside a comparison, so
+             alias bindings ([let y = x]) never fire. *)
+          let name =
+            match (if float_ident prev then prev else next) with
+            | Some (Lexer.Ident s) -> Printf.sprintf "'%s' (inferred float)" s
+            | _ -> "an inferred float"
+          in
+          if op <> "=" || comparison_context code i then flag t.Lexer.line op name
+        end
+      | _ -> ())
+    code;
+  !acc
+
+(* --- hashtbl-iteration-order ------------------------------------------------- *)
+
+(* [Hashtbl.iter]/[fold] present bindings in unspecified hash order. A fold
+   always feeds an accumulator, so it is a candidate unless the call sits
+   inside a canonicalizing sort ([List.sort … (Hashtbl.fold …)]) or one of
+   the blessed [Cold_util.Tbl] wrappers. An iter is a candidate only when
+   its body visibly accumulates (list cons, ref assignment) or writes to an
+   output channel — per-binding in-place mutation ([f.field <- …]) is
+   order-insensitive and stays quiet. *)
+
+let sort_markers =
+  [ "sort"; "sort_uniq"; "stable_sort"; "fast_sort"; "sorted_bindings";
+    "sorted_keys"; "iter_sorted"; "fold_sorted" ]
+
+(* Did a sort application open just before [i], with no statement boundary
+   in between? Catches [List.sort cmp (Hashtbl.fold …)] even when [cmp] is
+   a multi-token comparator lambda. *)
+let backward_sorted code i =
+  let rec scan j steps =
+    if j < 0 || steps > 60 then false
+    else
+      match code.(j).Lexer.kind with
+      | Lexer.Ident s when List.mem s sort_markers -> true
+      | Lexer.Ident ("let" | "in" | "do" | "done" | "begin" | "then" | "else")
+        -> false
+      | Lexer.Op (";" | ";;" | "<-" | ":=") -> false
+      | _ -> scan (j - 1) (steps + 1)
+  in
+  scan (i - 1) 0
+
+let output_idents =
+  [ "output_string"; "output_char"; "output_value"; "print_string";
+    "print_endline"; "print_int"; "print_float"; "print_char";
+    "print_newline"; "prerr_string"; "prerr_endline" ]
+
+(* Scan the argument following [Hashtbl.iter]/[iteri] — normally a [fun]
+   lambda — for accumulation or output markers, stopping when the argument
+   list closes or a statement boundary is reached. *)
+let iter_body_accumulates code i =
+  let n = Array.length code in
+  let rec scan j depth steps =
+    if j >= n || steps > 200 then false
+    else
+      match code.(j).Lexer.kind with
+      | Lexer.Op ("(" | "[" | "{") -> scan (j + 1) (depth + 1) (steps + 1)
+      | Lexer.Op (")" | "]" | "}") ->
+        if depth <= 1 then false else scan (j + 1) (depth - 1) (steps + 1)
+      | Lexer.Ident "begin" -> scan (j + 1) (depth + 1) (steps + 1)
+      | Lexer.Ident "end" ->
+        if depth <= 1 then false else scan (j + 1) (depth - 1) (steps + 1)
+      | Lexer.Op ("::" | ":=") -> true
+      | Lexer.Uident ("Buffer" | "Printf" | "Format") -> true
+      | Lexer.Ident s when List.mem s output_idents -> true
+      | Lexer.Op ";" when depth = 0 -> false
+      | _ -> scan (j + 1) depth (steps + 1)
+  in
+  scan (i + 1) 0 0
+
+let check_hashtbl_order ctx ts =
+  let code = code_tokens ts in
+  let acc = ref [] in
+  let flag line what fix =
+    acc :=
+      finding ~rule:"hashtbl-iteration-order" ~ctx ~line
+        (Printf.sprintf
+           "%s visits bindings in unspecified hash order, so the result \
+            depends on insertion history; %s"
+           what fix)
+      :: !acc
+  in
+  Array.iteri
+    (fun i (t : Lexer.token) ->
+      match t.Lexer.kind with
+      | Lexer.Uident "Hashtbl"
+        when kind_at code (i + 1) = Some (Lexer.Op ".") -> (
+        match kind_at code (i + 2) with
+        | Some (Lexer.Ident (("fold" | "to_seq" | "to_seq_keys" | "to_seq_values") as f))
+          ->
+          if not (backward_sorted code i) then
+            flag t.Lexer.line
+              (Printf.sprintf "Hashtbl.%s feeding an accumulator" f)
+              "sort first (Cold_util.Tbl.fold_sorted / sorted_bindings) or \
+               sort the result before it is consumed"
+        | Some (Lexer.Ident (("iter" | "iteri") as f)) ->
+          if iter_body_accumulates code (i + 2) then
+            flag t.Lexer.line
+              (Printf.sprintf
+                 "Hashtbl.%s with an accumulating or output-writing body" f)
+              "iterate in canonical key order (Cold_util.Tbl.iter_sorted)"
+        | _ -> ())
       | _ -> ())
     code;
   !acc
@@ -418,11 +622,30 @@ let all =
       rationale =
         "Polymorphic min/max/compare on floats dispatch on the boxed \
          representation and pin down no NaN or -0. semantics; the Float \
-         module's versions are explicit and branch-free. Detection is \
-         token-level (a float literal or constant in the argument window) \
-         — the typed-operand generalization is a ROADMAP item.";
+         module's versions are explicit and branch-free. Detection covers \
+         float literals/constants in the argument window plus let-bound \
+         identifiers whose float-ness is syntactically inferable \
+         (annotations, float-literal bindings, float_of_int/Float.* \
+         results).";
       applies = lib_and_bin;
       check = check_poly_minmax;
+    };
+    {
+      name = "hashtbl-iteration-order";
+      summary =
+        "no Hashtbl.iter/fold feeding accumulators or output without a sort";
+      rationale =
+        "Hashtbl iteration order is a function of key hashes and insertion \
+         history, not of the table's contents; folding it into a list, \
+         accumulator or output channel silently makes results depend on \
+         how the table was built. Iterate in canonical key order via \
+         Cold_util.Tbl (the blessed wrapper) or sort the result.";
+      applies =
+        (fun p ->
+          (* lib/util/tbl.ml hosts the one sanctioned raw fold the blessed
+             wrappers are built from. *)
+          lib_and_bin p && not (basename p = "tbl.ml" && in_dir "util" p));
+      check = check_hashtbl_order;
     };
     {
       name = "no-failwith-in-lib";

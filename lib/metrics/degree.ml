@@ -26,10 +26,7 @@ let distribution g =
     let d = Graph.degree g v in
     Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
   done;
-  List.sort
-    (fun (d1, c1) (d2, c2) ->
-      match Int.compare d1 d2 with 0 -> Int.compare c1 c2 | c -> c)
-    (Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [])
+  Cold_util.Tbl.sorted_bindings ~cmp:Int.compare tbl
 
 let hub_count = Graph.core_count
 

@@ -1,6 +1,11 @@
+module Tbl = Cold_util.Tbl
+
 type flow = { id : int; links : (int * int) list }
 
 let normalize_link (u, v) = (min u v, max u v)
+
+let compare_link (u1, v1) (u2, v2) =
+  match Int.compare u1 u2 with 0 -> Int.compare v1 v2 | c -> c
 
 let allocate ~capacity flows =
   let seen = Hashtbl.create 16 in
@@ -34,9 +39,11 @@ let allocate ~capacity flows =
   let frozen f = Hashtbl.mem rates f.id in
   let remaining = ref (List.length flows) in
   while !remaining > 0 do
-    (* Bottleneck link: smallest fair share among links with unfrozen flows. *)
+    (* Bottleneck link: smallest fair share among links with unfrozen flows.
+       Sorted link order makes the tie-break (first strict minimum) a
+       function of the link set, not of the table's insertion history. *)
     let best = ref None in
-    Hashtbl.iter
+    Tbl.iter_sorted ~cmp:compare_link
       (fun l (cap, fs) ->
         let active = List.filter (fun f -> not (frozen f)) !fs in
         if active <> [] then begin
@@ -87,7 +94,7 @@ let is_max_min ~capacity flows rates =
   (* No link over capacity, and every flow has a saturated bottleneck where
      it is among the largest. *)
   let feasible =
-    Hashtbl.fold
+    Tbl.fold_sorted ~cmp:compare_link
       (fun l total ok -> ok && total <= capacity l +. eps)
       link_total true
   in

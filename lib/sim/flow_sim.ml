@@ -1,5 +1,6 @@
 module Dist = Cold_prng.Dist
 module Graph = Cold_graph.Graph
+module Tbl = Cold_util.Tbl
 module Context = Cold_context.Context
 module Gravity = Cold_traffic.Gravity
 module Network = Cold_net.Network
@@ -74,8 +75,11 @@ let run config (net : Network.t) rng =
   let throughputs = ref [] in
   let peak_active = ref 0 in
   let reallocate () =
+    (* Sorted by flow id: Fair_share.allocate is order-invariant, but the
+       list handed to it must still not leak the active-table's hash
+       layout. *)
     let flows =
-      Hashtbl.fold
+      Tbl.fold_sorted ~cmp:Int.compare
         (fun _ f acc -> { Fair_share.id = f.id; links = f.links } :: acc)
         active []
     in
@@ -90,7 +94,10 @@ let run config (net : Network.t) rng =
     now := t
   in
   let next_completion () =
-    Hashtbl.fold
+    (* Ascending flow-id order: simultaneous completions (exact float tie)
+       resolve to the lowest id instead of whichever binding the hash
+       layout presented first. *)
+    Tbl.fold_sorted ~cmp:Int.compare
       (fun _ f acc ->
         if f.rate <= 0.0 then acc
         else begin

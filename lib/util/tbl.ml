@@ -1,0 +1,20 @@
+(* The one blessed raw Hashtbl.fold: every other module gets ordering by
+   going through the sort below. The [hashtbl-iteration-order] rule exempts
+   exactly this file (see lib/lint/rules.ml). *)
+
+let sorted_bindings ~cmp tbl =
+  (* The rev restores Hashtbl.fold's presentation order (consing reversed it),
+     so duplicate keys really are most-recent-first before the stable sort. *)
+  let raw = List.rev (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) in
+  (* Stable sort: bindings of equal keys keep Hashtbl.fold's documented
+     most-recent-first order, so the result is a pure function of the
+     table's contents. *)
+  List.stable_sort (fun (k1, _) (k2, _) -> cmp k1 k2) raw
+
+let sorted_keys ~cmp tbl = List.map fst (sorted_bindings ~cmp tbl)
+
+let iter_sorted ~cmp f tbl =
+  List.iter (fun (k, v) -> f k v) (sorted_bindings ~cmp tbl)
+
+let fold_sorted ~cmp f tbl init =
+  List.fold_left (fun acc (k, v) -> f k v acc) init (sorted_bindings ~cmp tbl)

@@ -1,0 +1,39 @@
+(** Deterministic iteration over [Hashtbl.t].
+
+    [Hashtbl.iter]/[Hashtbl.fold] present bindings in an unspecified order
+    that depends on the key hashes and on insertion history. Any code path
+    that feeds such an iteration into an accumulator, a list, or an output
+    channel makes its result depend on how the table happened to be built —
+    exactly the class of silent nondeterminism COLD's reproducibility
+    contract forbids (and that the [hashtbl-iteration-order] lint rule
+    flags). These wrappers iterate in a caller-supplied canonical key
+    order; they are the lint-blessed replacement for raw table iteration.
+
+    All functions snapshot the bindings first, so the callback may mutate
+    the table freely. Cost is O(n log n) in the number of bindings — the
+    sites that need determinism are never hot enough for this to matter.
+
+    For tables with duplicate keys (added via [Hashtbl.add]), bindings of
+    the same key appear most-recent-first, matching [Hashtbl.fold]'s
+    documented per-key order; the sort is stable, so the overall order is
+    still fully determined by the table's contents. *)
+
+val sorted_bindings : cmp:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> ('k * 'v) list
+(** All bindings sorted by key under [cmp]. *)
+
+val sorted_keys : cmp:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> 'k list
+(** All keys (duplicates included) sorted under [cmp]. *)
+
+val iter_sorted :
+  cmp:('k -> 'k -> int) -> ('k -> 'v -> unit) -> ('k, 'v) Hashtbl.t -> unit
+(** [iter_sorted ~cmp f tbl] applies [f] to every binding in ascending key
+    order. *)
+
+val fold_sorted :
+  cmp:('k -> 'k -> int) ->
+  ('k -> 'v -> 'acc -> 'acc) ->
+  ('k, 'v) Hashtbl.t ->
+  'acc ->
+  'acc
+(** [fold_sorted ~cmp f tbl init] folds over the bindings in ascending key
+    order. *)

@@ -1,0 +1,101 @@
+graph [
+  label "network"
+  node [
+    id 0
+    graphics [
+      x 39.015099
+      y 3.429278
+    ]
+  ]
+  node [
+    id 1
+    graphics [
+      x 11.027118
+      y 9.871004
+    ]
+  ]
+  node [
+    id 2
+    graphics [
+      x 4.322934
+      y 4.272647
+    ]
+  ]
+  node [
+    id 3
+    graphics [
+      x 31.673897
+      y 11.419348
+    ]
+  ]
+  node [
+    id 4
+    graphics [
+      x 6.368860
+      y 32.898886
+    ]
+  ]
+  node [
+    id 5
+    graphics [
+      x 24.234687
+      y 18.665330
+    ]
+  ]
+  node [
+    id 6
+    graphics [
+      x 12.602568
+      y 35.639340
+    ]
+  ]
+  node [
+    id 7
+    graphics [
+      x 16.939802
+      y 45.209675
+    ]
+  ]
+  edge [
+    source 0
+    target 3
+    value 10.850552
+    capacity 633.72
+  ]
+  edge [
+    source 1
+    target 2
+    value 8.734282
+    capacity 138.09
+  ]
+  edge [
+    source 1
+    target 5
+    value 15.867578
+    capacity 224.62
+  ]
+  edge [
+    source 3
+    target 5
+    value 10.384898
+    capacity 1150.83
+  ]
+  edge [
+    source 4
+    target 6
+    value 6.809494
+    capacity 3081.26
+  ]
+  edge [
+    source 5
+    target 6
+    value 20.577250
+    capacity 3895.60
+  ]
+  edge [
+    source 6
+    target 7
+    value 10.507278
+    capacity 2686.41
+  ]
+]

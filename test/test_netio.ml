@@ -86,12 +86,18 @@ let expect_failure ?line name input =
   | Ok _ -> Alcotest.failf "%s: expected parse error" name
 
 let test_edge_list_errors () =
-  expect_failure "empty" "";
+  expect_failure ~line:0 "empty" "";
+  expect_failure ~line:0 "only comments" "# a\n\n# b\n";
   expect_failure ~line:1 "bad header" "x y\n";
+  expect_failure ~line:1 "negative header" "-1 0\n";
   expect_failure ~line:2 "out of range" "2 1\n0 5\n";
   expect_failure ~line:2 "self loop" "3 1\n1 1\n";
   expect_failure ~line:1 "wrong count" "3 5\n0 1\n";
-  expect_failure ~line:2 "three fields" "2 1\n0 1 9\n"
+  expect_failure ~line:2 "three fields" "2 1\n0 1 9\n";
+  expect_failure ~line:2 "non-integer edge" "2 1\nzero 1\n";
+  (* Line numbers count raw input lines, so comments and blanks offset the
+     reported position. *)
+  expect_failure ~line:5 "comments offset the count" "# c\n\n3 2\n0 1\n0 9\n"
 
 let test_edge_list_files () =
   let path = Filename.temp_file "cold_test" ".edges" in
@@ -148,12 +154,26 @@ let gml_expect_failure ?line name input =
   | Ok _ -> Alcotest.failf "%s: expected parse error" name
 
 let test_gml_parse_errors () =
-  gml_expect_failure "no graph" "node [ id 1 ]";
-  gml_expect_failure "unbalanced" "graph [ node [ id 1 ]";
-  gml_expect_failure "node without id" "graph [ node [ label \"x\" ] ]";
-  gml_expect_failure "edge to unknown node" "graph [ node [ id 1 ] edge [ source 1 target 2 ] ]";
-  gml_expect_failure "unterminated string" "graph [ label \"oops ]";
-  gml_expect_failure "key without value" "graph [ node [ id ] ]"
+  (* Whole-document problems report line 0; everything else reports the
+     line of the offending key, even in multi-line input. *)
+  gml_expect_failure ~line:0 "no graph" "node [ id 1 ]";
+  gml_expect_failure ~line:0 "trailing bracket" "graph [ ]\n]";
+  gml_expect_failure ~line:1 "unbalanced" "graph [\n  node [ id 1 ]";
+  gml_expect_failure ~line:2 "node without id"
+    "graph [\n  node [ label \"x\" ]\n]";
+  gml_expect_failure ~line:2 "non-integer node id"
+    "graph [\n  node [ id seven ]\n]";
+  gml_expect_failure ~line:2 "malformed node" "graph [\n  node 5\n]";
+  gml_expect_failure ~line:3 "edge to unknown node"
+    "graph [\n  node [ id 1 ]\n  edge [ source 1 target 2 ]\n]";
+  gml_expect_failure ~line:3 "non-integer edge endpoint"
+    "graph [\n  node [ id 1 ]\n  edge [ source 1 target x ]\n]";
+  gml_expect_failure ~line:3 "edge without source"
+    "graph [\n  node [ id 1 ]\n  edge [ target 1 ]\n]";
+  gml_expect_failure ~line:2 "malformed edge" "graph [\n  edge 5\n]";
+  gml_expect_failure ~line:2 "unterminated string" "graph [\n  label \"oops\n]";
+  gml_expect_failure ~line:2 "key without value" "graph [\n  node [ id ]\n]";
+  gml_expect_failure ~line:2 "unexpected bracket" "graph [\n  [ id 1 ]\n]"
 
 let test_gml_file_round_trip () =
   let path = Filename.temp_file "cold_test" ".gml" in

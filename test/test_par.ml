@@ -127,6 +127,63 @@ let test_fitness_cache () =
   Alcotest.(check int) "disabled cache always computes" 3 !calls0;
   Alcotest.(check int) "disabled cache no hits" 0 (Fc.hits off)
 
+let test_fitness_cache_collision () =
+  let module Fc = Cold.Fitness_cache in
+  (* slots = 1 forces every fingerprint into the same slot: a guaranteed
+     collision between non-equal graphs. The structural check must reject
+     the resident entry and recompute — a collision may cost a miss but can
+     never return the wrong cost. *)
+  let cache = Fc.create ~slots:1 in
+  let g1 = Graph.create 5 in
+  Graph.add_edge g1 0 1;
+  let g2 = Graph.create 5 in
+  Graph.add_edge g2 2 3;
+  Graph.add_edge g2 3 4;
+  Alcotest.(check bool) "graphs differ" false (Graph.equal g1 g2);
+  let cost g = float_of_int (Graph.edge_count g) *. 2.5 in
+  let eval g = Fc.find_or_compute cache g (fun () -> cost g) in
+  Alcotest.(check bool) "g1 computed" true (Float.equal (eval g1) (cost g1));
+  Alcotest.(check bool) "g2 correct despite shared slot" true
+    (Float.equal (eval g2) (cost g2));
+  Alcotest.(check int) "both were misses" 2 (Fc.misses cache);
+  Alcotest.(check int) "no false hit" 0 (Fc.hits cache);
+  (* g2 evicted g1, so g1 again is a third miss — with the right value. *)
+  Alcotest.(check bool) "evicted g1 recomputed" true
+    (Float.equal (eval g1) (cost g1));
+  Alcotest.(check int) "eviction costs a miss, not a wrong value" 3
+    (Fc.misses cache);
+  (* Same property at a non-degenerate capacity: search single-edge graphs
+     for a pair whose fingerprints land in the same direct-mapped slot. *)
+  let capacity = 8 in
+  let slot g =
+    Int64.to_int
+      (Int64.rem
+         (Int64.logand (Graph.fingerprint g) Int64.max_int)
+         (Int64.of_int capacity))
+  in
+  let mk i j =
+    let g = Graph.create 6 in
+    Graph.add_edge g i j;
+    g
+  in
+  let base = mk 0 1 in
+  let siblings = ref [] in
+  for i = 0 to 5 do
+    for j = i + 1 to 5 do
+      if not (i = 0 && j = 1) then siblings := mk i j :: !siblings
+    done
+  done;
+  match List.find_opt (fun g -> slot g = slot base) !siblings with
+  | None -> () (* no same-slot sibling among these fingerprints; the
+                  slots = 1 case above already pins the property *)
+  | Some other ->
+    let c = Fc.create ~slots:capacity in
+    let e g = Fc.find_or_compute c g (fun () -> cost g) in
+    Alcotest.(check bool) "base cost" true (Float.equal (e base) (cost base));
+    Alcotest.(check bool) "collider cost correct" true
+      (Float.equal (e other) (cost other));
+    Alcotest.(check int) "collision never reads as a hit" 0 (Fc.hits c)
+
 (* --- GA determinism across domain counts -------------------------------------- *)
 
 let small_settings =
@@ -226,7 +283,11 @@ let () =
           Alcotest.test_case "shutdown" `Quick test_shutdown_idempotent;
         ] );
       ( "cache",
-        [ Alcotest.test_case "fitness cache" `Quick test_fitness_cache ] );
+        [
+          Alcotest.test_case "fitness cache" `Quick test_fitness_cache;
+          Alcotest.test_case "forced collision" `Quick
+            test_fitness_cache_collision;
+        ] );
       ( "determinism",
         [
           Alcotest.test_case "ga across domain counts" `Slow
