@@ -117,3 +117,107 @@ let ci_of label values =
   Cold_stats.Bootstrap.mean_ci
     (Cold_prng.Prng.create (Cold_prng.Prng.seed_of_string label))
     values
+
+(* --- flat-JSON bench records -------------------------------------------------- *)
+
+(* BENCH_*.json files are arrays of one-level objects (string and number
+   values, no nesting). Benches used to clobber these files wholesale, which
+   meant one bench's rerun erased every other bench's cells. The helpers
+   below instead merge: rows are identified by a key (a list of field
+   names), matching rows are replaced, everything else is preserved
+   verbatim, and rows missing a key field — leftovers from an older schema —
+   are dropped. A purpose-built scanner for exactly this flat shape keeps
+   the harness dependency-free. *)
+
+let split_json_objects s =
+  (* Raw "{...}" substrings of a flat JSON array, in order. *)
+  let objs = ref [] and depth = ref 0 and start = ref 0 in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '{' ->
+        if !depth = 0 then start := i;
+        incr depth
+      | '}' ->
+        if !depth > 0 then begin
+          decr depth;
+          if !depth = 0 then
+            objs := String.sub s !start (i - !start + 1) :: !objs
+        end
+      | _ -> ())
+    s;
+  List.rev !objs
+
+let json_field obj name =
+  (* The raw value of ["name"] in a flat object: quoted strings are
+     unquoted, numbers returned as written. [None] if absent. *)
+  let pat = "\"" ^ name ^ "\"" in
+  let plen = String.length pat in
+  let len = String.length obj in
+  let rec find i =
+    if i + plen > len then None
+    else if String.sub obj i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some j ->
+    let j = ref j in
+    while !j < len && (obj.[!j] = ' ' || obj.[!j] = ':') do
+      incr j
+    done;
+    if !j >= len then None
+    else if obj.[!j] = '"' then begin
+      let st = !j + 1 in
+      let k = ref st in
+      while !k < len && obj.[!k] <> '"' do
+        incr k
+      done;
+      Some (String.sub obj st (!k - st))
+    end
+    else begin
+      let st = !j in
+      let k = ref st in
+      let stop c = c = ',' || c = '}' || c = ' ' || c = '\n' || c = '\t' in
+      while !k < len && not (stop obj.[!k]) do
+        incr k
+      done;
+      if !k = st then None else Some (String.sub obj st (!k - st))
+    end
+
+let read_file path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+let merge_json_rows ~path ~key new_rows =
+  (* [new_rows] are raw "{...}" strings. Rows already in [path] whose key
+     fields all match a new row are replaced; rows lacking a key field are
+     dropped; the rest are kept in place. Returns the total row count. *)
+  let key_of row =
+    let fields = List.map (fun f -> json_field row f) key in
+    if List.exists (fun v -> v = None) fields then None else Some fields
+  in
+  let new_keys = List.filter_map key_of new_rows in
+  let old_rows =
+    match read_file path with None -> [] | Some s -> split_json_objects s
+  in
+  let kept =
+    List.filter
+      (fun row ->
+        match key_of row with
+        | None -> false
+        | Some k -> not (List.mem k new_keys))
+      old_rows
+  in
+  let all = kept @ new_rows in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        ("[\n  " ^ String.concat ",\n  " all ^ "\n]\n"));
+  List.length all

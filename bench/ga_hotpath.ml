@@ -1,27 +1,45 @@
-(* GA hot-path throughput: evaluations/sec of the domain-parallel evaluation
-   engine, sequential vs autodetected domains, at n = 20 and n = 40.
+(* Optimizer hot-path throughput: evaluations/sec of the evaluation engine,
+   full recomputation vs the delta-aware incremental engine, sequential vs
+   autodetected domains, at n = 20 and n = 40.
 
-   This seeds the repo's perf trajectory: every run rewrites BENCH_ga.json
-   with one record per (n, domains) cell using the schema
-     {bench, n, domains, evals_per_sec, wall_s, speedup_vs_seq}
-   so later PRs can diff throughput against this baseline. The fitness memo
-   is disabled for the measurement: with the cache on, duplicate children
-   skip routing and evals/sec stops being a routing-throughput number (the
-   memo's effect is reported separately on stdout). *)
+   Three workloads stress different evaluation mixes:
+     ga_hotpath    — the standard GA (crossover-heavy: most children are far
+                     from their parents, so incremental gains are modest);
+     ga_mutation   — a mutation-heavy GA (most children are a few edge flips
+                     from a parent: the incremental fast path's GA sweet spot);
+     local_search  — simulated annealing (every candidate is a single move
+                     from the current state: the incremental engine's
+                     primary beneficiary).
+
+   Cells land in BENCH_ga.json keyed by (bench, variant, n, domains):
+   existing rows for other keys are preserved, matching rows are replaced —
+   reruns accumulate instead of clobbering. Schema per row:
+     {bench, variant, n, domains, evals_per_sec, wall_s,
+      speedup_vs_seq, speedup_vs_full}
+   where speedup_vs_seq compares against the 1-domain cell of the same
+   variant and speedup_vs_full against the "full" variant of the same
+   (bench, n, domains). The fitness memo is disabled so evals/sec stays a
+   routing-throughput number. *)
 
 module Prng = Cold_prng.Prng
 module Context = Cold_context.Context
 module Par = Cold_par.Par
+module Ga = Cold.Ga
+module Cost = Cold.Cost
+module Local_search = Cold.Local_search
 
 type cell = {
+  bench : string;
+  variant : string; (* "full" | "incremental" *)
   n : int;
   domains : int;
   evals_per_sec : float;
   wall_s : float;
   speedup_vs_seq : float;
+  speedup_vs_full : float;
 }
 
-let settings =
+let ga_settings =
   match Config.scale with
   | Config.Smoke ->
     {
@@ -43,71 +61,159 @@ let settings =
     }
   | Config.Full -> Cold.Ga.default_settings
 
-let measure ~n ~domains =
-  let ctx =
-    Context.generate (Context.default_spec ~n) (Prng.create (Config.master_seed + n))
-  in
-  let params = Cold.Cost.params ~k2:1e-4 () in
+let mutation_settings =
+  match Config.scale with
+  | Config.Smoke ->
+    {
+      Cold.Ga.default_settings with
+      Cold.Ga.population_size = 20;
+      generations = 10;
+      num_saved = 4;
+      num_crossover = 2;
+      num_mutation = 14;
+    }
+  | Config.Quick ->
+    {
+      Cold.Ga.default_settings with
+      Cold.Ga.population_size = 40;
+      generations = 25;
+      num_saved = 8;
+      num_crossover = 4;
+      num_mutation = 28;
+    }
+  | Config.Full ->
+    {
+      Cold.Ga.default_settings with
+      Cold.Ga.num_crossover = 10;
+      num_mutation = 70;
+    }
+
+let ls_iterations =
+  match Config.scale with
+  | Config.Smoke -> 300
+  | Config.Quick -> 1500
+  | Config.Full -> 4000
+
+let ctx_for n =
+  Context.generate (Context.default_spec ~n) (Prng.create (Config.master_seed + n))
+
+let params = Cost.params ~k2:1e-4 ()
+
+let measure_ga ~settings ~incremental ~n ~domains =
+  let ctx = ctx_for n in
   let run () =
-    Cold.Ga.run ~domains ~cache_slots:0 settings params ctx (Prng.create 42)
+    Ga.run ~incremental ~domains ~cache_slots:0 settings params ctx
+      (Prng.create 42)
   in
   let (result, wall) = Config.time_it run in
   (result, wall, float_of_int result.Cold.Ga.evaluations /. wall)
 
-let json_of_cells cells =
-  let row c =
-    Printf.sprintf
-      "  {\"bench\": \"ga_hotpath\", \"n\": %d, \"domains\": %d, \
-       \"evals_per_sec\": %.1f, \"wall_s\": %.3f, \"speedup_vs_seq\": %.3f}"
-      c.n c.domains c.evals_per_sec c.wall_s c.speedup_vs_seq
+let measure_ls ~incremental ~n =
+  let ctx = ctx_for n in
+  let settings =
+    { Local_search.default_settings with Local_search.iterations = ls_iterations }
   in
-  "[\n" ^ String.concat ",\n" (List.map row cells) ^ "\n]\n"
+  let run () = Local_search.run ~incremental settings params ctx (Prng.create 43) in
+  let (result, wall) = Config.time_it run in
+  (result, wall, float_of_int result.Local_search.evaluations /. wall)
+
+let row c =
+  Printf.sprintf
+    "{\"bench\": \"%s\", \"variant\": \"%s\", \"n\": %d, \"domains\": %d, \
+     \"evals_per_sec\": %.1f, \"wall_s\": %.3f, \"speedup_vs_seq\": %.3f, \
+     \"speedup_vs_full\": %.3f}"
+    c.bench c.variant c.n c.domains c.evals_per_sec c.wall_s c.speedup_vs_seq
+    c.speedup_vs_full
+
+let print_cell c =
+  Printf.printf
+    "%-12s %-11s n=%-3d %d domains %9.1f evals/s (%.2fs)  vs seq %.2fx  vs full %.2fx\n%!"
+    c.bench c.variant c.n c.domains c.evals_per_sec c.wall_s c.speedup_vs_seq
+    c.speedup_vs_full
 
 let run () =
-  Config.section "GA hot path: domain-parallel evaluation (BENCH_ga.json)";
+  Config.section
+    "Evaluation engine: incremental vs full recomputation (BENCH_ga.json)";
   let auto = Par.resolve ~domains:0 () in
   Printf.printf "autodetected domains: %d\n" auto;
-  let cells =
-    List.concat_map
-      (fun n ->
-        let (seq_result, seq_wall, seq_eps) = measure ~n ~domains:1 in
-        let seq_cell =
-          { n; domains = 1; evals_per_sec = seq_eps; wall_s = seq_wall;
-            speedup_vs_seq = 1.0 }
-        in
-        let par_cell =
-          if auto = 1 then []
-          else begin
-            let (par_result, par_wall, par_eps) = measure ~n ~domains:auto in
-            assert (Float.equal par_result.Cold.Ga.best_cost seq_result.Cold.Ga.best_cost);
-            [ { n; domains = auto; evals_per_sec = par_eps; wall_s = par_wall;
-                speedup_vs_seq = par_eps /. seq_eps } ]
-          end
-        in
-        (* The memo's contribution, reported alongside (not in the JSON):
-           same workload with the default cache. *)
-        let (cached, cached_wall) =
-          Config.time_it (fun () ->
-              Cold.Ga.run ~domains:1 settings
-                (Cold.Cost.params ~k2:1e-4 ())
-                (Context.generate (Context.default_spec ~n)
-                   (Prng.create (Config.master_seed + n)))
-                (Prng.create 42))
-        in
-        Printf.printf
-          "n=%-3d seq %7.1f evals/s (%.2fs); cache on: %.2fs, %d/%d hits\n%!" n
-          seq_eps seq_wall cached_wall cached.Cold.Ga.cache_hits
-          cached.Cold.Ga.evaluations;
-        List.iter
-          (fun c ->
-            Printf.printf "n=%-3d %d domains %7.1f evals/s (%.2fs)  speedup %.2fx\n%!"
-              c.n c.domains c.evals_per_sec c.wall_s c.speedup_vs_seq)
-          par_cell;
-        seq_cell :: par_cell)
-      [ 20; 40 ]
+  let cells = ref [] in
+  let add c =
+    print_cell c;
+    cells := c :: !cells
   in
-  let oc = open_out "BENCH_ga.json" in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (json_of_cells cells));
-  Printf.printf "wrote BENCH_ga.json (%d cells)\n" (List.length cells)
+  let ls_speedup_n40 = ref 0.0 in
+
+  (* GA workloads: full and incremental at 1 domain and (when available)
+     the autodetected count, asserting bit-identical optima throughout. *)
+  List.iter
+    (fun (bench, settings) ->
+      List.iter
+        (fun n ->
+          let (full_seq, full_wall, full_eps) =
+            measure_ga ~settings ~incremental:false ~n ~domains:1
+          in
+          add
+            { bench; variant = "full"; n; domains = 1; evals_per_sec = full_eps;
+              wall_s = full_wall; speedup_vs_seq = 1.0; speedup_vs_full = 1.0 };
+          let (inc_seq, inc_wall, inc_eps) =
+            measure_ga ~settings ~incremental:true ~n ~domains:1
+          in
+          assert (Float.equal inc_seq.Cold.Ga.best_cost full_seq.Cold.Ga.best_cost);
+          add
+            { bench; variant = "incremental"; n; domains = 1;
+              evals_per_sec = inc_eps; wall_s = inc_wall;
+              speedup_vs_seq = 1.0; speedup_vs_full = inc_eps /. full_eps };
+          if auto > 1 then begin
+            let (full_par, fp_wall, fp_eps) =
+              measure_ga ~settings ~incremental:false ~n ~domains:auto
+            in
+            assert (
+              Float.equal full_par.Cold.Ga.best_cost full_seq.Cold.Ga.best_cost);
+            add
+              { bench; variant = "full"; n; domains = auto;
+                evals_per_sec = fp_eps; wall_s = fp_wall;
+                speedup_vs_seq = fp_eps /. full_eps; speedup_vs_full = 1.0 };
+            let (inc_par, ip_wall, ip_eps) =
+              measure_ga ~settings ~incremental:true ~n ~domains:auto
+            in
+            assert (
+              Float.equal inc_par.Cold.Ga.best_cost full_seq.Cold.Ga.best_cost);
+            add
+              { bench; variant = "incremental"; n; domains = auto;
+                evals_per_sec = ip_eps; wall_s = ip_wall;
+                speedup_vs_seq = ip_eps /. inc_eps;
+                speedup_vs_full = ip_eps /. fp_eps }
+          end)
+        [ 20; 40 ])
+    [ ("ga_hotpath", ga_settings); ("ga_mutation", mutation_settings) ];
+
+  (* Local search: the single-edge-move workload. *)
+  List.iter
+    (fun n ->
+      let (full_r, full_wall, full_eps) = measure_ls ~incremental:false ~n in
+      add
+        { bench = "local_search"; variant = "full"; n; domains = 1;
+          evals_per_sec = full_eps; wall_s = full_wall; speedup_vs_seq = 1.0;
+          speedup_vs_full = 1.0 };
+      let (inc_r, inc_wall, inc_eps) = measure_ls ~incremental:true ~n in
+      assert (
+        Float.equal inc_r.Local_search.best_cost full_r.Local_search.best_cost);
+      let speedup = inc_eps /. full_eps in
+      if n = 40 then ls_speedup_n40 := speedup;
+      add
+        { bench = "local_search"; variant = "incremental"; n; domains = 1;
+          evals_per_sec = inc_eps; wall_s = inc_wall; speedup_vs_seq = 1.0;
+          speedup_vs_full = speedup })
+    [ 20; 40 ];
+
+  Printf.printf
+    "\nlocal_search n=40: incremental %.2fx over full recomputation\n"
+    !ls_speedup_n40;
+  let rows = List.rev_map row !cells in
+  let total =
+    Config.merge_json_rows ~path:"BENCH_ga.json"
+      ~key:[ "bench"; "variant"; "n"; "domains" ]
+      rows
+  in
+  Printf.printf "merged BENCH_ga.json (%d new cells, %d total)\n"
+    (List.length rows) total

@@ -1,26 +1,36 @@
 (* COLD experiment harness: regenerates every table and figure of the paper
    plus the §5/§7 validation experiments. Scale with COLD_BENCH_SCALE =
-   smoke | quick (default) | full; see bench/config.ml and EXPERIMENTS.md. *)
+   smoke | quick (default) | full; see bench/config.ml and EXPERIMENTS.md.
+   COLD_BENCH_ONLY=name1,name2 runs a subset (names printed below). *)
+
+let want =
+  match Sys.getenv_opt "COLD_BENCH_ONLY" with
+  | None | Some "" -> fun _ -> true
+  | Some s ->
+    let names = String.split_on_char ',' s in
+    fun name -> List.exists (String.equal name) names
+
+let bench name f = if want name then f ()
 
 let () =
   Printf.printf "COLD benchmark harness — scale: %s\n" Config.scale_name;
   Printf.printf "(set COLD_BENCH_SCALE=smoke|quick|full to change)\n";
   let t0 = Unix.gettimeofday () in
-  Table1.run ();
-  Fig1.run ();
-  Fig2.run ();
-  Fig3.run ();
-  Fig4.run ();
-  ignore (Tunability.run ());
-  Hubcost.run ();
-  Ga_optimality.run ();
-  Ablation_context.run ();
-  Ablation_ga.run ();
-  Ablation_cost.run ();
-  Ablation_optimizer.run ();
-  Evolution_experiment.run ();
-  Abc_experiment.run ();
-  Ablation_routing.run ();
-  Ga_hotpath.run ();
-  Micro.run ();
+  bench "table1" Table1.run;
+  bench "fig1" Fig1.run;
+  bench "fig2" Fig2.run;
+  bench "fig3" Fig3.run;
+  bench "fig4" Fig4.run;
+  bench "tunability" (fun () -> ignore (Tunability.run ()));
+  bench "hubcost" Hubcost.run;
+  bench "ga_optimality" Ga_optimality.run;
+  bench "ablation_context" Ablation_context.run;
+  bench "ablation_ga" Ablation_ga.run;
+  bench "ablation_cost" Ablation_cost.run;
+  bench "ablation_optimizer" Ablation_optimizer.run;
+  bench "evolution" Evolution_experiment.run;
+  bench "abc" Abc_experiment.run;
+  bench "ablation_routing" Ablation_routing.run;
+  bench "ga_hotpath" Ga_hotpath.run;
+  bench "micro" Micro.run;
   Printf.printf "\ntotal harness time: %.0fs\n" (Unix.gettimeofday () -. t0)

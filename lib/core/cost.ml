@@ -1,6 +1,7 @@
 module Graph = Cold_graph.Graph
 module Context = Cold_context.Context
 module Routing = Cold_net.Routing
+module Incremental = Cold_net.Incremental
 
 type params = { k0 : float; k1 : float; k2 : float; k3 : float }
 
@@ -22,27 +23,56 @@ let infeasible =
   { existence = infinity; length = infinity; bandwidth = infinity;
     hub = infinity; total = infinity }
 
-let evaluate_breakdown p ctx g =
+(* Score a routed topology. One fused pass serves both length-dependent
+   terms: each link's geometric length feeds the k1 sum and, scaled by the
+   link's load, the k2 sum — so Context.distance is queried once per edge,
+   not twice. Positive-load links are a subset of the edges and both sweeps
+   are lexicographic, so each accumulator adds the same values in the same
+   order as the two separate folds did (bit-identical totals). *)
+let breakdown_of_loads p ctx g loads =
+  let length u v = Context.distance ctx u v in
+  let existence = p.k0 *. float_of_int (Graph.edge_count g) in
+  let len = ref 0.0 and vl = ref 0.0 in
+  Graph.iter_edges g (fun u v ->
+      let l = length u v in
+      len := !len +. l;
+      let w = Routing.load loads u v in
+      if w > 0.0 then vl := !vl +. (w *. l));
+  let bandwidth = p.k2 *. !vl in
+  let hub = p.k3 *. float_of_int (Graph.core_count g) in
+  let length_cost = p.k1 *. !len in
+  {
+    existence;
+    length = length_cost;
+    bandwidth;
+    hub;
+    total = existence +. length_cost +. bandwidth +. hub;
+  }
+
+let evaluate_breakdown ?workspace p ctx g =
   if Graph.node_count g <> Context.n ctx then
     invalid_arg "Cost.evaluate: graph size does not match context";
   let length u v = Context.distance ctx u v in
-  match Routing.route g ~length ~tm:ctx.Context.tm with
+  match Routing.route ?workspace g ~length ~tm:ctx.Context.tm with
   | exception Routing.Disconnected -> infeasible
-  | loads ->
-    let existence = p.k0 *. float_of_int (Graph.edge_count g) in
-    let len = Graph.fold_edges g (fun acc u v -> acc +. length u v) 0.0 in
-    let bandwidth = p.k2 *. Routing.total_volume_length loads ~length in
-    let hub = p.k3 *. float_of_int (Graph.core_count g) in
-    let length_cost = p.k1 *. len in
-    {
-      existence;
-      length = length_cost;
-      bandwidth;
-      hub;
-      total = existence +. length_cost +. bandwidth +. hub;
-    }
+  | loads -> breakdown_of_loads p ctx g loads
 
-let evaluate p ctx g = (evaluate_breakdown p ctx g).total
+let evaluate ?workspace p ctx g = (evaluate_breakdown ?workspace p ctx g).total
+
+let state ?multipath ctx g =
+  if Graph.node_count g <> Context.n ctx then
+    invalid_arg "Cost.state: graph size does not match context";
+  Incremental.create ?multipath g
+    ~length:(fun u v -> Context.distance ctx u v)
+    ~tm:ctx.Context.tm
+
+let evaluate_state p ctx st =
+  let g = Incremental.graph st in
+  if Graph.node_count g <> Context.n ctx then
+    invalid_arg "Cost.evaluate_state: graph size does not match context";
+  match Incremental.loads st with
+  | exception Routing.Disconnected -> infinity
+  | loads -> (breakdown_of_loads p ctx g loads).total
 
 let pp_params fmt p =
   Format.fprintf fmt "{k0=%g; k1=%g; k2=%g; k3=%g}" p.k0 p.k1 p.k2 p.k3

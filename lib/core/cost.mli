@@ -11,7 +11,13 @@
     the traffic (disconnected) costs [infinity].
 
     Costs are relative — only three degrees of freedom matter — so the
-    conventional normalization fixes k1 = 1 and, following §6, k0 = 10. *)
+    conventional normalization fixes k1 = 1 and, following §6, k0 = 10.
+
+    Two evaluation routes produce bit-identical scores: the stateless oracle
+    {!evaluate} (route from scratch) and the stateful {!evaluate_state}
+    (recompute only what an edge flip affected — see
+    {!Cold_net.Incremental}). The optimizers use the latter; tests hold it
+    to the former. *)
 
 type params = {
   k0 : float;  (** Per-link existence cost. Dominant ⇒ spanning trees. *)
@@ -32,14 +38,43 @@ val params : ?k0:float -> ?k1:float -> ?k2:float -> ?k3:float -> unit -> params
 (** Defaults: k0 = 10, k1 = 1, k2 = 1e-4, k3 = 0 — the paper's §6 baseline.
     Raises [Invalid_argument] on negative values. *)
 
-val evaluate : params -> Cold_context.Context.t -> Cold_graph.Graph.t -> float
+val evaluate :
+  ?workspace:Cold_net.Routing.workspace ->
+  params ->
+  Cold_context.Context.t ->
+  Cold_graph.Graph.t ->
+  float
 (** [evaluate p ctx g] is the total cost; [infinity] if [g] is disconnected
-    (traffic cannot be carried). Pure: depends only on arguments. *)
+    (traffic cannot be carried). Pure: depends only on arguments.
+    [?workspace] reuses routing scratch across calls (results are
+    bit-identical with and without it). *)
 
 val evaluate_breakdown :
-  params -> Cold_context.Context.t -> Cold_graph.Graph.t -> breakdown
+  ?workspace:Cold_net.Routing.workspace ->
+  params ->
+  Cold_context.Context.t ->
+  Cold_graph.Graph.t ->
+  breakdown
 (** Like {!evaluate}, with per-term decomposition; every component is
-    [infinity] when infeasible. *)
+    [infinity] when infeasible. The length-dependent terms are computed in
+    one fused pass over the links (each link's geometric length is queried
+    once, feeding both the k1 and k2 sums). *)
+
+val state :
+  ?multipath:bool ->
+  Cold_context.Context.t ->
+  Cold_graph.Graph.t ->
+  Cold_net.Incremental.t
+(** [state ctx g] opens incremental evaluation state at topology [g], wired
+    to the context's distances and traffic matrix — the constructor behind
+    {!evaluate_state}. *)
+
+val evaluate_state :
+  params -> Cold_context.Context.t -> Cold_net.Incremental.t -> float
+(** [evaluate_state p ctx st] is the total cost of the state's current
+    topology, bit-identical to [evaluate p ctx (Incremental.graph st)] but
+    recomputing only the shortest-path trees invalidated since the state
+    was last brought current. *)
 
 val pp_params : Format.formatter -> params -> unit
 

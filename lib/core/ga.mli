@@ -61,6 +61,7 @@ val run :
   ?domains:int ->
   ?cache_slots:int ->
   ?seeds:Cold_graph.Graph.t list ->
+  ?incremental:bool ->
   settings ->
   Cost.params ->
   Cold_context.Context.t ->
@@ -69,6 +70,15 @@ val run :
 (** [run ?seeds settings params ctx rng] evolves topologies for [ctx].
     Deterministic given the rng state. All returned topologies are
     connected.
+
+    [?incremental] (default [true]) costs mutants through the delta-aware
+    engine ({!Cold_net.Incremental}): every evaluated member keeps its
+    routing state, and a mutant — a handful of edge flips away from its
+    parent — recomputes only the shortest-path trees those flips affect.
+    Crossover children and cache hits evaluate as before. [false] scores
+    everything with {!Cost.evaluate} from scratch. The two settings return
+    bit-identical results at every [?domains] count and differ only in
+    running time (and the memory for retained per-member states).
 
     [?domains] (default 1) sets how many domains evaluate candidates
     concurrently; [0] autodetects ([Domain.recommended_domain_count]).

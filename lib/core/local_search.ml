@@ -2,6 +2,7 @@ module Graph = Cold_graph.Graph
 module Prng = Cold_prng.Prng
 module Dist = Cold_prng.Dist
 module Context = Cold_context.Context
+module Incremental = Cold_net.Incremental
 
 type settings = {
   iterations : int;
@@ -47,13 +48,13 @@ let propose ctx g rng ~node_move_prob =
   end;
   candidate
 
-let run ?initial settings params ctx rng =
+let run ?(incremental = true) ?initial settings params ctx rng =
   if settings.iterations < 0 then invalid_arg "Local_search.run: negative iterations";
   if settings.cooling <= 0.0 || settings.cooling > 1.0 then
     invalid_arg "Local_search.run: cooling must be in (0, 1]";
   let n = Context.n ctx in
   if n < 2 then invalid_arg "Local_search.run: need at least 2 PoPs";
-  let current =
+  let start =
     match initial with
     | Some g ->
       if Graph.node_count g <> n then
@@ -63,34 +64,80 @@ let run ?initial settings params ctx rng =
       Cold_graph.Mst.mst_graph ~n ~weight:(fun u v -> Context.distance ctx u v)
   in
   let evaluations = ref 0 in
-  let evaluate g =
-    incr evaluations;
-    Cost.evaluate params ctx g
-  in
-  let current = ref current in
-  let current_cost = ref (evaluate !current) in
-  let best = ref !current in
-  let best_cost = ref !current_cost in
-  let temperature = ref (settings.initial_temperature *. !current_cost) in
   let accepted = ref 0 in
-  for _ = 1 to settings.iterations do
-    let candidate = propose ctx !current rng ~node_move_prob:settings.node_move_prob in
-    let cost = evaluate candidate in
-    let delta = cost -. !current_cost in
-    let accept =
-      delta <= 0.0
-      || (!temperature > 0.0 && Prng.float rng < exp (-.delta /. !temperature))
+  if incremental then begin
+    (* Propose-on-state: the single-trajectory annealer is the ideal client
+       of the incremental engine — each candidate differs from the current
+       state by one or two edge flips (plus whatever repair touched), so
+       only the affected shortest-path trees are recomputed. Accept commits
+       the flips; reject rolls them back. Costs, and therefore the whole
+       accept/reject trajectory, are bit-identical to the full-evaluation
+       loop below. *)
+    let st = Cost.state ctx start in
+    let evaluate_st () =
+      incr evaluations;
+      Cost.evaluate_state params ctx st
     in
-    if accept then begin
-      current := candidate;
-      current_cost := cost;
-      incr accepted;
-      if cost < !best_cost then begin
-        best := candidate;
-        best_cost := cost
+    let current_cost = ref (evaluate_st ()) in
+    let best = ref start in
+    let best_cost = ref !current_cost in
+    let temperature = ref (settings.initial_temperature *. !current_cost) in
+    for _ = 1 to settings.iterations do
+      let candidate =
+        propose ctx (Incremental.graph st) rng
+          ~node_move_prob:settings.node_move_prob
+      in
+      ignore (Incremental.retarget st candidate);
+      let cost = evaluate_st () in
+      let delta = cost -. !current_cost in
+      let accept =
+        delta <= 0.0
+        || (!temperature > 0.0 && Prng.float rng < exp (-.delta /. !temperature))
+      in
+      if accept then begin
+        Incremental.commit st;
+        current_cost := cost;
+        incr accepted;
+        if cost < !best_cost then begin
+          best := candidate;
+          best_cost := cost
+        end
       end
-    end;
-    temperature := !temperature *. settings.cooling
-  done;
-  { best = !best; best_cost = !best_cost; accepted = !accepted;
-    evaluations = !evaluations }
+      else Incremental.rollback st;
+      temperature := !temperature *. settings.cooling
+    done;
+    { best = !best; best_cost = !best_cost; accepted = !accepted;
+      evaluations = !evaluations }
+  end
+  else begin
+    let evaluate g =
+      incr evaluations;
+      Cost.evaluate params ctx g
+    in
+    let current = ref start in
+    let current_cost = ref (evaluate !current) in
+    let best = ref !current in
+    let best_cost = ref !current_cost in
+    let temperature = ref (settings.initial_temperature *. !current_cost) in
+    for _ = 1 to settings.iterations do
+      let candidate = propose ctx !current rng ~node_move_prob:settings.node_move_prob in
+      let cost = evaluate candidate in
+      let delta = cost -. !current_cost in
+      let accept =
+        delta <= 0.0
+        || (!temperature > 0.0 && Prng.float rng < exp (-.delta /. !temperature))
+      in
+      if accept then begin
+        current := candidate;
+        current_cost := cost;
+        incr accepted;
+        if cost < !best_cost then begin
+          best := candidate;
+          best_cost := cost
+        end
+      end;
+      temperature := !temperature *. settings.cooling
+    done;
+    { best = !best; best_cost = !best_cost; accepted = !accepted;
+      evaluations = !evaluations }
+  end

@@ -32,6 +32,7 @@ val hill_climb_settings : settings
 (** [initial_temperature = 0]: strictly-improving moves only. *)
 
 val run :
+  ?incremental:bool ->
   ?initial:Cold_graph.Graph.t ->
   settings ->
   Cost.params ->
@@ -40,4 +41,12 @@ val run :
   result
 (** [run settings params ctx rng] anneals from [initial] (default: the
     Euclidean MST). The result is always connected; the returned best is the
-    cheapest topology ever visited, not the final state. *)
+    cheapest topology ever visited, not the final state.
+
+    [incremental] (default [true]) evaluates proposals through the
+    delta-aware engine ({!Cold_net.Incremental}): each candidate's edge
+    flips are applied to persistent evaluation state, committed on accept
+    and rolled back on reject, so only affected shortest-path trees are
+    recomputed. [false] evaluates every candidate from scratch with
+    {!Cost.evaluate}. Both paths are bit-identical — same proposals, same
+    costs, same trajectory, same result — differing only in running time. *)

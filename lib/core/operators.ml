@@ -42,15 +42,10 @@ let crossover ctx ~parents rng =
 let random_existing_edge g rng =
   let m = Graph.edge_count g in
   if m = 0 then None
-  else begin
-    let target = Prng.int rng m in
-    let found = ref None in
-    let i = ref 0 in
-    Graph.iter_edges g (fun u v ->
-        if !i = target then found := Some (u, v);
-        incr i);
-    !found
-  end
+  else
+    (* Indexed lookup at the same lexicographic rank the old full edge scan
+       selected, so every RNG trajectory is preserved. *)
+    Some (Graph.nth_edge g (Prng.int rng m))
 
 let random_absent_pair g rng =
   let n = Graph.node_count g in

@@ -2,6 +2,7 @@ type t = {
   n : int;
   adj : Bytes.t; (* n*n bytes; adj[u*n+v] = '\001' iff edge present *)
   deg : int array;
+  fwd : int array; (* fwd.(u) = #edges {u,v} with v > u: the rank index for nth_edge *)
   mutable m : int;
 }
 
@@ -10,13 +11,26 @@ let check_vertex g v name =
 
 let create n =
   if n < 0 then invalid_arg "Graph.create: negative size";
-  { n; adj = Bytes.make (n * n) '\000'; deg = Array.make n 0; m = 0 }
+  {
+    n;
+    adj = Bytes.make (n * n) '\000';
+    deg = Array.make n 0;
+    fwd = Array.make n 0;
+    m = 0;
+  }
 
 let node_count g = g.n
 
 let edge_count g = g.m
 
-let copy g = { n = g.n; adj = Bytes.copy g.adj; deg = Array.copy g.deg; m = g.m }
+let copy g =
+  {
+    n = g.n;
+    adj = Bytes.copy g.adj;
+    deg = Array.copy g.deg;
+    fwd = Array.copy g.fwd;
+    m = g.m;
+  }
 
 let mem_edge g u v =
   check_vertex g u "mem_edge";
@@ -32,6 +46,7 @@ let add_edge g u v =
     Bytes.unsafe_set g.adj ((v * g.n) + u) '\001';
     g.deg.(u) <- g.deg.(u) + 1;
     g.deg.(v) <- g.deg.(v) + 1;
+    g.fwd.(min u v) <- g.fwd.(min u v) + 1;
     g.m <- g.m + 1
   end
 
@@ -43,6 +58,7 @@ let remove_edge g u v =
     Bytes.unsafe_set g.adj ((v * g.n) + u) '\000';
     g.deg.(u) <- g.deg.(u) - 1;
     g.deg.(v) <- g.deg.(v) - 1;
+    g.fwd.(min u v) <- g.fwd.(min u v) - 1;
     g.m <- g.m - 1
   end
 
@@ -104,6 +120,41 @@ let fold_edges g f init =
   !acc
 
 let edges g = List.rev (fold_edges g (fun acc u v -> (u, v) :: acc) [])
+
+let nth_edge g k =
+  if k < 0 || k >= g.m then invalid_arg "Graph.nth_edge: rank out of range";
+  (* Walk the forward-degree index to the owning row, then scan that row's
+     forward half for the residual rank. O(n) instead of the O(n^2) full
+     edge scan, with no allocation. *)
+  let u = ref 0 in
+  let r = ref k in
+  while !r >= g.fwd.(!u) do
+    r := !r - g.fwd.(!u);
+    incr u
+  done;
+  let row = !u * g.n in
+  let v = ref !u in
+  let remaining = ref (!r + 1) in
+  while !remaining > 0 do
+    incr v;
+    if Bytes.unsafe_get g.adj (row + !v) = '\001' then decr remaining
+  done;
+  (!u, !v)
+
+let edge_diff g h =
+  if g.n <> h.n then invalid_arg "Graph.edge_diff: size mismatch";
+  let removed = ref [] and added = ref [] in
+  for u = g.n - 1 downto 0 do
+    let row = u * g.n in
+    for v = g.n - 1 downto u + 1 do
+      let a = Bytes.unsafe_get g.adj (row + v) in
+      let b = Bytes.unsafe_get h.adj (row + v) in
+      if a <> b then
+        if a = '\001' then removed := (u, v) :: !removed
+        else added := (u, v) :: !added
+    done
+  done;
+  (!removed, !added)
 
 let of_edges n es =
   let g = create n in

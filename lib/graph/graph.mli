@@ -68,6 +68,20 @@ val fold_edges : t -> ('a -> int -> int -> 'a) -> 'a -> 'a
 val edges : t -> (int * int) list
 (** Lexicographically ordered [(u, v)] pairs with [u < v]. *)
 
+val nth_edge : t -> int -> int * int
+(** [nth_edge g k] is the [k]-th edge (0-based) in the lexicographic
+    [(u, v)], [u < v] order of {!iter_edges} — the indexed lookup behind
+    uniform random edge draws. A per-vertex forward-degree index finds the
+    owning row directly, so the cost is O(n) (one index walk plus one row
+    scan) rather than the O(n²) scan of enumerating all edges, and nothing
+    is allocated. Raises [Invalid_argument] unless [0 <= k < edge_count]. *)
+
+val edge_diff : t -> t -> (int * int) list * (int * int) list
+(** [edge_diff g h] is [(removed, added)]: the edges of [g] absent from [h]
+    and the edges of [h] absent from [g], each in lexicographic order —
+    i.e. the operations turning [g] into [h]. Raises [Invalid_argument] if
+    the vertex counts differ. O(n²) byte comparison. *)
+
 val of_edges : int -> (int * int) list -> t
 (** [of_edges n es] builds a graph on [n] vertices with the given edges.
     Duplicate edges collapse. Raises [Invalid_argument] on self-loops or

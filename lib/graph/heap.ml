@@ -10,6 +10,8 @@ let create ~capacity =
 
 let is_empty h = h.len = 0
 
+let clear h = h.len <- 0
+
 let size h = h.len
 
 let less h i j =

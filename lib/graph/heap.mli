@@ -9,6 +9,10 @@ val create : capacity:int -> t
 
 val is_empty : t -> bool
 
+val clear : t -> unit
+(** [clear h] empties the heap without releasing its storage, so a consumer
+    looping over many Dijkstra runs can reuse one allocation. *)
+
 val size : t -> int
 
 val push : t -> priority:float -> int -> unit

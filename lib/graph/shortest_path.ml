@@ -1,14 +1,57 @@
 type tree = { dist : float array; pred : int array; order : int array }
 
-let dijkstra ?adj g ~length ~source =
+(* Scratch reused across runs: only buffers that do NOT escape into the
+   returned tree live here. [dist]/[pred] are always freshly allocated —
+   trees are retained by callers (routing keeps one per source, the
+   incremental engine keeps them across evaluations), so aliasing them to a
+   workspace would let the next run corrupt a stored tree. [order] is staged
+   in the workspace and copied out at its exact reachable length. *)
+type workspace = {
+  ws_n : int;
+  ws_settled : bool array;
+  ws_order : int array;
+  ws_heap : Heap.t;
+}
+
+let workspace ~n =
+  if n < 0 then invalid_arg "Shortest_path.workspace";
+  {
+    ws_n = n;
+    ws_settled = Array.make (max n 1) false;
+    ws_order = Array.make (max n 1) (-1);
+    ws_heap = Heap.create ~capacity:(2 * max n 1);
+  }
+
+(* One lazily-created workspace per domain, rebuilt when the vertex count
+   changes: the natural fit for Par pools, where tasks land on arbitrary
+   domains but every domain can reuse its own scratch run after run. *)
+let dls_workspace : workspace option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let domain_workspace ~n =
+  match Domain.DLS.get dls_workspace with
+  | Some ws when ws.ws_n = n -> ws
+  | _ ->
+    let ws = workspace ~n in
+    Domain.DLS.set dls_workspace (Some ws);
+    ws
+
+let dijkstra ?adj ?workspace g ~length ~source =
   let n = Graph.node_count g in
   if source < 0 || source >= n then invalid_arg "Shortest_path.dijkstra";
+  let (settled, order, heap) =
+    match workspace with
+    | Some ws ->
+      if ws.ws_n <> n then invalid_arg "Shortest_path.dijkstra: workspace size";
+      Array.fill ws.ws_settled 0 n false;
+      Heap.clear ws.ws_heap;
+      (ws.ws_settled, ws.ws_order, ws.ws_heap)
+    | None ->
+      (Array.make n false, Array.make n (-1), Heap.create ~capacity:(2 * n))
+  in
   let dist = Array.make n infinity in
   let pred = Array.make n (-1) in
-  let settled = Array.make n false in
-  let order = Array.make n (-1) in
   let count = ref 0 in
-  let heap = Heap.create ~capacity:(2 * n) in
   dist.(source) <- 0.0;
   Heap.push heap ~priority:0.0 source;
   let relax u d v =

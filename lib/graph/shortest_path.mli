@@ -14,8 +14,30 @@ type tree = {
   order : int array;  (** Vertices in settling order (ascending distance); length = number of reachable vertices. *)
 }
 
+type workspace
+(** Reusable scratch for repeated runs: the settled flags, the heap and the
+    settling-order staging buffer — everything a run consumes but does not
+    return. The [dist]/[pred] arrays of a {!tree} are always freshly
+    allocated (callers retain trees), so a tree outlives the workspace that
+    produced it and results are bit-identical with or without one. A
+    workspace is single-threaded state: never share one across domains. *)
+
+val workspace : n:int -> workspace
+(** [workspace ~n] allocates scratch for graphs on [n] vertices. *)
+
+val domain_workspace : n:int -> workspace
+(** The calling domain's private workspace (domain-local storage), created
+    on first use and rebuilt when [n] changes — the way evaluation fan-outs
+    over a {e Par} pool get one reusable workspace per domain without
+    threading state through task closures. *)
+
 val dijkstra :
-  ?adj:int array array -> Graph.t -> length:(int -> int -> float) -> source:int -> tree
+  ?adj:int array array ->
+  ?workspace:workspace ->
+  Graph.t ->
+  length:(int -> int -> float) ->
+  source:int ->
+  tree
 (** [dijkstra g ~length ~source] computes the shortest-path tree. [length u v]
     must be the positive length of edge [{u,v}]; it is queried only for
     existing edges.
@@ -25,7 +47,11 @@ val dijkstra :
     evaluation) precompute it once and replace the O(n) adjacency-row scan
     per settled vertex with an O(degree) array sweep. The arrays must
     describe [g] exactly; neighbour visit order (ascending) and hence every
-    tie-break is identical with and without [?adj]. *)
+    tie-break is identical with and without [?adj].
+
+    [?workspace] reuses scratch buffers across runs (see {!workspace});
+    output is bit-identical with and without it. Raises [Invalid_argument]
+    if the workspace was built for a different vertex count. *)
 
 val path : tree -> int -> int list option
 (** [path t v] is the source→[v] vertex sequence, or [None] if unreachable. *)

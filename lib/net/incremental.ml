@@ -1,0 +1,299 @@
+module Graph = Cold_graph.Graph
+module Shortest_path = Cold_graph.Shortest_path
+module Gravity = Cold_traffic.Gravity
+
+type op = Add of int * int | Remove of int * int
+
+type t = {
+  g : Graph.t; (* private copy; the current (possibly uncommitted) topology *)
+  length : int -> int -> float;
+  tm : Gravity.t;
+  multipath : bool;
+  n : int;
+  trees : Shortest_path.tree array; (* trees.(s) is current iff not dirty.(s) *)
+  dirty : bool array;
+  mutable dirty_count : int;
+  matrix : float array; (* n*n loads; meaningful iff matrix_valid *)
+  subtree : float array; (* accumulation scratch *)
+  pair_dem : float array; (* n*n Gravity.pair_demand table; immutable *)
+  mutable matrix_valid : bool;
+  (* Adjacency snapshot, kept in sync with [g]: edge flips rewrite just the
+     two endpoint rows (each row is a fresh array; rows are never mutated in
+     place, so clones may share them). Meaningful iff adj_valid. *)
+  mutable adj : int array array;
+  mutable adj_valid : bool;
+  mutable journal : op list; (* uncommitted ops, most recent first *)
+  (* First-touch snapshots since the last commit: (source, tree, was_dirty).
+     Rollback restores exactly these, so its cost is proportional to what
+     the rejected proposal actually touched. *)
+  mutable undo : (int * Shortest_path.tree * bool) list;
+  touched : bool array;
+  mutable recomputed : int;
+}
+
+let dummy_tree = { Shortest_path.dist = [||]; pred = [||]; order = [||] }
+
+let create ?(multipath = false) g ~length ~tm =
+  let n = Graph.node_count g in
+  if Gravity.size tm <> n then invalid_arg "Incremental.create: size mismatch";
+  let pair_dem = Array.make (max (n * n) 1) 0.0 in
+  for s = 0 to n - 1 do
+    for d = 0 to n - 1 do
+      pair_dem.((s * n) + d) <- Gravity.pair_demand tm s d
+    done
+  done;
+  {
+    g = Graph.copy g;
+    length;
+    tm;
+    multipath;
+    n;
+    trees = Array.make n dummy_tree;
+    dirty = Array.make n true;
+    dirty_count = n;
+    matrix = Array.make (n * n) 0.0;
+    subtree = Array.make (max n 1) 0.0;
+    pair_dem;
+    matrix_valid = false;
+    adj = [||];
+    adj_valid = false;
+    journal = [];
+    undo = [];
+    touched = Array.make n false;
+    recomputed = 0;
+  }
+
+let graph st = st.g
+
+let pending_sources st = st.dirty_count
+
+let recomputed_trees st = st.recomputed
+
+let touch st s =
+  if not st.touched.(s) then begin
+    st.touched.(s) <- true;
+    st.undo <- (s, st.trees.(s), st.dirty.(s)) :: st.undo
+  end
+
+let mark_dirty st s =
+  if not st.dirty.(s) then begin
+    touch st s;
+    st.dirty.(s) <- true;
+    st.dirty_count <- st.dirty_count + 1
+  end
+
+(* The affected-source criteria. Both are conservative supersets of "the
+   fresh Dijkstra tree would differ", which is what bit-identity needs.
+   Dijkstra only ever relaxes from a settled vertex, whose distance is
+   already final — so every relaxation candidate is ≥ the target's final
+   distance, and the heap's strict (priority, vertex-id) order makes the
+   settling sequence a function of the final distances alone: stale or
+   tied-but-losing entries are skipped by lazy deletion without moving
+   dist, pred or settling order. Consequently:
+
+   - An added edge {u,v} of length l changes source s's tree only if it
+     strictly improves an endpoint's final distance — dist_s(u) + l <
+     dist_s(v) or symmetrically — or ties it exactly AND beats the current
+     predecessor in the run's smaller-id tie-break (pred is the minimum id
+     over tying achievers, so a tie with u ≥ pred_s(v) changes nothing).
+     An exact tie between two unreachable endpoints (∞ = ∞ + l) falls out
+     via pred = -1. ECMP load splits need no marking at all: multipath
+     accumulation re-derives the split from dist and the current adjacency
+     on every loads, and neither moved.
+
+   - A removed edge {u,v} matters only if it was a tree edge of s
+     (pred-linked) or tied a shortest distance exactly (an ECMP member, or
+     the zero-length corner where equal-distance settling order could lean
+     on it). Non-tree, non-tied edges influence no final distance and no
+     settling push. If s cannot reach the edge at all (both endpoints at
+     ∞ — they share a component, so one test suffices), its removal is
+     invisible to s.
+
+   Both tests read only clean trees; dirty sources are already scheduled
+   for recomputation, so skipping them keeps the invariant: every clean
+   tree equals a fresh Dijkstra on the current topology. *)
+
+let affected_by_add st s u v l =
+  let t = st.trees.(s) in
+  let dist = t.Shortest_path.dist and pred = t.Shortest_path.pred in
+  let du = dist.(u) and dv = dist.(v) in
+  du +. l < dv || dv +. l < du
+  || (Float.equal (du +. l) dv && u < pred.(v))
+  || (Float.equal (dv +. l) du && v < pred.(u))
+
+let affected_by_remove st s u v l =
+  let t = st.trees.(s) in
+  let dist = t.Shortest_path.dist and pred = t.Shortest_path.pred in
+  pred.(v) = u || pred.(u) = v
+  || (dist.(u) < infinity
+      && (Float.equal (dist.(u) +. l) dist.(v)
+          || Float.equal (dist.(v) +. l) dist.(u)))
+
+(* One adjacency row, rebuilt from the graph: ascending neighbour ids,
+   exactly as Graph.adjacency_arrays lays them out (iter_neighbors is the
+   same ascending row scan), so Dijkstra relaxation order is identical. *)
+let adj_row st v =
+  let a = Array.make (Graph.degree st.g v) 0 in
+  let k = ref 0 in
+  Graph.iter_neighbors st.g v (fun u ->
+      a.(!k) <- u;
+      incr k);
+  a
+
+(* Keep the adjacency snapshot current across a flip by rewriting just the
+   two endpoint rows — O(n) instead of rebuilding all n rows per
+   evaluation. Fresh row arrays every time: live clones may still hold the
+   old ones. *)
+let patch_adj st u v =
+  if st.adj_valid then begin
+    st.adj.(u) <- adj_row st u;
+    st.adj.(v) <- adj_row st v
+  end
+
+let add_edge st u v =
+  if u = v then invalid_arg "Incremental.add_edge: self-loop";
+  if not (Graph.mem_edge st.g u v) then begin
+    let l = st.length u v in
+    for s = 0 to st.n - 1 do
+      if (not st.dirty.(s)) && affected_by_add st s u v l then mark_dirty st s
+    done;
+    Graph.add_edge st.g u v;
+    patch_adj st u v;
+    st.journal <- Add (u, v) :: st.journal;
+    st.matrix_valid <- false
+  end
+
+let remove_edge st u v =
+  if Graph.mem_edge st.g u v then begin
+    let l = st.length u v in
+    for s = 0 to st.n - 1 do
+      if (not st.dirty.(s)) && affected_by_remove st s u v l then mark_dirty st s
+    done;
+    Graph.remove_edge st.g u v;
+    patch_adj st u v;
+    st.journal <- Remove (u, v) :: st.journal;
+    st.matrix_valid <- false
+  end
+
+let retarget st target =
+  let (removed, added) = Graph.edge_diff st.g target in
+  List.iter (fun (u, v) -> remove_edge st u v) removed;
+  List.iter (fun (u, v) -> add_edge st u v) added;
+  List.length removed + List.length added
+
+let refresh_adj st =
+  if not st.adj_valid then begin
+    st.adj <- Graph.adjacency_arrays st.g;
+    st.adj_valid <- true
+  end
+
+let refresh st =
+  if st.dirty_count > 0 then begin
+    (* The adjacency snapshot is built once and then patched per flip, so
+       consulting it is always cheaper than the graph's own row scans; the
+       trees are bit-identical either way (see Shortest_path.dijkstra). *)
+    refresh_adj st;
+    let adj = Some st.adj in
+    let ws = Shortest_path.domain_workspace ~n:st.n in
+    for s = 0 to st.n - 1 do
+      if st.dirty.(s) then begin
+        touch st s;
+        st.trees.(s) <-
+          Shortest_path.dijkstra ?adj ~workspace:ws st.g ~length:st.length
+            ~source:s;
+        st.dirty.(s) <- false;
+        st.recomputed <- st.recomputed + 1
+      end
+    done;
+    st.dirty_count <- 0
+  end
+
+let loads st =
+  refresh st;
+  if not st.matrix_valid then begin
+    let adj =
+      if st.multipath then begin
+        refresh_adj st;
+        Some st.adj
+      end
+      else None
+    in
+    Array.fill st.matrix 0 (st.n * st.n) 0.0;
+    for s = 0 to st.n - 1 do
+      let tree = st.trees.(s) in
+      (* A tree that settled all n vertices has every distance finite, so
+         check_routable cannot raise — skipping it then is behaviourally
+         identical and saves n demand lookups per source. *)
+      if Array.length tree.Shortest_path.order < st.n then
+        Routing.check_routable ~tm:st.tm ~dist:tree.Shortest_path.dist
+          ~source:s;
+      Routing.accumulate ?adj ~pair_demands:st.pair_dem
+        ~multipath:st.multipath ~length:st.length ~tm:st.tm ~matrix:st.matrix
+        ~subtree:st.subtree ~n:st.n tree ~source:s
+    done;
+    st.matrix_valid <- true
+  end;
+  Routing.of_parts ~n:st.n ~matrix:st.matrix ~trees:st.trees
+
+let commit st =
+  st.journal <- [];
+  List.iter (fun (s, _, _) -> st.touched.(s) <- false) st.undo;
+  st.undo <- []
+
+let rollback st =
+  (* journal is most-recent-first, so a head-first sweep undoes ops in
+     reverse chronological order. *)
+  List.iter
+    (function
+      | Add (u, v) -> Graph.remove_edge st.g u v
+      | Remove (u, v) -> Graph.add_edge st.g u v)
+    st.journal;
+  (* Re-sync the adjacency rows the undone flips had patched (idempotent,
+     so endpoints appearing in several ops are fine). *)
+  List.iter
+    (function
+      | Add (u, v) | Remove (u, v) -> patch_adj st u v)
+    st.journal;
+  st.journal <- [];
+  List.iter
+    (fun (s, tree, was_dirty) ->
+      st.trees.(s) <- tree;
+      st.dirty.(s) <- was_dirty;
+      st.touched.(s) <- false)
+    st.undo;
+  st.undo <- [];
+  let count = ref 0 in
+  for s = 0 to st.n - 1 do
+    if st.dirty.(s) then incr count
+  done;
+  st.dirty_count <- !count;
+  st.matrix_valid <- false
+
+let clone st =
+  {
+    g = Graph.copy st.g;
+    length = st.length;
+    tm = st.tm;
+    multipath = st.multipath;
+    n = st.n;
+    (* Tree records are immutable once built (refresh replaces, never
+       mutates), so sharing them across clones is safe. *)
+    trees = Array.copy st.trees;
+    dirty = Array.copy st.dirty;
+    dirty_count = st.dirty_count;
+    matrix =
+      (if st.matrix_valid then Array.copy st.matrix
+       else Array.make (st.n * st.n) 0.0);
+    subtree = Array.make (max st.n 1) 0.0;
+    pair_dem = st.pair_dem; (* immutable; shared *)
+    matrix_valid = st.matrix_valid;
+    (* Copy the outer array only: rows are immutable (patch_adj replaces,
+       never mutates), so sharing them across clones is safe, but each
+       state must be free to re-point its own rows. *)
+    adj = (if st.adj_valid then Array.copy st.adj else [||]);
+    adj_valid = st.adj_valid;
+    journal = [];
+    undo = [];
+    touched = Array.make st.n false;
+    recomputed = 0;
+  }

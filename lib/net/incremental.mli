@@ -1,0 +1,90 @@
+(** Delta-aware cost-evaluation state: re-run Dijkstra only for the sources
+    an edge flip can actually affect.
+
+    The optimizers (local search, GA mutation) spend almost all their time
+    evaluating candidates that differ from an already-evaluated topology by
+    one or two edges. A full {!Routing.route} rebuilds all [n] shortest-path
+    trees; a single-edge change typically invalidates only a few of them.
+    This module keeps the evaluation state of one evolving topology — its
+    graph, per-source trees and load matrix — applies edge flips to it, and
+    on the next {!loads} recomputes only the affected trees.
+
+    {b Bit-identity.} Results are guaranteed byte-for-byte equal to a fresh
+    {!Routing.route} on the same topology: the affected-source tests are
+    conservative (any source whose fresh tree {e could} differ — including
+    exact float ties that flip the deterministic tie-break or an ECMP
+    split — is recomputed), unaffected trees are provably byte-stable, and
+    load accumulation is always replayed in full source order so float
+    summation order never changes. Only Dijkstra work is skipped.
+
+    {b Transactions.} Edge flips are journalled. {!commit} makes them
+    permanent; {!rollback} restores graph, trees and dirty flags to the last
+    committed state — the propose/evaluate/reject loop of simulated
+    annealing maps onto this directly.
+
+    Not thread-safe: one [t] belongs to one domain at a time. Internal
+    scratch uses {!Shortest_path.domain_workspace}, so a [t] may migrate
+    between domains between calls (as GA members do under a Par pool). *)
+
+type t
+
+val create :
+  ?multipath:bool ->
+  Cold_graph.Graph.t ->
+  length:(int -> int -> float) ->
+  tm:Cold_traffic.Gravity.t ->
+  t
+(** [create g ~length ~tm] starts evaluation state at topology [g] (copied;
+    the argument is not retained). All trees start dirty — the first
+    {!loads} costs the same as a full route. [multipath] selects ECMP
+    accumulation exactly as in {!Routing.route}. *)
+
+val graph : t -> Cold_graph.Graph.t
+(** The state's current topology. Read-only view: mutate it only through
+    {!add_edge}/{!remove_edge}/{!retarget}, never directly. *)
+
+val add_edge : t -> int -> int -> unit
+(** [add_edge st u v] adds edge [{u,v}], marking every source whose tree the
+    new edge could shorten (or tie) for recomputation. No-op if the edge
+    already exists. *)
+
+val remove_edge : t -> int -> int -> unit
+(** [remove_edge st u v] removes edge [{u,v}], marking every source that
+    routed over it (or could have, under a tie) for recomputation. No-op if
+    the edge is absent. *)
+
+val retarget : t -> Cold_graph.Graph.t -> int
+(** [retarget st target] applies the edge flips turning the state's topology
+    into [target] (via {!Cold_graph.Graph.edge_diff}), returning how many.
+    [target] is not retained. *)
+
+val loads : t -> Routing.loads
+(** Bring the state current — recompute dirty trees, re-accumulate the load
+    matrix — and return the loads, bit-identical to
+    [Routing.route (graph st)]. Raises {!Routing.Disconnected} exactly when
+    a full route would (the state stays usable: trees refreshed, matrix
+    invalid). The returned value aliases internal buffers and is valid only
+    until the next mutation of [st] — consume it before proposing again. *)
+
+val commit : t -> unit
+(** Accept all journalled flips: they become the new baseline and
+    {!rollback} can no longer undo them. *)
+
+val rollback : t -> unit
+(** Undo all flips since the last {!commit} (or since {!create}): graph,
+    trees and dirty flags return to the committed state. Cost is
+    proportional to what the rejected flips touched. *)
+
+val clone : t -> t
+(** Independent state at the same topology. The clone's baseline is the
+    source's {e current} (possibly uncommitted) topology with an empty
+    journal; clean trees are shared structurally (safe: tree records are
+    never mutated in place). GA mutants fork the parent's state this way. *)
+
+val pending_sources : t -> int
+(** Number of sources currently marked dirty — the Dijkstra work the next
+    {!loads} will do. Exposed for tests and benchmarks. *)
+
+val recomputed_trees : t -> int
+(** Total trees recomputed over this state's lifetime (clones start at 0) —
+    the incremental engine's work counter, for tests and benchmarks. *)

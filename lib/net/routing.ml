@@ -10,69 +10,130 @@ type loads = {
   trees : Shortest_path.tree array;
 }
 
-let route ?(multipath = false) g ~length ~tm =
-  let n = Graph.node_count g in
-  if Gravity.size tm <> n then invalid_arg "Routing.route: size mismatch";
-  let matrix = Array.make (n * n) 0.0 in
-  (* One adjacency materialization serves all n single-source trees. *)
-  let adj = Graph.adjacency_arrays g in
-  let trees =
-    Array.init n (fun s -> Shortest_path.dijkstra ~adj g ~length ~source:s)
-  in
-  let subtree = Array.make n 0.0 in
+let of_parts ~n ~matrix ~trees =
+  if Array.length matrix <> n * n || Array.length trees <> n then
+    invalid_arg "Routing.of_parts";
+  { n; matrix; trees }
+
+(* Scratch reused across route calls: the load matrix, the subtree
+   accumulator and the inner Dijkstra workspace. The trees of a [loads] are
+   always freshly allocated, but with a workspace the returned matrix
+   ALIASES the workspace buffer — see the .mli caveat. *)
+type workspace = {
+  w_n : int;
+  w_matrix : float array;
+  w_subtree : float array;
+  w_sp : Shortest_path.workspace;
+}
+
+let workspace ~n =
+  if n < 0 then invalid_arg "Routing.workspace";
+  {
+    w_n = n;
+    w_matrix = Array.make (n * n) 0.0;
+    w_subtree = Array.make (max n 1) 0.0;
+    w_sp = Shortest_path.workspace ~n;
+  }
+
+let dls_workspace : workspace option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let domain_workspace ~n =
+  match Domain.DLS.get dls_workspace with
+  | Some ws when ws.w_n = n -> ws
+  | _ ->
+    let ws = workspace ~n in
+    Domain.DLS.set dls_workspace (Some ws);
+    ws
+
+let check_routable ~tm ~dist ~source =
+  (* Every demand from [source] must be routable. *)
+  let n = Gravity.size tm in
+  for d = 0 to n - 1 do
+    if Gravity.demand tm source d > 0.0 && Float.equal dist.(d) infinity then
+      raise Disconnected
+  done
+
+let accumulate ?adj ?pair_demands ~multipath ~length ~tm ~matrix ~subtree ~n
+    tree ~source =
+  let s = source in
+  let dist = tree.Shortest_path.dist in
   let add_load u v w =
     matrix.((u * n) + v) <- matrix.((u * n) + v) +. w;
     matrix.((v * n) + u) <- matrix.((u * n) + v)
   in
-  for s = 0 to n - 1 do
-    let tree = trees.(s) in
-    let dist = tree.Shortest_path.dist in
-    (* Every demand from s must be routable. *)
-    for d = 0 to n - 1 do
-      if Gravity.demand tm s d > 0.0 && Float.equal dist.(d) infinity then
-        raise Disconnected
-    done;
-    Array.fill subtree 0 n 0.0;
-    let order = tree.Shortest_path.order in
-    (* Reverse settling order: children are processed before parents, so each
-       vertex's inflow is complete when we push it one hop towards [s].
-       Demands s→d and d→s are both accumulated here (pair_demand), and the
-       outer loop runs over unordered pairs once via d > s filtering. *)
-    for i = Array.length order - 1 downto 0 do
-      let v = order.(i) in
-      if v <> s then begin
-        if v > s then
-          subtree.(v) <- subtree.(v) +. Gravity.pair_demand tm s v;
-        if subtree.(v) > 0.0 then begin
-          if multipath then begin
-            (* ECMP: every neighbour on a shortest path shares equally. *)
-            let on_path u =
-              dist.(u) +. length u v <= dist.(v) +. (1e-9 *. (1.0 +. dist.(v)))
-              && dist.(u) < dist.(v)
-            in
-            let preds =
-              Array.fold_left
-                (fun acc u -> if on_path u then u :: acc else acc)
-                [] adj.(v)
-            in
-            (* Degenerate geometries (zero-length links) can leave the strict
-               distance test empty; fall back to the tree predecessor. *)
-            let preds = if preds = [] then [ tree.Shortest_path.pred.(v) ] else preds in
-            let share = subtree.(v) /. float_of_int (List.length preds) in
-            List.iter
-              (fun u ->
-                add_load u v share;
-                if u <> s then subtree.(u) <- subtree.(u) +. share)
-              preds
-          end
-          else begin
-            let p = tree.Shortest_path.pred.(v) in
-            add_load p v subtree.(v);
-            if p <> s then subtree.(p) <- subtree.(p) +. subtree.(v)
-          end
+  let pair_demand d =
+    match pair_demands with
+    | Some pd -> pd.((s * n) + d)
+    | None -> Gravity.pair_demand tm s d
+  in
+  Array.fill subtree 0 n 0.0;
+  let order = tree.Shortest_path.order in
+  (* Reverse settling order: children are processed before parents, so each
+     vertex's inflow is complete when we push it one hop towards [s].
+     Demands s→d and d→s are both accumulated here (pair_demand), and the
+     outer loop runs over unordered pairs once via d > s filtering. *)
+  for i = Array.length order - 1 downto 0 do
+    let v = order.(i) in
+    if v <> s then begin
+      if v > s then subtree.(v) <- subtree.(v) +. pair_demand v;
+      if subtree.(v) > 0.0 then begin
+        if multipath then begin
+          let neighbours =
+            match adj with
+            | Some a -> a
+            | None -> invalid_arg "Routing.accumulate: multipath needs ~adj"
+          in
+          (* ECMP: every neighbour on a shortest path shares equally. *)
+          let on_path u =
+            dist.(u) +. length u v <= dist.(v) +. (1e-9 *. (1.0 +. dist.(v)))
+            && dist.(u) < dist.(v)
+          in
+          let preds =
+            Array.fold_left
+              (fun acc u -> if on_path u then u :: acc else acc)
+              [] neighbours.(v)
+          in
+          (* Degenerate geometries (zero-length links) can leave the strict
+             distance test empty; fall back to the tree predecessor. *)
+          let preds = if preds = [] then [ tree.Shortest_path.pred.(v) ] else preds in
+          let share = subtree.(v) /. float_of_int (List.length preds) in
+          List.iter
+            (fun u ->
+              add_load u v share;
+              if u <> s then subtree.(u) <- subtree.(u) +. share)
+            preds
+        end
+        else begin
+          let p = tree.Shortest_path.pred.(v) in
+          add_load p v subtree.(v);
+          if p <> s then subtree.(p) <- subtree.(p) +. subtree.(v)
         end
       end
-    done
+    end
+  done
+
+let route ?(multipath = false) ?workspace g ~length ~tm =
+  let n = Graph.node_count g in
+  if Gravity.size tm <> n then invalid_arg "Routing.route: size mismatch";
+  let (matrix, subtree, sp) =
+    match workspace with
+    | Some ws ->
+      if ws.w_n <> n then invalid_arg "Routing.route: workspace size";
+      Array.fill ws.w_matrix 0 (n * n) 0.0;
+      (ws.w_matrix, ws.w_subtree, Some ws.w_sp)
+    | None -> (Array.make (n * n) 0.0, Array.make (max n 1) 0.0, None)
+  in
+  (* One adjacency materialization serves all n single-source trees. *)
+  let adj = Graph.adjacency_arrays g in
+  let trees =
+    Array.init n (fun s ->
+        Shortest_path.dijkstra ~adj ?workspace:sp g ~length ~source:s)
+  in
+  for s = 0 to n - 1 do
+    let tree = trees.(s) in
+    check_routable ~tm ~dist:tree.Shortest_path.dist ~source:s;
+    accumulate ~adj ~multipath ~length ~tm ~matrix ~subtree ~n tree ~source:s
   done;
   { n; matrix; trees }
 

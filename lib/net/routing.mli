@@ -20,8 +20,25 @@ exception Disconnected
 type loads
 (** Per-link traffic volumes for one topology. *)
 
+type workspace
+(** Reusable scratch for repeated routing passes: the load matrix, the
+    subtree accumulator and the inner Dijkstra workspace. {b Caveat}: a
+    [loads] produced with a workspace aliases the workspace's matrix and is
+    valid only until the next {!route} on the same workspace — callers that
+    retain loads (e.g. {!Network.create}) must route without one. Never
+    share a workspace across domains. *)
+
+val workspace : n:int -> workspace
+(** [workspace ~n] allocates routing scratch for [n]-PoP topologies. *)
+
+val domain_workspace : n:int -> workspace
+(** The calling domain's private workspace (domain-local storage), created
+    on first use and rebuilt when [n] changes — one reusable workspace per
+    {e Par} domain with no state threaded through task closures. *)
+
 val route :
   ?multipath:bool ->
+  ?workspace:workspace ->
   Cold_graph.Graph.t ->
   length:(int -> int -> float) ->
   tm:Cold_traffic.Gravity.t ->
@@ -36,7 +53,49 @@ val route :
     split equally across all next hops that lie on {e some} shortest path.
     Path lengths (and therefore the k2 cost term) are unchanged — only the
     per-link load distribution differs — so optimization under single-path
-    routing remains valid and ECMP is an evaluation-time choice. *)
+    routing remains valid and ECMP is an evaluation-time choice.
+
+    [workspace] reuses scratch across calls; output values are bit-identical
+    with and without it, but see the aliasing caveat on {!workspace}. *)
+
+(** {2 Building blocks}
+
+    The pieces [route] is made of, exposed for {!Incremental}, which
+    re-runs them for affected sources only. Results are bit-identical to a
+    full [route] because both call exactly this code in the same order. *)
+
+val check_routable : tm:Cold_traffic.Gravity.t -> dist:float array -> source:int -> unit
+(** Raises {!Disconnected} unless every positive demand out of [source]
+    reaches a finite-distance destination in [dist]. *)
+
+val accumulate :
+  ?adj:int array array ->
+  ?pair_demands:float array ->
+  multipath:bool ->
+  length:(int -> int -> float) ->
+  tm:Cold_traffic.Gravity.t ->
+  matrix:float array ->
+  subtree:float array ->
+  n:int ->
+  Cold_graph.Shortest_path.tree ->
+  source:int ->
+  unit
+(** Push [source]'s demands down its tree in reverse settling order, adding
+    onto [matrix] (row-major n×n, mirrored) using [subtree] (length ≥ n) as
+    scratch. [~adj] (the graph's adjacency arrays) is required when
+    [multipath] is true and ignored otherwise. [?pair_demands] is an
+    optional row-major n×n table with [pd.(s*n+d) = Gravity.pair_demand tm
+    s d], letting hot callers skip recomputing the (immutable) gravity
+    products on every pass; results are bit-identical either way. *)
+
+val of_parts :
+  n:int ->
+  matrix:float array ->
+  trees:Cold_graph.Shortest_path.tree array ->
+  loads
+(** Assemble a [loads] from parts built with {!accumulate} — the incremental
+    engine's exit point back into the public load API. Raises
+    [Invalid_argument] on size mismatches; does not copy. *)
 
 val load : loads -> int -> int -> float
 (** [load ld u v] is the total traffic on link [{u,v}] (0 if not a link). *)

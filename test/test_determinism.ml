@@ -187,6 +187,56 @@ let test_flow_sim_bitwise_deterministic () =
     (Float.equal a.Flow_sim.mean_throughput b.Flow_sim.mean_throughput);
   Alcotest.(check bool) "sim time" true (Float.equal a.Flow_sim.sim_time b.Flow_sim.sim_time)
 
+(* --- incremental evaluation across domains ------------------------------------ *)
+
+let test_incremental_across_domains () =
+  (* Clone-and-retarget evaluation must be a pure function of the topology:
+     the same variants costed through clones of one shared parent state give
+     bitwise-identical floats at every domain count (each domain reuses its
+     own DLS workspace), all equal to the stateless oracle. *)
+  let module Cost = Cold.Cost in
+  let module Incremental = Cold_net.Incremental in
+  let module Par = Cold_par.Par in
+  let ctx = Context.generate (Context.default_spec ~n:10) (Prng.create 31) in
+  let params = Cost.params ~k2:2e-4 () in
+  let base =
+    Cold_graph.Mst.mst_graph ~n:10 ~weight:(fun u v -> Context.distance ctx u v)
+  in
+  let rng = Prng.create 32 in
+  let variants =
+    Array.init 24 (fun _ ->
+        let g = Graph.copy base in
+        for _ = 1 to 3 do
+          let u = Prng.int rng 10 and v = Prng.int rng 10 in
+          if u <> v then
+            if Graph.mem_edge g u v then Graph.remove_edge g u v
+            else Graph.add_edge g u v
+        done;
+        g)
+  in
+  let parent = Cost.state ctx base in
+  ignore (Cost.evaluate_state params ctx parent);
+  let costs_at domains =
+    Par.with_pool ~domains (fun pool ->
+        Par.map_array pool
+          (fun g ->
+            let st = Incremental.clone parent in
+            ignore (Incremental.retarget st g);
+            Cost.evaluate_state params ctx st)
+          variants)
+  in
+  let oracle = Array.map (fun g -> Cost.evaluate params ctx g) variants in
+  List.iter
+    (fun domains ->
+      let got = costs_at domains in
+      Alcotest.(check bool)
+        (Printf.sprintf "bitwise equal to oracle @ %d domains" domains)
+        true
+        (Array.for_all2
+           (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+           got oracle))
+    [ 1; 2; 4; 8 ]
+
 let () =
   Alcotest.run "cold_determinism"
     [
@@ -209,5 +259,10 @@ let () =
             test_fair_share_flow_order;
           Alcotest.test_case "flow sim bitwise" `Quick
             test_flow_sim_bitwise_deterministic;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "clone/retarget across domains" `Quick
+            test_incremental_across_domains;
         ] );
     ]

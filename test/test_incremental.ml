@@ -1,0 +1,342 @@
+(* The incremental engine's contract is bit-identity: whatever sequence of
+   edge flips, rollbacks, retargets and clones a state has been through, its
+   loads and costs must be byte-for-byte what a fresh full evaluation of the
+   same topology produces. These tests drive randomized op sequences (well
+   over a thousand perturbations across seeds and routing modes) against a
+   mirror graph evaluated from scratch, comparing load matrices, trees and
+   cost totals bitwise — no tolerances anywhere. *)
+
+module Graph = Cold_graph.Graph
+module Mst = Cold_graph.Mst
+module Shortest_path = Cold_graph.Shortest_path
+module Prng = Cold_prng.Prng
+module Context = Cold_context.Context
+module Routing = Cold_net.Routing
+module Incremental = Cold_net.Incremental
+module Cost = Cold.Cost
+module Local_search = Cold.Local_search
+
+let bits = Int64.bits_of_float
+
+let feq_bits a b = Int64.equal (bits a) (bits b)
+
+let ctx_of seed n = Context.generate (Context.default_spec ~n) (Prng.create seed)
+
+(* Bitwise comparison of two loads: every matrix cell and every tree. *)
+let check_loads_equal label n (got : Routing.loads) (want : Routing.loads) =
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      let a = Routing.load got u v and b = Routing.load want u v in
+      if not (feq_bits a b) then
+        Alcotest.failf "%s: load (%d,%d): got %h, want %h" label u v a b
+    done
+  done;
+  let ta = Routing.trees got and tb = Routing.trees want in
+  Array.iteri
+    (fun s (a : Shortest_path.tree) ->
+      let b = tb.(s) in
+      if not (Array.for_all2 feq_bits a.Shortest_path.dist b.Shortest_path.dist)
+      then Alcotest.failf "%s: source %d dist differs" label s;
+      if a.Shortest_path.pred <> b.Shortest_path.pred then
+        Alcotest.failf "%s: source %d pred differs" label s;
+      if a.Shortest_path.order <> b.Shortest_path.order then
+        Alcotest.failf "%s: source %d order differs" label s)
+    ta
+
+(* --- randomized equivalence sweep --------------------------------------------- *)
+
+let perturbations = ref 0
+
+let random_pair rng n =
+  let rec pick () =
+    let u = Prng.int rng n and v = Prng.int rng n in
+    if u = v then pick () else (min u v, max u v)
+  in
+  pick ()
+
+(* Flip one random pair on the state and, when [mirror] is given, on the
+   mirror graph too. *)
+let flip ?mirror st rng n =
+  let (u, v) = random_pair rng n in
+  incr perturbations;
+  if Graph.mem_edge (Incremental.graph st) u v then begin
+    Incremental.remove_edge st u v;
+    Option.iter (fun m -> Graph.remove_edge m u v) mirror
+  end
+  else begin
+    Incremental.add_edge st u v;
+    Option.iter (fun m -> Graph.add_edge m u v) mirror
+  end
+
+let sweep ~multipath ~seed ~iterations n =
+  let ctx = ctx_of seed n in
+  let length u v = Context.distance ctx u v in
+  let tm = ctx.Context.tm in
+  let params = Cost.params ~k2:2e-4 ~k3:0.3 () in
+  let rng = Prng.create ((seed * 7919) + 1) in
+  let g0 = Mst.mst_graph ~n ~weight:length in
+  let st = Incremental.create ~multipath g0 ~length ~tm in
+  let mirror = ref (Graph.copy g0) in
+  let check label =
+    if not (Graph.equal (Incremental.graph st) !mirror) then
+      Alcotest.failf "%s: state graph diverged from mirror" label;
+    let fresh =
+      match Routing.route ~multipath !mirror ~length ~tm with
+      | exception Routing.Disconnected -> None
+      | l -> Some l
+    in
+    let inc =
+      match Incremental.loads st with
+      | exception Routing.Disconnected -> None
+      | l -> Some l
+    in
+    match (fresh, inc) with
+    | None, None -> ()
+    | Some want, Some got ->
+      check_loads_equal label n got want;
+      if not multipath then begin
+        let a = Cost.evaluate params ctx !mirror in
+        let b = Cost.evaluate_state params ctx st in
+        if not (feq_bits a b) then
+          Alcotest.failf "%s: cost: evaluate %h vs evaluate_state %h" label a b
+      end
+    | Some _, None -> Alcotest.failf "%s: incremental says disconnected" label
+    | None, Some _ -> Alcotest.failf "%s: fresh says disconnected" label
+  in
+  check "initial";
+  for step = 1 to iterations do
+    let label what = Printf.sprintf "seed %d mp %b step %d %s" seed multipath step what in
+    (match Prng.int rng 12 with
+    | 0 | 1 | 2 | 3 | 4 | 5 ->
+      flip ~mirror:!mirror st rng n;
+      Incremental.commit st
+    | 6 | 7 ->
+      flip ~mirror:!mirror st rng n;
+      flip ~mirror:!mirror st rng n;
+      Incremental.commit st
+    | 8 | 9 ->
+      (* Uncommitted proposal: evaluate it, reject it, and demand the state
+         lands exactly back on the committed topology. *)
+      let saved = Graph.copy !mirror in
+      for _ = 1 to 1 + Prng.int rng 3 do
+        flip ~mirror:!mirror st rng n
+      done;
+      check (label "proposed");
+      Incremental.rollback st;
+      mirror := saved
+    | 10 ->
+      (* Retarget: jump to a several-flips-away topology in one call. *)
+      let target = Graph.copy !mirror in
+      let trng = rng in
+      for _ = 1 to 5 do
+        let (u, v) = random_pair trng n in
+        incr perturbations;
+        if Graph.mem_edge target u v then Graph.remove_edge target u v
+        else Graph.add_edge target u v
+      done;
+      let flips = Incremental.retarget st target in
+      Alcotest.(check bool) (label "retarget flip count") true (flips <= 5);
+      Incremental.commit st;
+      mirror := target
+    | _ ->
+      (* Clone divergence: mutate the clone, leave the parent untouched. *)
+      let c = Incremental.clone st in
+      flip c rng n;
+      flip c rng n;
+      Incremental.commit c;
+      let cg = Graph.copy (Incremental.graph c) in
+      let fresh =
+        match Routing.route ~multipath cg ~length ~tm with
+        | exception Routing.Disconnected -> None
+        | l -> Some l
+      in
+      let inc =
+        match Incremental.loads c with
+        | exception Routing.Disconnected -> None
+        | l -> Some l
+      in
+      (match (fresh, inc) with
+      | None, None -> ()
+      | Some want, Some got -> check_loads_equal (label "clone") n got want
+      | _ -> Alcotest.failf "%s: clone feasibility disagrees" (label "clone")));
+    check (label "committed")
+  done
+
+let test_sweep_single_path () =
+  List.iter (fun seed -> sweep ~multipath:false ~seed ~iterations:170 13) [ 1; 2; 3 ]
+
+let test_sweep_multipath () =
+  sweep ~multipath:true ~seed:4 ~iterations:170 13
+
+let test_perturbation_budget () =
+  (* The two sweeps above must together exceed the required op count. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 1000 perturbations (got %d)" !perturbations)
+    true
+    (!perturbations >= 1000)
+
+(* --- workspace equivalence ---------------------------------------------------- *)
+
+let test_workspace_bit_identical () =
+  let n = 12 in
+  let ctx = ctx_of 9 n in
+  let length u v = Context.distance ctx u v in
+  let tm = ctx.Context.tm in
+  let rng = Prng.create 10 in
+  let g = Mst.mst_graph ~n ~weight:length in
+  for _ = 1 to 8 do
+    let (u, v) = random_pair rng n in
+    if not (Graph.mem_edge g u v) then Graph.add_edge g u v
+  done;
+  let sp = Shortest_path.workspace ~n in
+  let adj = Graph.adjacency_arrays g in
+  for s = 0 to n - 1 do
+    let plain = Shortest_path.dijkstra g ~length ~source:s in
+    let ws = Shortest_path.dijkstra ~workspace:sp g ~length ~source:s in
+    let ws_adj = Shortest_path.dijkstra ~adj ~workspace:sp g ~length ~source:s in
+    List.iter
+      (fun (label, (t : Shortest_path.tree)) ->
+        if not (Array.for_all2 feq_bits plain.Shortest_path.dist t.Shortest_path.dist)
+        then Alcotest.failf "dijkstra %s: dist differs at source %d" label s;
+        if plain.Shortest_path.pred <> t.Shortest_path.pred then
+          Alcotest.failf "dijkstra %s: pred differs at source %d" label s;
+        if plain.Shortest_path.order <> t.Shortest_path.order then
+          Alcotest.failf "dijkstra %s: order differs at source %d" label s)
+      [ ("workspace", ws); ("workspace+adj", ws_adj) ]
+  done;
+  List.iter
+    (fun multipath ->
+      let rws = Routing.workspace ~n in
+      let plain = Routing.route ~multipath g ~length ~tm in
+      let with_ws = Routing.route ~multipath ~workspace:rws g ~length ~tm in
+      check_loads_equal
+        (Printf.sprintf "route multipath=%b" multipath)
+        n with_ws plain)
+    [ false; true ];
+  let params = Cost.params ~k2:2e-4 () in
+  let rws = Routing.workspace ~n in
+  Alcotest.(check bool) "Cost.evaluate with workspace" true
+    (feq_bits (Cost.evaluate params ctx g) (Cost.evaluate ~workspace:rws params ctx g))
+
+(* --- fused breakdown ---------------------------------------------------------- *)
+
+let test_breakdown_fused_pass () =
+  let n = 11 in
+  let ctx = ctx_of 14 n in
+  let length u v = Context.distance ctx u v in
+  let params = Cost.params ~k2:3e-4 ~k3:0.7 () in
+  let g = Mst.mst_graph ~n ~weight:length in
+  Graph.add_edge g 0 (n - 1);
+  Graph.add_edge g 1 (n - 2);
+  let b = Cost.evaluate_breakdown params ctx g in
+  (* Reference: the two separate passes the fused sweep replaced. *)
+  let loads = Routing.route g ~length ~tm:ctx.Context.tm in
+  let len = Graph.fold_edges g (fun acc u v -> acc +. length u v) 0.0 in
+  let vl = Routing.total_volume_length loads ~length in
+  Alcotest.(check bool) "length term" true (feq_bits b.Cost.length (1.0 *. len));
+  Alcotest.(check bool) "bandwidth term" true
+    (feq_bits b.Cost.bandwidth (3e-4 *. vl));
+  Alcotest.(check bool) "total = evaluate" true
+    (feq_bits b.Cost.total (Cost.evaluate params ctx g));
+  Alcotest.(check bool) "total = sum of terms" true
+    (feq_bits b.Cost.total
+       (b.Cost.existence +. b.Cost.length +. b.Cost.bandwidth +. b.Cost.hub))
+
+(* --- indexed edge lookup and diffs -------------------------------------------- *)
+
+let test_nth_edge_matches_enumeration () =
+  let rng = Prng.create 77 in
+  for trial = 1 to 20 do
+    let n = 3 + Prng.int rng 12 in
+    let g = Graph.create n in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if Prng.int rng 3 = 0 then Graph.add_edge g u v
+      done
+    done;
+    let edges = Array.of_list (Graph.edges g) in
+    Alcotest.(check int)
+      (Printf.sprintf "trial %d: edge count" trial)
+      (Array.length edges) (Graph.edge_count g);
+    Array.iteri
+      (fun k (u, v) ->
+        Alcotest.(check (pair int int))
+          (Printf.sprintf "trial %d: edge %d" trial k)
+          (u, v) (Graph.nth_edge g k))
+      edges;
+    Alcotest.check_raises "rank out of range"
+      (Invalid_argument "Graph.nth_edge: rank out of range") (fun () ->
+        ignore (Graph.nth_edge g (Graph.edge_count g)))
+  done
+
+let test_edge_diff_roundtrip () =
+  let rng = Prng.create 78 in
+  for trial = 1 to 20 do
+    let n = 3 + Prng.int rng 10 in
+    let mk () =
+      let g = Graph.create n in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          if Prng.int rng 2 = 0 then Graph.add_edge g u v
+        done
+      done;
+      g
+    in
+    let g = mk () and h = mk () in
+    let (removed, added) = Graph.edge_diff g h in
+    let patched = Graph.copy g in
+    List.iter (fun (u, v) -> Graph.remove_edge patched u v) removed;
+    List.iter (fun (u, v) -> Graph.add_edge patched u v) added;
+    Alcotest.(check bool)
+      (Printf.sprintf "trial %d: diff patches g into h" trial)
+      true
+      (Graph.equal patched h);
+    Alcotest.(check (pair (list (pair int int)) (list (pair int int))))
+      (Printf.sprintf "trial %d: diff of equal graphs is empty" trial)
+      ([], []) (Graph.edge_diff h h)
+  done
+
+(* --- optimizer equivalence ---------------------------------------------------- *)
+
+let test_local_search_incremental_bitwise () =
+  let ctx = ctx_of 21 12 in
+  let params = Cost.params ~k2:2e-4 () in
+  let settings = { Local_search.default_settings with Local_search.iterations = 600 } in
+  let run incremental =
+    Local_search.run ~incremental settings params ctx (Prng.create 22)
+  in
+  let a = run false and b = run true in
+  Alcotest.(check bool) "best graph identical" true
+    (Graph.equal a.Local_search.best b.Local_search.best);
+  Alcotest.(check bool) "best cost bit-identical" true
+    (feq_bits a.Local_search.best_cost b.Local_search.best_cost);
+  Alcotest.(check int) "same accepted count" a.Local_search.accepted
+    b.Local_search.accepted;
+  Alcotest.(check int) "same evaluation count" a.Local_search.evaluations
+    b.Local_search.evaluations
+
+let () =
+  Alcotest.run "cold_incremental"
+    [
+      ( "sweep",
+        [
+          Alcotest.test_case "single-path equivalence" `Quick test_sweep_single_path;
+          Alcotest.test_case "multipath equivalence" `Quick test_sweep_multipath;
+          Alcotest.test_case "perturbation budget" `Quick test_perturbation_budget;
+        ] );
+      ( "workspace",
+        [ Alcotest.test_case "bit-identical outputs" `Quick test_workspace_bit_identical ] );
+      ( "cost",
+        [ Alcotest.test_case "fused breakdown" `Quick test_breakdown_fused_pass ] );
+      ( "graph",
+        [
+          Alcotest.test_case "nth_edge matches enumeration" `Quick
+            test_nth_edge_matches_enumeration;
+          Alcotest.test_case "edge_diff roundtrip" `Quick test_edge_diff_roundtrip;
+        ] );
+      ( "optimizers",
+        [
+          Alcotest.test_case "local search incremental bitwise" `Quick
+            test_local_search_incremental_bitwise;
+        ] );
+    ]
