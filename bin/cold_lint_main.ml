@@ -4,13 +4,17 @@
    found, 2 usage or I/O error. *)
 
 let usage =
-  "usage: cold_lint [--json] [--rules r1,r2] [--list-rules]\n\
+  "usage: cold_lint [--json] [--rules r1,r2] [--list-rules] [--explain RULE]\n\
+  \                 [--deep|--no-deep] [--call-graph]\n\
   \                 [--baseline FILE [--update-baseline]] PATH..."
 
 let () =
   let json = ref false in
   let rules = ref None in
   let list_rules = ref false in
+  let explain = ref None in
+  let deep = ref true in
+  let call_graph = ref false in
   let baseline = ref None in
   let update_baseline = ref false in
   let paths = ref [] in
@@ -24,6 +28,18 @@ let () =
               Some (String.split_on_char ',' s |> List.filter (( <> ) ""))),
         "R1,R2 run only the named rules" );
       ("--list-rules", Arg.Set list_rules, " print the rule catalogue and exit");
+      ( "--explain",
+        Arg.String (fun r -> explain := Some r),
+        "RULE print RULE's summary and rationale and exit" );
+      ( "--deep",
+        Arg.Set deep,
+        " run the interprocedural (whole-program) pass — the default" );
+      ( "--no-deep",
+        Arg.Clear deep,
+        " token-level rules only; skip the interprocedural pass" );
+      ( "--call-graph",
+        Arg.Set call_graph,
+        " dump the resolved call graph for PATH... and exit" );
       ( "--baseline",
         Arg.String (fun f -> baseline := Some f),
         "FILE fail only on findings not recorded in FILE" );
@@ -40,8 +56,24 @@ let () =
         Printf.printf "%-24s %s\n" r.Cold_lint.Rules.name
           r.Cold_lint.Rules.summary)
       Cold_lint.Rules.all;
+    List.iter
+      (fun (i : Cold_lint.Rules.info) ->
+        Printf.printf "%-24s %s\n" i.Cold_lint.Rules.iname
+          i.Cold_lint.Rules.isummary)
+      Cold_lint.Rules.deep;
     exit 0
   end;
+  (match !explain with
+  | None -> ()
+  | Some name -> (
+    match Cold_lint.Rules.info name with
+    | Some i ->
+      Printf.printf "%s — %s\n\n%s\n" i.Cold_lint.Rules.iname
+        i.Cold_lint.Rules.isummary i.Cold_lint.Rules.irationale;
+      exit 0
+    | None ->
+      Printf.eprintf "cold_lint: unknown rule: %s\n" name;
+      exit 2));
   if !update_baseline && !baseline = None then begin
     prerr_endline "cold_lint: --update-baseline requires --baseline FILE";
     prerr_endline usage;
@@ -52,7 +84,16 @@ let () =
     prerr_endline usage;
     exit 2
   end;
-  match Cold_lint.Engine.check_paths ?only:!rules paths with
+  if !call_graph then begin
+    match Cold_lint.Engine.call_graph paths with
+    | Ok dump ->
+      print_string dump;
+      exit 0
+    | Error msg | (exception Sys_error msg) ->
+      Printf.eprintf "cold_lint: %s\n" msg;
+      exit 2
+  end;
+  match Cold_lint.Engine.check_paths ?only:!rules ~deep:!deep paths with
   | Error msg ->
     Printf.eprintf "cold_lint: %s\n" msg;
     exit 2

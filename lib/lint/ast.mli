@@ -1,0 +1,60 @@
+(** Per-file definition summaries for the interprocedural pass.
+
+    A lightweight recursive-descent walk over the {!Lexer} token stream
+    recovers just enough structure for whole-program analysis: module-level
+    [let] bindings (with their enclosing submodule path), [open]/[include]
+    directives, [module M = Path] aliases, and — per definition — every
+    value reference, mutation site, and synchronization marker in the body.
+    It is not a parser: anything it cannot classify is skipped, so the
+    summaries are an under-approximation of the syntax but never misread
+    comments or string literals (the lexer guarantees that). *)
+
+type ref_site = {
+  rpath : string list;
+      (** module qualifiers, outermost first: [Cold_net.Routing.route] has
+          [rpath = ["Cold_net"; "Routing"]]; unqualified uses have [[]] *)
+  rname : string;  (** the referenced value name *)
+  rline : int;  (** 1-based line of the reference *)
+}
+
+type def = {
+  dname : string;
+      (** simple binding name; ["_"] for pattern/unit bindings, the operator
+          text for [let ( + ) …] *)
+  dpath : string list;  (** enclosing submodule path within the file *)
+  dline : int;  (** line the [let]/[and] keyword starts on *)
+  drefs : ref_site list;  (** value references in the body, source order *)
+  dmutates : ref_site list;
+      (** mutation targets: [x := …], [r.f <- …], [incr]/[decr],
+          [Hashtbl.add/replace/remove/reset/clear] first arguments *)
+  dcallbacks : ref_site list;
+      (** named (non-lambda) callbacks handed to [Hashtbl.iter]/[iteri]/
+          [fold] — the helper-wrapped iteration the token rules cannot see *)
+  dmediates : bool;
+      (** body uses [Mutex.lock]/[Mutex.protect], [Domain.DLS] or [Atomic]:
+          treated as a synchronization boundary by the parallel-safety rules *)
+  dlocks : bool;  (** body references [Mutex.lock] *)
+  dunlocks : bool;  (** body references [Mutex.unlock] or [Mutex.protect] *)
+  daccumulates : bool;
+      (** body conses ([::]), assigns a ref ([:=]), or writes to an output
+          channel / [Buffer] / [Printf] / [Format] — order-sensitive *)
+  dmutable_global : bool;
+      (** a parameterless module-level binding whose right-hand side is
+          visibly mutable state: [ref …] or [Hashtbl.create …] *)
+}
+
+type t = {
+  file : string;
+  modname : string;  (** capitalized basename: [lib/net/routing.ml] → [Routing] *)
+  opens : string list list;  (** [open]/[include] paths, source order *)
+  maliases : (string * string list) list;  (** [module M = Other.Path] *)
+  defs : def list;  (** module-level definitions, source order *)
+  vals : string list;  (** [val] names — populated for [.mli] files *)
+}
+
+val modname_of_file : string -> string
+(** [modname_of_file "lib/net/routing.ml"] is ["Routing"]. *)
+
+val summarize : file:string -> Lexer.token list -> t
+(** [summarize ~file tokens] builds the summary; never raises. Comments are
+    ignored; unrecognized constructs contribute nothing. *)

@@ -147,7 +147,42 @@ let finding_of_json = function
       | Some (Num l) -> l
       | _ -> raise (Bad "finding lacks integer field \"line\"")
     in
-    Finding.make ~rule:(str "rule") ~file:(str "file") ~line (str "message")
+    let id =
+      match List.assoc_opt "id" fields with
+      | Some (Str s) -> Some s
+      | Some _ -> raise (Bad "field \"id\" must be a string")
+      | None -> None
+    in
+    let chain =
+      match List.assoc_opt "chain" fields with
+      | Some (Arr links) ->
+        List.map
+          (function
+            | Obj lf ->
+              let lstr k =
+                match List.assoc_opt k lf with
+                | Some (Str s) -> s
+                | _ ->
+                  raise
+                    (Bad (Printf.sprintf "chain link lacks string field %S" k))
+              in
+              let lline =
+                match List.assoc_opt "line" lf with
+                | Some (Num l) -> l
+                | _ -> raise (Bad "chain link lacks integer field \"line\"")
+              in
+              {
+                Finding.cfile = lstr "file";
+                cline = lline;
+                cname = lstr "name";
+              }
+            | _ -> raise (Bad "chain links must be objects"))
+          links
+      | Some _ -> raise (Bad "field \"chain\" must be an array")
+      | None -> []
+    in
+    Finding.make ~rule:(str "rule") ~file:(str "file") ~line ?id ~chain
+      (str "message")
   | _ -> raise (Bad "baseline entries must be objects")
 
 let load ~path =
@@ -168,7 +203,13 @@ let load ~path =
 
 (* --- line-insensitive multiset diff ------------------------------------------- *)
 
-let key (f : Finding.t) = (f.Finding.rule, f.Finding.file, f.Finding.message)
+(* Chain findings carry a stable identity (sink/source definition names, no
+   line numbers); matching on it instead of the message keeps the gate quiet
+   when unrelated edits shift the chain's lines or reword the rendering. *)
+let key (f : Finding.t) =
+  ( f.Finding.rule,
+    f.Finding.file,
+    match f.Finding.id with Some id -> id | None -> f.Finding.message )
 
 let compare_key (r1, f1, m1) (r2, f2, m2) =
   match String.compare f1 f2 with

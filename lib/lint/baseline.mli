@@ -3,11 +3,14 @@
     incrementally.
 
     A baseline file is exactly the linter's [--json] output (an array of
-    [{"rule", "file", "line", "message"}] objects); [--update-baseline]
-    rewrites it from the current findings. Matching is line-insensitive —
-    a finding is identified by (rule, file, message) — so unrelated edits
-    that shift a legacy finding a few lines do not break the gate, while
-    a genuinely new violation (or a second copy of an old one) does. *)
+    [{"rule", "file", "line", "message"}] objects, chain findings adding
+    ["id"] and ["chain"]); [--update-baseline] rewrites it from the current
+    findings. Matching is line-insensitive — a finding is identified by
+    (rule, file, id) when it carries a stable id, (rule, file, message)
+    otherwise — so unrelated edits that shift a legacy finding a few lines
+    (or reshuffle an interprocedural chain's interior) do not break the
+    gate, while a genuinely new violation (or a second copy of an old one)
+    does. *)
 
 type diff = {
   fresh : Finding.t list;
@@ -25,5 +28,5 @@ val load : path:string -> (Finding.t list, string) result
 
 val diff : baseline:Finding.t list -> Finding.t list -> diff
 (** [diff ~baseline current] matches the two multisets on
-    (rule, file, message). Each baseline entry absorbs at most one current
-    finding; unmatched current findings are {!diff.fresh}. *)
+    (rule, file, id-or-message). Each baseline entry absorbs at most one
+    current finding; unmatched current findings are {!diff.fresh}. *)

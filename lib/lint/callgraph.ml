@@ -1,0 +1,168 @@
+type node = {
+  nfile : string;
+  nqual : string;
+  nline : int;
+  ndef : Ast.def;
+}
+
+type t = {
+  nodes : node array;
+  summaries : Ast.t array;  (* node index -> owning summary *)
+  succ : int list array;
+  pred : int list array;
+}
+
+let qual_name (s : Ast.t) (d : Ast.def) =
+  String.concat "." ((s.Ast.modname :: d.Ast.dpath) @ [ d.Ast.dname ])
+
+let build tab summaries =
+  let ml =
+    List.filter
+      (fun (s : Ast.t) -> not (Filename.check_suffix s.Ast.file ".mli"))
+      summaries
+  in
+  let nodes = ref [] in
+  let owners = ref [] in
+  List.iter
+    (fun (s : Ast.t) ->
+      List.iter
+        (fun (d : Ast.def) ->
+          nodes :=
+            { nfile = s.Ast.file; nqual = qual_name s d; nline = d.Ast.dline;
+              ndef = d }
+            :: !nodes;
+          owners := s :: !owners)
+        s.Ast.defs)
+    ml;
+  let nodes = Array.of_list (List.rev !nodes) in
+  let summaries_arr = Array.of_list (List.rev !owners) in
+  let n = Array.length nodes in
+  (* Identity map: a def record is physically unique per node. *)
+  let id_of = Hashtbl.create (max n 1) in
+  Array.iteri
+    (fun i nd ->
+      Hashtbl.replace id_of (nd.nfile, nd.ndef.Ast.dpath, nd.ndef.Ast.dname,
+        nd.ndef.Ast.dline) i)
+    nodes;
+  let succ = Array.make (max n 1) [] in
+  let pred = Array.make (max n 1) [] in
+  Array.iteri
+    (fun i nd ->
+      let s = summaries_arr.(i) in
+      let targets = ref [] in
+      List.iter
+        (fun (r : Ast.ref_site) ->
+          match Symtab.resolve tab s r with
+          | Some (file, d) -> (
+            match
+              Hashtbl.find_opt id_of
+                (file, d.Ast.dpath, d.Ast.dname, d.Ast.dline)
+            with
+            (* The binding name itself lexes as a reference, so every
+               definition would otherwise carry a spurious self-edge;
+               self-loops add nothing to reachability or chains. *)
+            | Some j when j <> i && not (List.mem j !targets) ->
+              targets := j :: !targets
+            | _ -> ())
+          | None -> ())
+        nd.ndef.Ast.drefs;
+      let ts = List.rev !targets in
+      succ.(i) <- ts;
+      List.iter (fun j -> pred.(j) <- i :: pred.(j)) ts)
+    nodes;
+  (* pred lists were built backwards; restore ascending order. *)
+  Array.iteri (fun j ps -> pred.(j) <- List.rev ps) pred;
+  { nodes; summaries = summaries_arr; succ; pred }
+
+let nodes g = g.nodes
+let summary_of g i = g.summaries.(i)
+let succ g i = g.succ.(i)
+let pred g i = g.pred.(i)
+
+let find g ~file ~name =
+  let hit = ref None in
+  Array.iteri
+    (fun i nd ->
+      if !hit = None && nd.nfile = file && nd.ndef.Ast.dname = name then
+        hit := Some i)
+    g.nodes;
+  !hit
+
+let node_of_line g ~file ~line =
+  let best = ref None in
+  Array.iteri
+    (fun i nd ->
+      if nd.nfile = file && nd.nline <= line then
+        match !best with
+        | Some j when g.nodes.(j).nline >= nd.nline -> ()
+        | _ -> best := Some i)
+    g.nodes;
+  !best
+
+let reachable g ~stop roots =
+  let n = Array.length g.nodes in
+  let seen = Array.make (max n 1) false in
+  let q = Queue.create () in
+  List.iter
+    (fun r -> if r >= 0 && r < n && not (stop r) then Queue.add r q)
+    roots;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter
+        (fun w -> if (not seen.(w)) && not (stop w) then Queue.add w q)
+        g.succ.(v)
+    end
+  done;
+  seen
+
+let reverse_bfs g src =
+  let n = Array.length g.nodes in
+  let dist = Array.make (max n 1) (-1) in
+  let next = Array.make (max n 1) (-1) in
+  if src >= 0 && src < n then begin
+    dist.(src) <- 0;
+    let q = Queue.create () in
+    Queue.add src q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      List.iter
+        (fun u ->
+          if dist.(u) < 0 then begin
+            dist.(u) <- dist.(v) + 1;
+            next.(u) <- v;
+            Queue.add u q
+          end)
+        g.pred.(v)
+    done
+  end;
+  (dist, next)
+
+let dump g =
+  let order = Array.init (Array.length g.nodes) (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let na = g.nodes.(a) and nb = g.nodes.(b) in
+      match String.compare na.nqual nb.nqual with
+      | 0 -> (
+        match String.compare na.nfile nb.nfile with
+        | 0 -> Int.compare na.nline nb.nline
+        | c -> c)
+      | c -> c)
+    order;
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun i ->
+      let nd = g.nodes.(i) in
+      Buffer.add_string buf
+        (Printf.sprintf "%s (%s:%d)\n" nd.nqual nd.nfile nd.nline);
+      let callees =
+        List.sort String.compare
+          (List.map (fun j -> g.nodes.(j).nqual) g.succ.(i))
+      in
+      List.iter
+        (fun c -> Buffer.add_string buf (Printf.sprintf "  -> %s\n" c))
+        callees)
+    order;
+  Buffer.contents buf

@@ -1,0 +1,50 @@
+(** Whole-program call graph over {!Ast} definition summaries.
+
+    Nodes are module-level definitions of the [.ml] summaries, in summary
+    order (deterministic). Edges follow every {!Symtab}-resolvable value
+    reference — an over-approximation of "may call": passing a function as
+    an argument counts, which is exactly what the taint pass wants (a
+    closure handed to a pool runs). *)
+
+type node = {
+  nfile : string;
+  nqual : string;  (** display name, [Mod.sub.name] *)
+  nline : int;
+  ndef : Ast.def;
+}
+
+type t
+
+val build : Symtab.t -> Ast.t list -> t
+(** [build tab summaries] resolves every reference of every definition.
+    Interface summaries contribute no nodes. *)
+
+val nodes : t -> node array
+
+val summary_of : t -> int -> Ast.t
+(** The summary the node's file came from. *)
+
+val find : t -> file:string -> name:string -> int option
+(** First node in [file] with simple definition name [name]. *)
+
+val node_of_line : t -> file:string -> line:int -> int option
+(** The definition whose extent contains [line] in [file] — the last
+    definition starting at or before the line. *)
+
+val succ : t -> int -> int list
+val pred : t -> int -> int list
+
+val reachable : t -> stop:(int -> bool) -> int list -> bool array
+(** Forward BFS from the root set. Nodes satisfying [stop] are never
+    expanded (their callees stay unreached through them); roots satisfying
+    [stop] are not even marked. *)
+
+val reverse_bfs : t -> int -> int array * int array
+(** [reverse_bfs g src] walks callers-of transitively from [src]. Returns
+    [(dist, next)] where [dist.(v)] is the call-chain length from [v] down
+    to [src] ([-1] if unreachable) and [next.(v)] is the next node on a
+    shortest chain from [v] towards [src] (BFS order, deterministic). *)
+
+val dump : t -> string
+(** Human-readable adjacency listing, sorted by qualified name, for
+    [--call-graph]. *)

@@ -21,8 +21,7 @@ let suppressions tokens =
         | None -> []
         | Some rest ->
           let rec rules_of = function
-            | w :: rest when Rules.find w <> None ->
-              w :: rules_of rest
+            | w :: rest when Rules.known w -> w :: rules_of rest
             | _ -> []
           in
           List.map
@@ -37,8 +36,7 @@ let rule_set only =
   | Some names ->
     List.filter (fun (r : Rules.t) -> List.mem r.Rules.name names) Rules.all
 
-let check_source ?only ?mli_exists ~path source =
-  let tokens = Lexer.tokenize source in
+let check_tokens ?only ?mli_exists ~path tokens =
   let arr = Array.of_list tokens in
   let ctx = { Rules.path; mli_exists } in
   let raw =
@@ -59,6 +57,9 @@ let check_source ?only ?mli_exists ~path source =
               sups))
   |> List.sort Finding.compare
 
+let check_source ?only ?mli_exists ~path source =
+  check_tokens ?only ?mli_exists ~path (Lexer.tokenize source)
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
@@ -73,18 +74,95 @@ let check_file ?only path =
   in
   check_source ?only ?mli_exists ~path (read_file path)
 
-let check_paths ?only paths =
-  let unknown =
-    match only with
-    | None -> []
-    | Some names -> List.filter (fun n -> Rules.find n = None) names
-  in
-  match unknown with
+let is_ocaml path =
+  Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+
+(* [only] may mix token-level and deep names; each pass sees its own slice.
+   [Some []] on a slice means "none of mine were requested" — the pass runs
+   zero rules rather than all of them. *)
+let split_only only =
+  match only with
+  | None -> (None, None)
+  | Some names ->
+    ( Some (List.filter (fun n -> Rules.find n <> None) names),
+      Some (List.filter (fun n -> List.mem n Taint.rule_names) names) )
+
+let unknown_rules only =
+  match only with
+  | None -> []
+  | Some names -> List.filter (fun n -> not (Rules.known n)) names
+
+let run ?only ?(deep = true) ~mli_exists_of sources =
+  match unknown_rules only with
+  | n :: _ -> Error (Printf.sprintf "unknown rule: %s" n)
+  | [] ->
+    let token_only, deep_only = split_only only in
+    let toks =
+      List.map (fun (path, src) -> (path, Lexer.tokenize src)) sources
+    in
+    let token_findings =
+      List.concat_map
+        (fun (path, tokens) ->
+          let mli_exists =
+            if Filename.check_suffix path ".ml" then Some (mli_exists_of path)
+            else None
+          in
+          check_tokens ?only:token_only ?mli_exists ~path tokens)
+        toks
+    in
+    let deep_findings =
+      if (not deep) || deep_only = Some [] then []
+      else begin
+        let sups = Hashtbl.create 16 in
+        List.iter
+          (fun (path, tokens) ->
+            Hashtbl.replace sups path (suppressions tokens))
+          toks;
+        let suppressed ~rule ~file ~line =
+          match Hashtbl.find_opt sups file with
+          | None -> false
+          | Some spans ->
+            List.exists
+              (fun (r, first, last) ->
+                r = rule && line >= first && line <= last)
+              spans
+        in
+        Taint.analyze ?only:deep_only ~suppressed
+          (List.filter (fun (p, _) -> is_ocaml p) toks)
+      end
+    in
+    Ok (List.sort Finding.compare (token_findings @ deep_findings))
+
+let check_sources ?only ?deep sources =
+  let set = List.map fst sources in
+  run ?only ?deep ~mli_exists_of:(fun p -> List.mem (p ^ "i") set) sources
+
+let check_paths ?only ?deep paths =
+  (* Validate rule names before touching the filesystem so a typoed --rules
+     reports itself even when the paths are also wrong. *)
+  match unknown_rules only with
   | n :: _ -> Error (Printf.sprintf "unknown rule: %s" n)
   | [] -> (
-    match Walker.collect paths with
-    | Error _ as e -> e
-    | Ok files ->
-      Ok
-        (List.concat_map (fun f -> check_file ?only f) files
-        |> List.sort Finding.compare))
+  match Walker.collect paths with
+  | Error _ as e -> e
+  | Ok files ->
+    let sources = List.map (fun f -> (f, read_file f)) files in
+    run ?only ?deep
+      ~mli_exists_of:(fun p ->
+        List.mem (p ^ "i") files || Sys.file_exists (p ^ "i"))
+      sources)
+
+let call_graph paths =
+  match Walker.collect paths with
+  | Error _ as e -> e
+  | Ok files ->
+    let summaries =
+      List.filter_map
+        (fun f ->
+          if is_ocaml f then
+            Some (Ast.summarize ~file:f (Lexer.tokenize (read_file f)))
+          else None)
+        files
+    in
+    let tab = Symtab.build summaries in
+    Ok (Callgraph.dump (Callgraph.build tab summaries))

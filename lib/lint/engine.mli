@@ -4,7 +4,13 @@
     placed on the same line as the violation or on the line directly above
     it (for multi-line comments: any line the comment touches, plus one).
     Several rule names may be listed in one comment; prose after the rule
-    names is ignored. *)
+    names is ignored. Deep (interprocedural) rule names are valid in
+    suppression comments too: at a taint {e source} line they silence every
+    chain rooted there, at a {e sink} line just that entry point.
+
+    Token-level rules see one file at a time; the deep rules ({!Taint})
+    need the whole file set at once, so they run only through
+    {!check_sources} / {!check_paths}. *)
 
 val check_source :
   ?only:string list ->
@@ -12,17 +18,41 @@ val check_source :
   path:string ->
   string ->
   Finding.t list
-(** [check_source ~path src] lints one in-memory source. [path] selects
-    which rules apply (per-directory scoping) and is echoed in findings.
-    [only] restricts to the named rules. [mli_exists] feeds the
-    [mli-required] rule; when omitted the rule cannot fire. Findings are in
-    canonical {!Finding.compare} order. *)
+(** [check_source ~path src] lints one in-memory source with the
+    token-level rules. [path] selects which rules apply (per-directory
+    scoping) and is echoed in findings. [only] restricts to the named
+    rules. [mli_exists] feeds the [mli-required] rule; when omitted the
+    rule cannot fire. Findings are in canonical {!Finding.compare} order. *)
 
 val check_file : ?only:string list -> string -> Finding.t list
-(** [check_file path] reads and lints one file; the sibling [.mli] check is
-    resolved against the filesystem. Raises [Sys_error] if unreadable. *)
+(** [check_file path] reads and lints one file (token-level rules); the
+    sibling [.mli] check is resolved against the filesystem. Raises
+    [Sys_error] if unreadable. *)
 
-val check_paths : ?only:string list -> string list -> (Finding.t list, string) result
+val check_sources :
+  ?only:string list ->
+  ?deep:bool ->
+  (string * string) list ->
+  (Finding.t list, string) result
+(** [check_sources sources] lints a set of in-memory [(path, content)]
+    files: token-level rules per file, then — unless [~deep:false] — the
+    interprocedural pass over the whole set. [mli-required] and export
+    roots resolve against the set itself (a path's sibling [.mli] counts
+    as existing iff it is in the set). [Error msg] on an unknown rule name
+    in [only]. *)
+
+val check_paths :
+  ?only:string list ->
+  ?deep:bool ->
+  string list ->
+  (Finding.t list, string) result
 (** [check_paths paths] walks directories (via {!Walker.collect}), lints
-    every [.ml]/[.mli] found, and merges findings in canonical order.
-    [Error msg] on a nonexistent path or unknown rule name in [only]. *)
+    every [.ml]/[.mli] found, and merges findings in canonical order. The
+    deep pass is on by default; [~deep:false] restores token-only
+    behaviour. [Error msg] on a nonexistent path or unknown rule name in
+    [only]. *)
+
+val call_graph : string list -> (string, string) result
+(** [call_graph paths] walks [paths] and renders the resolved whole-program
+    call graph ({!Callgraph.dump}): one block per definition, sorted by
+    qualified name, each listing its resolved callees. *)

@@ -1,6 +1,16 @@
-type t = { rule : string; file : string; line : int; message : string }
+type chain_link = { cfile : string; cline : int; cname : string }
 
-let make ~rule ~file ~line message = { rule; file; line; message }
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  message : string;
+  id : string option;
+  chain : chain_link list;
+}
+
+let make ~rule ~file ~line ?id ?(chain = []) message =
+  { rule; file; line; message; id; chain }
 
 let compare a b =
   match String.compare a.file b.file with
@@ -13,8 +23,17 @@ let compare a b =
     | c -> c)
   | c -> c
 
+let chain_to_string chain =
+  String.concat " -> "
+    (List.map
+       (fun l -> Printf.sprintf "%s (%s:%d)" l.cname l.cfile l.cline)
+       chain)
+
 let to_string f =
-  Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.message
+  let head = Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.message in
+  match f.chain with
+  | [] -> head
+  | chain -> head ^ "\n  chain: " ^ chain_to_string chain
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -33,5 +52,26 @@ let json_escape s =
   Buffer.contents buf
 
 let to_json f =
-  Printf.sprintf {|{"rule": "%s", "file": "%s", "line": %d, "message": "%s"}|}
-    (json_escape f.rule) (json_escape f.file) f.line (json_escape f.message)
+  let base =
+    Printf.sprintf {|{"rule": "%s", "file": "%s", "line": %d, "message": "%s"|}
+      (json_escape f.rule) (json_escape f.file) f.line (json_escape f.message)
+  in
+  let id_part =
+    match f.id with
+    | None -> ""
+    | Some id -> Printf.sprintf {|, "id": "%s"|} (json_escape id)
+  in
+  let chain_part =
+    match f.chain with
+    | [] -> ""
+    | chain ->
+      let links =
+        List.map
+          (fun l ->
+            Printf.sprintf {|{"file": "%s", "line": %d, "name": "%s"}|}
+              (json_escape l.cfile) l.cline (json_escape l.cname))
+          chain
+      in
+      Printf.sprintf {|, "chain": [%s]|} (String.concat ", " links)
+  in
+  base ^ id_part ^ chain_part ^ "}"

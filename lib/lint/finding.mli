@@ -1,16 +1,46 @@
-(** A single lint violation: which rule fired, where, and why. *)
+(** A single lint violation: which rule fired, where, and why.
 
-type t = { rule : string; file : string; line : int; message : string }
+    Interprocedural rules attach a {e call chain} — the sink-to-source path
+    the analysis followed — and a stable {e identity}. The identity is what
+    the baseline machinery keys on (together with rule and file), so chain
+    findings survive line shifts: it names the sink and source definitions,
+    never line numbers. *)
 
-val make : rule:string -> file:string -> line:int -> string -> t
+type chain_link = {
+  cfile : string;
+  cline : int;
+  cname : string;  (** qualified definition name, e.g. [Worker.task] *)
+}
+
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  message : string;
+  id : string option;
+      (** stable identity for baseline matching; [None] for single-location
+          findings, which key on the message instead *)
+  chain : chain_link list;  (** sink first, source last; [[]] if n/a *)
+}
+
+val make :
+  rule:string ->
+  file:string ->
+  line:int ->
+  ?id:string ->
+  ?chain:chain_link list ->
+  string ->
+  t
 
 val compare : t -> t -> int
 (** Orders by file, then line, then rule name, then message — the canonical
     report order, independent of rule evaluation order. *)
 
 val to_string : t -> string
-(** ["file:line: [rule] message"] — one line, editor-clickable. *)
+(** ["file:line: [rule] message"] — one line, editor-clickable. Chain
+    findings append ["  chain: f (a.ml:3) -> g (b.ml:9)"] lines. *)
 
 val to_json : t -> string
 (** A single JSON object [{"rule": …, "file": …, "line": …, "message": …}]
-    with proper string escaping. *)
+    with proper string escaping; chain findings add ["id"] and ["chain"]
+    fields. *)

@@ -95,9 +95,12 @@ let tokenize src =
       emit String_lit start_line
     end
     else if c = '{' then begin
-      (* Quoted string literal [{id|...|id}] or plain brace. *)
+      (* Quoted string literal [{id|...|id}] or plain brace. The grammar
+         allows only lowercase letters and underscores in the delimiter;
+         accepting digits would turn bigarray access like [m.{1}] followed
+         by [|] pipes into an unterminated string. *)
       let j = ref (!i + 1) in
-      while !j < n && (is_lower src.[!j] || is_digit src.[!j]) do
+      while !j < n && is_lower src.[!j] do
         incr j
       done;
       if !j < n && src.[!j] = '|' then begin

@@ -695,3 +695,58 @@ let all =
   ]
 
 let find name = List.find_opt (fun r -> r.name = name) all
+
+(* --- interprocedural (deep) rules --------------------------------------------- *)
+
+(* Checked in lib/lint/taint.ml, which needs the whole-program call graph;
+   catalogued here so --list-rules, --explain and suppression comments see
+   one uniform rule namespace. Taint.rule_names must stay in sync (a unit
+   test pins this). *)
+
+type info = { iname : string; isummary : string; irationale : string }
+
+let deep =
+  [
+    {
+      iname = "nondet-taint";
+      isummary =
+        "no nondeterminism reachable from lib exports or Cold_par tasks";
+      irationale =
+        "A wall-clock read, Stdlib.Random draw, unordered Hashtbl traversal \
+         or polymorphic compare buried three calls deep still makes the \
+         caller's output depend on timing, hashing or insertion history. \
+         The interprocedural pass propagates taint over the whole-program \
+         call graph and reports every exported lib value or Cold_par \
+         scheduling site that can transitively reach such a source, with \
+         the full sink-to-source call chain. Cut the path, or suppress at \
+         the source (silences every chain from it) or at the sink \
+         (silences just that entry point).";
+    };
+    {
+      iname = "par-unsync-mutation";
+      isummary =
+        "no unmediated toplevel mutable state written from pool tasks";
+      irationale =
+        "Work handed to Cold_par runs on several domains at once; a ref, \
+         Hashtbl or mutable record field at module level written from task \
+         code without Mutex/Atomic/Domain.DLS mediation is a data race — \
+         results vary with domain interleaving even under a fixed seed. \
+         Mediate the write or move the state into the task.";
+    };
+    {
+      iname = "mutex-unbalanced";
+      isummary = "Mutex.lock must reach Mutex.unlock or Mutex.protect";
+      irationale =
+        "A lock whose matching unlock is unreachable from the locking \
+         definition deadlocks the pool on the first raising path. Prefer \
+         Mutex.protect, which releases on exceptions.";
+    };
+  ]
+
+let known name =
+  find name <> None || List.exists (fun i -> i.iname = name) deep
+
+let info name =
+  match find name with
+  | Some r -> Some { iname = r.name; isummary = r.summary; irationale = r.rationale }
+  | None -> List.find_opt (fun i -> i.iname = name) deep

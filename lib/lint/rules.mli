@@ -22,7 +22,26 @@ type t = {
 }
 
 val all : t list
-(** Every rule, in catalogue order. *)
+(** Every token-level rule, in catalogue order. *)
 
 val find : string -> t option
-(** Look up a rule by [name]. *)
+(** Look up a token-level rule by [name]. *)
+
+type info = {
+  iname : string;
+  isummary : string;
+  irationale : string;
+}
+(** Catalogue entry shared by token-level and interprocedural rules, for
+    [--list-rules] and [--explain]. *)
+
+val deep : info list
+(** The interprocedural rules (checked by {!Taint}), catalogue order.
+    Names must match [Taint.rule_names]; a unit test pins the two. *)
+
+val known : string -> bool
+(** [known name] is true for any rule — token-level or deep. Suppression
+    comments and [--rules] validate against this. *)
+
+val info : string -> info option
+(** Catalogue info for any rule, token-level or deep. *)

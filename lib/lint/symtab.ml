@@ -1,0 +1,104 @@
+type entry = { efile : string; edef : Ast.def }
+
+type t = {
+  byname : (string, entry list) Hashtbl.t;
+      (* key: "Mod.Sub.name"; entries in summary order *)
+  mli_vals : (string, string list) Hashtbl.t;
+      (* key: path without extension, e.g. "lib/net/routing" *)
+}
+
+let key parts = String.concat "." parts
+
+let add_entry tab k e =
+  let prev = Option.value ~default:[] (Hashtbl.find_opt tab.byname k) in
+  Hashtbl.replace tab.byname k (prev @ [ e ])
+
+let is_mli file = Filename.check_suffix file ".mli"
+
+let build summaries =
+  let tab = { byname = Hashtbl.create 256; mli_vals = Hashtbl.create 64 } in
+  List.iter
+    (fun (s : Ast.t) ->
+      if is_mli s.Ast.file then
+        Hashtbl.replace tab.mli_vals
+          (Filename.remove_extension s.Ast.file)
+          s.Ast.vals
+      else
+        List.iter
+          (fun (d : Ast.def) ->
+            if d.Ast.dname <> "_" then begin
+              let e = { efile = s.Ast.file; edef = d } in
+              add_entry tab
+                (key ((s.Ast.modname :: d.Ast.dpath) @ [ d.Ast.dname ]))
+                e;
+              (* Nested definitions are also reachable without the file's
+                 module prefix — [Internal.f] from inside the same file. *)
+              if d.Ast.dpath <> [] then
+                add_entry tab (key (d.Ast.dpath @ [ d.Ast.dname ])) e
+            end)
+          s.Ast.defs)
+    summaries;
+  tab
+
+let lookup tab k =
+  match Hashtbl.find_opt tab.byname k with
+  | Some (e :: _) -> Some (e.efile, e.edef)
+  | _ -> None
+
+(* Try progressively shorter qualifier suffixes, always keeping at least one
+   module component: [Cold_net.Incremental.f] → [Incremental.f]. *)
+let resolve_qualified tab path name =
+  let rec go = function
+    | [] -> None
+    | _ :: rest as p -> (
+      match lookup tab (key (p @ [ name ])) with
+      | Some _ as hit -> hit
+      | None -> go rest)
+  in
+  go path
+
+let expand_alias (s : Ast.t) path =
+  match path with
+  | m :: rest -> (
+    match List.assoc_opt m s.Ast.maliases with
+    | Some target -> target @ rest
+    | None -> path)
+  | [] -> []
+
+let resolve tab (s : Ast.t) (r : Ast.ref_site) =
+  match expand_alias s r.Ast.rpath with
+  | [] -> (
+    (* Same file first: latest binding at or before the reference wins
+       (shadowing); otherwise the first one (recursive forward reference). *)
+    let candidates =
+      List.filter (fun (d : Ast.def) -> d.Ast.dname = r.Ast.rname) s.Ast.defs
+    in
+    let before =
+      List.filter (fun (d : Ast.def) -> d.Ast.dline <= r.Ast.rline) candidates
+    in
+    let local =
+      match (List.rev before, candidates) with
+      | d :: _, _ -> Some (s.Ast.file, d)
+      | [], d :: _ -> Some (s.Ast.file, d)
+      | [], [] -> None
+    in
+    match local with
+    | Some _ -> local
+    | None ->
+      List.fold_left
+        (fun acc o ->
+          match acc with
+          | Some _ -> acc
+          | None -> resolve_qualified tab o r.Ast.rname)
+        None s.Ast.opens)
+  | path -> resolve_qualified tab path r.Ast.rname
+
+let exported tab (s : Ast.t) =
+  match Hashtbl.find_opt tab.mli_vals (Filename.remove_extension s.Ast.file) with
+  | Some vals -> vals
+  | None ->
+    List.filter_map
+      (fun (d : Ast.def) ->
+        if d.Ast.dpath = [] && d.Ast.dname <> "_" then Some d.Ast.dname
+        else None)
+      s.Ast.defs

@@ -1,0 +1,27 @@
+(** Cross-file symbol table: links per-file {!Ast} summaries into one
+    namespace so references can be resolved to definitions.
+
+    Resolution is deliberately suffix-based: a reference
+    [Cold_net.Incremental.add_edge] matches the definition [add_edge] in
+    [incremental.ml] by trying progressively shorter qualifier suffixes
+    (library wrapper modules like [Cold_net] have no source file of their
+    own). Module aliases ([module R = Routing]) are expanded one level, and
+    unqualified references try the defining file first, then every
+    [open]ed/[include]d module. Unresolved references (stdlib calls,
+    binders, record fields) resolve to [None] and simply contribute no call
+    edge. *)
+
+type t
+
+val build : Ast.t list -> t
+(** [build summaries] indexes every definition of the [.ml] summaries.
+    Interface summaries participate only through {!exported}. *)
+
+val resolve : t -> Ast.t -> Ast.ref_site -> (string * Ast.def) option
+(** [resolve tab summary ref] resolves a reference occurring in [summary]
+    to [(file, def)]. Deterministic: ties are broken by summary order. *)
+
+val exported : t -> Ast.t -> string list
+(** Names visible through the module's interface: the sibling [.mli]'s
+    [val]s when one was summarized, otherwise every module-level
+    definition name. *)

@@ -1,0 +1,7 @@
+let hits = ref 0
+
+let bump x =
+  incr hits;
+  x
+
+let crunch pool xs = Par.map_array pool bump xs

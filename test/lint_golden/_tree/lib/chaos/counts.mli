@@ -1,0 +1,2 @@
+val bump : int -> int
+val crunch : 'a -> int array -> int array

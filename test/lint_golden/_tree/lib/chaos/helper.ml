@@ -1,0 +1,1 @@
+let scale x = x *. Noise.jitter ()

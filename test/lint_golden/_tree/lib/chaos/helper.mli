@@ -1,0 +1,1 @@
+val scale : float -> float

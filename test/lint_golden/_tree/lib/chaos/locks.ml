@@ -1,0 +1,3 @@
+let m = Mutex.create ()
+
+let grab () = Mutex.lock m

@@ -1,0 +1,1 @@
+val grab : unit -> unit

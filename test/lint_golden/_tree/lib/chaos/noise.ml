@@ -1,0 +1,2 @@
+(* Planted nondeterminism source: the golden test pins the chain report. *)
+let jitter () = Random.float 1.0

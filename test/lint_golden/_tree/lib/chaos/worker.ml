@@ -1,0 +1,3 @@
+let task x = Helper.scale x
+
+let run pool xs = Par.map_array pool task xs

@@ -1,0 +1,2 @@
+val task : float -> float
+val run : 'a -> float array -> float array

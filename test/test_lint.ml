@@ -58,6 +58,36 @@ let test_lexer_comments_strings () =
     | [ Lexer.String_lit; Lexer.Ident "y" ] -> true
     | _ -> false)
 
+let test_lexer_quoted_strings () =
+  (* Delimiters are [a-z_]* per the grammar: underscores yes, digits no —
+     a digit must fall through to bigarray-style brace punctuation. *)
+  Alcotest.(check bool)
+    "underscore delimiter" true
+    (match kinds "{foo_bar|failwith \"raw\"|foo_bar} y" with
+    | [ Lexer.String_lit; Lexer.Ident "y" ] -> true
+    | _ -> false);
+  Alcotest.(check bool)
+    "digit is not a delimiter" true
+    (not (List.mem Lexer.String_lit (kinds "m.{1|ignore|1} x")));
+  Alcotest.(check bool)
+    "empty delimiter" true
+    (match kinds "{|a \"b\" c|} y" with
+    | [ Lexer.String_lit; Lexer.Ident "y" ] -> true
+    | _ -> false);
+  (* Newlines inside the literal must advance the line counter. *)
+  let tokens = Lexer.tokenize "{q|one\ntwo\nthree|q}\nafter" in
+  (match tokens with
+  | [ s; a ] ->
+    Alcotest.(check bool) "is string" true (s.Lexer.kind = Lexer.String_lit);
+    Alcotest.(check int) "string starts line 1" 1 s.Lexer.line;
+    Alcotest.(check int) "string ends line 3" 3 s.Lexer.end_line;
+    Alcotest.(check int) "next token on line 4" 4 a.Lexer.line
+  | _ -> Alcotest.fail "expected exactly two tokens");
+  (* An unterminated literal must not loop or crash. *)
+  Alcotest.(check bool)
+    "unterminated literal consumed" true
+    (List.mem Lexer.String_lit (kinds "{q|never closed"))
+
 let test_lexer_chars_and_lines () =
   Alcotest.(check bool)
     "char literal vs type var" true
@@ -345,6 +375,298 @@ let test_baseline_diff () =
   let d4 = Baseline.diff ~baseline:[] [ b; a ] in
   Alcotest.(check bool) "canonical order" true (d4.Baseline.fresh = [ a; b ])
 
+let test_baseline_multiset_mixed () =
+  (* One diff exercising all three buckets at once: the baseline carries a
+     duplicated legacy entry, one copy got fixed (stale), the other still
+     fires shifted (baselined), and an unrelated new violation appears
+     (fresh). *)
+  let a = fnd "no-wall-clock" "lib/a.ml" 3 "msg-a" in
+  let a_shifted = fnd "no-wall-clock" "lib/a.ml" 11 "msg-a" in
+  let c = fnd "todo-tracker" "lib/c.ml" 2 "msg-c" in
+  let d = Baseline.diff ~baseline:[ a; a ] [ a_shifted; c ] in
+  Alcotest.(check bool) "only the new finding gates" true
+    (d.Baseline.fresh = [ c ]);
+  Alcotest.(check int) "surviving copy absorbed" 1 d.Baseline.baselined;
+  Alcotest.(check int) "fixed copy is stale" 1 d.Baseline.stale;
+  (* Pruning: a baseline rewritten from current findings has no stale
+     entries and absorbs everything. *)
+  let pruned = Baseline.diff ~baseline:[ a_shifted; c ] [ a_shifted; c ] in
+  Alcotest.(check int) "pruned: no stale" 0 pruned.Baseline.stale;
+  Alcotest.(check int) "pruned: all absorbed" 2 pruned.Baseline.baselined;
+  Alcotest.(check bool) "pruned: nothing fresh" true
+    (pruned.Baseline.fresh = [])
+
+let test_baseline_chain_roundtrip () =
+  let chain =
+    [
+      { Finding.cfile = "lib/a.ml"; cline = 3; cname = "A.entry" };
+      { Finding.cfile = "lib/b.ml"; cline = 9; cname = "B.src" };
+    ]
+  in
+  let f =
+    Finding.make ~rule:"nondet-taint" ~file:"lib/a.ml" ~line:3
+      ~id:"A.entry<-B.src#wall-clock" ~chain "reaches a wall-clock read"
+  in
+  (* Chain findings survive the --json -> load round-trip intact. *)
+  let path = Filename.temp_file "cold_lint_chain" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  write_file path (Report.json [ f ]);
+  (match Baseline.load ~path with
+  | Ok got -> Alcotest.(check bool) "chain round-trips" true (got = [ f ])
+  | Error e -> Alcotest.fail e);
+  (* The diff keys on the stable id: shifted lines, a reshuffled chain and
+     even a reworded message still match the baseline entry. *)
+  let moved =
+    Finding.make ~rule:"nondet-taint" ~file:"lib/a.ml" ~line:40
+      ~id:"A.entry<-B.src#wall-clock"
+      ~chain:[ { Finding.cfile = "lib/a.ml"; cline = 40; cname = "A.entry" } ]
+      "reworded"
+  in
+  let d = Baseline.diff ~baseline:[ f ] [ moved ] in
+  Alcotest.(check bool) "id absorbs drift" true
+    (d.Baseline.fresh = [] && d.Baseline.baselined = 1);
+  (* A different source kind is a different id — it gates. *)
+  let other =
+    Finding.make ~rule:"nondet-taint" ~file:"lib/a.ml" ~line:3
+      ~id:"A.entry<-B.src#stdlib-random" ~chain "reaches Stdlib.Random"
+  in
+  let d2 = Baseline.diff ~baseline:[ f ] [ other ] in
+  Alcotest.(check int) "new source gates" 1 (List.length d2.Baseline.fresh)
+
+(* --- interprocedural (deep) pass ----------------------------------------------- *)
+
+let check_deep ?only ?deep sources =
+  match Engine.check_sources ?only ?deep sources with
+  | Ok fs -> fs
+  | Error e -> Alcotest.fail e
+
+(* The acceptance scenario from the issue: a nondeterminism source in one
+   module, laundered through a helper in a second, handed to Cold_par by a
+   third. Every file exports through an .mli. *)
+let planted ?(noise = "let jitter () = Random.float 1.0")
+    ?(worker =
+      "let task x = Helper.scale x\n\n\
+       let run pool xs = Par.map_array pool task xs") () =
+  [
+    ("lib/chaos/noise.ml", noise);
+    ("lib/chaos/noise.mli", "val jitter : unit -> float");
+    ("lib/chaos/helper.ml", "let scale x = x *. Noise.jitter ()");
+    ("lib/chaos/helper.mli", "val scale : float -> float");
+    ("lib/chaos/worker.ml", worker);
+    ( "lib/chaos/worker.mli",
+      "val task : float -> float\nval run : 'a -> float array -> float array"
+    );
+  ]
+
+let chain_names (f : Finding.t) =
+  List.map (fun l -> l.Finding.cname) f.Finding.chain
+
+let test_deep_chain_detection () =
+  let fs = check_deep ~only:[ "nondet-taint" ] (planted ()) in
+  (* One finding per sink file: noise (the source itself is exported),
+     helper, worker. *)
+  Alcotest.(check (list string))
+    "one finding per sink file"
+    [ "lib/chaos/helper.ml"; "lib/chaos/noise.ml"; "lib/chaos/worker.ml" ]
+    (List.map (fun f -> f.Finding.file) fs);
+  let worker =
+    List.find (fun f -> f.Finding.file = "lib/chaos/worker.ml") fs
+  in
+  Alcotest.(check (list string))
+    "full three-file chain, sink to source"
+    [ "Worker.task"; "Helper.scale"; "Noise.jitter" ]
+    (chain_names worker);
+  Alcotest.(check (option string))
+    "stable id names defs, not lines"
+    (Some "Worker.task<-Noise.jitter#stdlib-random")
+    worker.Finding.id;
+  (* The rendered forms carry the chain. *)
+  Alcotest.(check bool) "text shows chain" true
+    (let s = Finding.to_string worker in
+     let has sub =
+       let n = String.length s and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+       go 0
+     in
+     has "chain:" && has "Noise.jitter");
+  Alcotest.(check bool) "json shows chain" true
+    (let s = Finding.to_json worker in
+     let n = String.length s and sub = {|"chain": [|} in
+     let m = String.length sub in
+     let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+     go 0)
+
+let test_deep_sink_suppression () =
+  let worker =
+    "(* lint: allow nondet-taint deliberate chaos injection *)\n\
+     let task x = Helper.scale x\n\n\
+     let run pool xs = Par.map_array pool task xs"
+  in
+  let fs = check_deep ~only:[ "nondet-taint" ] (planted ~worker ()) in
+  (* The suppressed sink is silent; the other entry points still gate. *)
+  Alcotest.(check (list string))
+    "only the suppressed sink is silent"
+    [ "lib/chaos/helper.ml"; "lib/chaos/noise.ml" ]
+    (List.map (fun f -> f.Finding.file) fs)
+
+let test_deep_source_suppression () =
+  let noise =
+    "(* lint: allow no-stdlib-random nondet-taint seeded chaos model *)\n\
+     let jitter () = Random.float 1.0"
+  in
+  let fs = check_deep ~only:[ "nondet-taint" ] (planted ~noise ()) in
+  Alcotest.(check (list string))
+    "source suppression silences every chain" []
+    (List.map (fun f -> f.Finding.file) fs)
+
+let test_deep_alias_and_helper_sources () =
+  (* [let cmp = compare] taints every caller of the alias. *)
+  let aliased =
+    [
+      ( "lib/chaos/order.ml",
+        "let cmp = compare\n\nlet canonical xs = List.sort cmp xs" );
+      ("lib/chaos/order.mli", "val canonical : int list -> int list");
+    ]
+  in
+  (match check_deep ~only:[ "nondet-taint" ] aliased with
+  | [ f ] ->
+    Alcotest.(check (option string))
+      "alias chain id" (Some "Order.canonical<-Order.cmp#poly-compare")
+      f.Finding.id
+  | fs ->
+    Alcotest.failf "expected 1 aliased-compare finding, got %d"
+      (List.length fs));
+  (* A named helper that accumulates inside [Hashtbl.iter helper tbl] is
+     invisible to the token rule but is a deep source. *)
+  let helper =
+    [
+      ( "lib/chaos/dumper.ml",
+        "let out = ref []\n\n\
+         let note k _ = out := k :: !out\n\n\
+         let dump tbl = Hashtbl.iter note tbl" );
+      ("lib/chaos/dumper.mli", "val dump : (int, int) Hashtbl.t -> unit");
+    ]
+  in
+  Alcotest.(check (list string))
+    "token pass is blind to the helper" []
+    (rules_fired (check_deep ~deep:false helper
+                 |> List.filter (fun f ->
+                        f.Finding.rule = "hashtbl-iteration-order")));
+  Alcotest.(check bool) "deep pass sees through the helper" true
+    (List.exists
+       (fun f -> f.Finding.rule = "nondet-taint")
+       (check_deep ~only:[ "nondet-taint" ] helper))
+
+let test_deep_par_mutation () =
+  let racy =
+    [
+      ( "lib/chaos/counts.ml",
+        "let hits = ref 0\n\n\
+         let bump x =\n\
+        \  incr hits;\n\
+        \  x\n\n\
+         let crunch pool xs = Par.map_array pool bump xs" );
+      ( "lib/chaos/counts.mli",
+        "val bump : int -> int\nval crunch : 'a -> int array -> int array" );
+    ]
+  in
+  let fs = check_deep ~only:[ "par-unsync-mutation" ] racy in
+  (match fs with
+  | [ f ] ->
+    Alcotest.(check (list string))
+      "chain runs scheduler -> task"
+      [ "Counts.crunch"; "Counts.bump" ]
+      (chain_names f)
+  | fs -> Alcotest.failf "expected 1 par-mutation finding, got %d"
+            (List.length fs));
+  (* Atomic mediation makes the same shape safe. *)
+  let mediated =
+    [
+      ( "lib/chaos/counts.ml",
+        "let hits = Atomic.make 0\n\n\
+         let bump x =\n\
+        \  Atomic.incr hits;\n\
+        \  x\n\n\
+         let crunch pool xs = Par.map_array pool bump xs" );
+      ( "lib/chaos/counts.mli",
+        "val bump : int -> int\nval crunch : 'a -> int array -> int array" );
+    ]
+  in
+  Alcotest.(check (list string))
+    "Atomic-mediated state is quiet" []
+    (rules_fired (check_deep ~only:[ "par-unsync-mutation" ] mediated))
+
+let test_deep_mutex_balance () =
+  let leak =
+    [
+      ( "lib/chaos/locks.ml",
+        "let m = Mutex.create ()\n\nlet grab () = Mutex.lock m" );
+      ("lib/chaos/locks.mli", "val grab : unit -> unit");
+    ]
+  in
+  Alcotest.(check (list string))
+    "lock without unlock fires" [ "mutex-unbalanced" ]
+    (rules_fired (check_deep ~only:[ "mutex-unbalanced" ] leak));
+  (* An unlock reachable through a callee balances the lock. *)
+  let balanced =
+    [
+      ( "lib/chaos/locks.ml",
+        "let m = Mutex.create ()\n\n\
+         let release () = Mutex.unlock m\n\n\
+         let grab () =\n\
+        \  Mutex.lock m;\n\
+        \  release ()" );
+      ("lib/chaos/locks.mli", "val grab : unit -> unit\nval release : unit -> unit");
+    ]
+  in
+  Alcotest.(check (list string))
+    "transitively balanced lock is quiet" []
+    (rules_fired (check_deep ~only:[ "mutex-unbalanced" ] balanced))
+
+let test_deep_flag_and_slicing () =
+  (* ~deep:false restores token-only behaviour; the default runs both. *)
+  Alcotest.(check (list string))
+    "no-deep is token-only" [ "no-stdlib-random" ]
+    (rules_fired (check_deep ~deep:false (planted ())));
+  Alcotest.(check bool) "default runs the deep pass" true
+    (List.mem "nondet-taint" (rules_fired (check_deep (planted ()))));
+  (* --rules slices across the two passes. *)
+  Alcotest.(check (list string))
+    "token-only slice skips deep" [ "no-stdlib-random" ]
+    (rules_fired (check_deep ~only:[ "no-stdlib-random" ] (planted ())));
+  Alcotest.(check (list string))
+    "mixed slice runs both" [ "no-stdlib-random"; "nondet-taint" ]
+    (rules_fired
+       (check_deep ~only:[ "no-stdlib-random"; "nondet-taint" ] (planted ())));
+  match Engine.check_sources ~only:[ "no-such-rule" ] (planted ()) with
+  | Error msg ->
+    Alcotest.(check string) "unknown rule rejected" "unknown rule: no-such-rule"
+      msg
+  | Ok _ -> Alcotest.fail "expected Error for unknown rule"
+
+let test_deep_catalogue_sync () =
+  (* rules.ml catalogues the deep rules by literal name; taint.ml owns the
+     implementations. The two lists must never drift. *)
+  Alcotest.(check (list string))
+    "catalogue matches implementation"
+    (List.map (fun (i : Rules.info) -> i.Rules.iname) Rules.deep)
+    Cold_lint.Taint.rule_names;
+  List.iter
+    (fun (i : Rules.info) ->
+      Alcotest.(check bool) (i.Rules.iname ^ " known") true
+        (Rules.known i.Rules.iname);
+      Alcotest.(check bool) (i.Rules.iname ^ " not a token rule") true
+        (Rules.find i.Rules.iname = None);
+      match Rules.info i.Rules.iname with
+      | Some info ->
+        Alcotest.(check bool) (i.Rules.iname ^ " documented") true
+          (String.length info.Rules.isummary > 0
+          && String.length info.Rules.irationale > 0)
+      | None -> Alcotest.failf "no info for %s" i.Rules.iname)
+    Rules.deep;
+  Alcotest.(check bool) "token rules visible through info" true
+    (Rules.info "no-wall-clock" <> None)
+
 (* --- reporters ----------------------------------------------------------------- *)
 
 let test_reporters () =
@@ -365,7 +687,8 @@ let test_reporters () =
     (String.length body > 2 && body.[0] = '[')
 
 let test_rule_catalogue () =
-  Alcotest.(check int) "ten rules" 10 (List.length Rules.all);
+  Alcotest.(check int) "ten token rules" 10 (List.length Rules.all);
+  Alcotest.(check int) "three deep rules" 3 (List.length Rules.deep);
   List.iter
     (fun (r : Rules.t) ->
       Alcotest.(check bool)
@@ -384,6 +707,7 @@ let () =
           Alcotest.test_case "basics" `Quick test_lexer_basics;
           Alcotest.test_case "comments and strings" `Quick
             test_lexer_comments_strings;
+          Alcotest.test_case "quoted strings" `Quick test_lexer_quoted_strings;
           Alcotest.test_case "chars and line numbers" `Quick
             test_lexer_chars_and_lines;
         ] );
@@ -419,6 +743,25 @@ let () =
         [
           Alcotest.test_case "load" `Quick test_baseline_load;
           Alcotest.test_case "diff" `Quick test_baseline_diff;
+          Alcotest.test_case "multiset mixed diff" `Quick
+            test_baseline_multiset_mixed;
+          Alcotest.test_case "chain round-trip" `Quick
+            test_baseline_chain_roundtrip;
+        ] );
+      ( "deep",
+        [
+          Alcotest.test_case "chain detection" `Quick test_deep_chain_detection;
+          Alcotest.test_case "sink suppression" `Quick
+            test_deep_sink_suppression;
+          Alcotest.test_case "source suppression" `Quick
+            test_deep_source_suppression;
+          Alcotest.test_case "alias and helper sources" `Quick
+            test_deep_alias_and_helper_sources;
+          Alcotest.test_case "par mutation" `Quick test_deep_par_mutation;
+          Alcotest.test_case "mutex balance" `Quick test_deep_mutex_balance;
+          Alcotest.test_case "flag and rule slicing" `Quick
+            test_deep_flag_and_slicing;
+          Alcotest.test_case "catalogue sync" `Quick test_deep_catalogue_sync;
         ] );
       ( "report",
         [
