@@ -217,3 +217,151 @@ let run () =
   in
   Printf.printf "merged BENCH_ga.json (%d new cells, %d total)\n"
     (List.length rows) total
+
+(* ------------------------------------------------------------------ *)
+(* Large-n scaling cells: n ∈ {100, 300, 1000}, the same three workloads,
+   three variants each — full recomputation, the incremental engine (both
+   on the historical RNG trajectory, asserted bit-identical), and the
+   opt-in spatial locality mode (its own deterministic trajectory, so its
+   cost is reported, not asserted). Settings shrink with n so the n = 1000
+   cells stay minutes, not hours: the quantity measured is evals/sec of the
+   evaluation engine, which tiny populations sample just as well. Runs
+   under the @bench-large alias (COLD_BENCH_ONLY=ga_hotpath_large), never
+   under @runtest. *)
+
+let locality_k = 10
+
+let large_ga ~mutation_heavy n =
+  let base = Cold.Ga.default_settings in
+  if n <= 100 then
+    { base with
+      Cold.Ga.population_size = 16; generations = 6; num_saved = 4;
+      num_crossover = (if mutation_heavy then 2 else 6);
+      num_mutation = (if mutation_heavy then 10 else 6) }
+  else if n <= 300 then
+    { base with
+      Cold.Ga.population_size = 8; generations = 3; num_saved = 2;
+      num_crossover = (if mutation_heavy then 1 else 3);
+      num_mutation = (if mutation_heavy then 5 else 3) }
+  else
+    { base with
+      Cold.Ga.population_size = 5; generations = 2; num_saved = 2;
+      num_crossover = (if mutation_heavy then 0 else 1);
+      num_mutation = (if mutation_heavy then 3 else 2) }
+
+let large_ls_iterations n = if n <= 100 then 400 else if n <= 300 then 120 else 30
+
+let large_ns =
+  (* The n = 1000 cells are the point of the exercise but cost minutes;
+     smoke scale (the CI alias) stops at 300. *)
+  match Config.scale with
+  | Config.Smoke -> [ 100; 300 ]
+  | Config.Quick | Config.Full -> [ 100; 300; 1000 ]
+
+let measure_ga_locality ~settings ~n =
+  let ctx = ctx_for n in
+  let run () =
+    Ga.run ~incremental:true ~locality:locality_k ~domains:1 ~cache_slots:0
+      settings params ctx (Prng.create 42)
+  in
+  let (result, wall) = Config.time_it run in
+  (result, wall, float_of_int result.Cold.Ga.evaluations /. wall)
+
+let measure_ls_locality ~n ~iterations =
+  let ctx = ctx_for n in
+  let settings =
+    { Local_search.default_settings with Local_search.iterations } in
+  let run () =
+    Local_search.run ~incremental:true ~locality:locality_k settings params ctx
+      (Prng.create 43)
+  in
+  let (result, wall) = Config.time_it run in
+  (result, wall, float_of_int result.Local_search.evaluations /. wall)
+
+let run_large () =
+  Config.section
+    "Large-n scaling: full vs incremental vs locality (BENCH_ga.json)";
+  let cells = ref [] in
+  let add c =
+    print_cell c;
+    cells := c :: !cells
+  in
+  (* The headline scaling number: the single-move workload (every candidate
+     one edge flip from the current state) is what the delta-aware engine
+     optimizes; crossover-heavy GA churn is its documented worst case. *)
+  let inc_speedup_n100 = ref 0.0 in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (bench, mutation_heavy) ->
+          let settings = large_ga ~mutation_heavy n in
+          let (full_r, full_wall, full_eps) =
+            measure_ga ~settings ~incremental:false ~n ~domains:1
+          in
+          add
+            { bench; variant = "full"; n; domains = 1; evals_per_sec = full_eps;
+              wall_s = full_wall; speedup_vs_seq = 1.0; speedup_vs_full = 1.0 };
+          let (inc_r, inc_wall, inc_eps) =
+            measure_ga ~settings ~incremental:true ~n ~domains:1
+          in
+          assert (Float.equal inc_r.Cold.Ga.best_cost full_r.Cold.Ga.best_cost);
+          add
+            { bench; variant = "incremental"; n; domains = 1;
+              evals_per_sec = inc_eps; wall_s = inc_wall; speedup_vs_seq = 1.0;
+              speedup_vs_full = inc_eps /. full_eps };
+          let (_loc_r, loc_wall, loc_eps) =
+            measure_ga_locality ~settings ~n
+          in
+          add
+            { bench; variant = "locality"; n; domains = 1;
+              evals_per_sec = loc_eps; wall_s = loc_wall; speedup_vs_seq = 1.0;
+              speedup_vs_full = loc_eps /. full_eps })
+        [ ("ga_hotpath", false); ("ga_mutation", true) ];
+      let iterations = large_ls_iterations n in
+      let ctx = ctx_for n in
+      let settings =
+        { Local_search.default_settings with Local_search.iterations } in
+      let (full_r, full_wall, full_eps) =
+        let run () =
+          Local_search.run ~incremental:false settings params ctx
+            (Prng.create 43)
+        in
+        let (r, w) = Config.time_it run in
+        (r, w, float_of_int r.Local_search.evaluations /. w)
+      in
+      add
+        { bench = "local_search"; variant = "full"; n; domains = 1;
+          evals_per_sec = full_eps; wall_s = full_wall; speedup_vs_seq = 1.0;
+          speedup_vs_full = 1.0 };
+      let (inc_r, inc_wall, inc_eps) =
+        let run () =
+          Local_search.run ~incremental:true settings params ctx
+            (Prng.create 43)
+        in
+        let (r, w) = Config.time_it run in
+        (r, w, float_of_int r.Local_search.evaluations /. w)
+      in
+      assert (
+        Float.equal inc_r.Local_search.best_cost full_r.Local_search.best_cost);
+      if n = 100 then inc_speedup_n100 := inc_eps /. full_eps;
+      add
+        { bench = "local_search"; variant = "incremental"; n; domains = 1;
+          evals_per_sec = inc_eps; wall_s = inc_wall; speedup_vs_seq = 1.0;
+          speedup_vs_full = inc_eps /. full_eps };
+      let (_loc_r, loc_wall, loc_eps) = measure_ls_locality ~n ~iterations in
+      add
+        { bench = "local_search"; variant = "locality"; n; domains = 1;
+          evals_per_sec = loc_eps; wall_s = loc_wall; speedup_vs_seq = 1.0;
+          speedup_vs_full = loc_eps /. full_eps })
+    large_ns;
+  Printf.printf
+    "\nlocal_search n=100: incremental %.2fx over full recomputation (target >= 2x)\n"
+    !inc_speedup_n100;
+  let rows = List.rev_map row !cells in
+  let total =
+    Config.merge_json_rows ~path:"BENCH_ga.json"
+      ~key:[ "bench"; "variant"; "n"; "domains" ]
+      rows
+  in
+  Printf.printf "merged BENCH_ga.json (%d new cells, %d total)\n"
+    (List.length rows) total

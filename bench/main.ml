@@ -32,5 +32,10 @@ let () =
   bench "abc" Abc_experiment.run;
   bench "ablation_routing" Ablation_routing.run;
   bench "ga_hotpath" Ga_hotpath.run;
+  (* Large-n scaling cells (n up to 1000): opt-in only — run via the
+     @bench-large alias or COLD_BENCH_ONLY=ga_hotpath_large. *)
+  (match Sys.getenv_opt "COLD_BENCH_ONLY" with
+  | Some _ -> bench "ga_hotpath_large" Ga_hotpath.run_large
+  | None -> ());
   bench "micro" Micro.run;
   Printf.printf "\ntotal harness time: %.0fs\n" (Unix.gettimeofday () -. t0)

@@ -66,3 +66,5 @@ let of_points_and_populations ?(traffic_scale = 1.0) points pops =
 let n t = Array.length t.points
 
 let distance t i j = Distmat.get t.dist i j
+
+let spatial t = Distmat.spatial t.dist

@@ -48,3 +48,7 @@ val n : t -> int
 val distance : t -> int -> int -> float
 (** Euclidean distance between two PoPs: the link length ℓ of the cost
     model. *)
+
+val spatial : t -> Cold_geom.Spatial.t
+(** The bucket-grid index over the PoP locations — k-nearest / radius
+    queries for locality-aware candidate generation ({!Cold.Operators}). *)

@@ -83,7 +83,7 @@ let sort_permutation pop =
    the pool writes each cost into the slot named by its candidate's index,
    which keeps population order — and every downstream sort and tie-break —
    bit-identical to the sequential run. *)
-let initial_population ~seeds settings ctx rng ~evaluate_batch =
+let initial_population ?locality ~seeds settings ctx rng ~evaluate_batch =
   let n = Context.n ctx in
   let mst = Mst.mst_graph ~n ~weight:(fun u v -> Context.distance ctx u v) in
   let clique = Graph.complete n in
@@ -94,8 +94,17 @@ let initial_population ~seeds settings ctx rng ~evaluate_batch =
   let random_count = max 0 (settings.population_size - fixed_count) in
   let graphs = Array.make (fixed_count + random_count) clique in
   List.iteri (fun i g -> graphs.(i) <- g) fixed;
+  (* Locality mode seeds with geographically short random links (O(n·k) per
+     topology, same expected link count); otherwise plain Erdős–Rényi. *)
+  let random_seed () =
+    match locality with
+    | Some k ->
+      let pk = Float.min 1.0 (settings.init_edge_factor /. float_of_int k) in
+      Operators.locality_random_graph ctx ~k ~p:pk rng
+    | None -> erdos_renyi_repaired ctx ~p rng
+  in
   for i = 0 to random_count - 1 do
-    graphs.(fixed_count + i) <- erdos_renyi_repaired ctx ~p rng
+    graphs.(fixed_count + i) <- random_seed ()
   done;
   let (pop, states) =
     evaluate_batch graphs (Array.make (Array.length graphs) None)
@@ -114,7 +123,7 @@ type eval_fn =
   parent:Incremental.t option -> Graph.t -> float * Incremental.t option
 
 let run_impl ?(domains = 1) ?(cache_slots = default_cache_slots) ?(seeds = [])
-    settings ~(eval : eval_fn) ctx rng =
+    ?locality settings ~(eval : eval_fn) ctx rng =
   validate settings;
   let n = Context.n ctx in
   if n < 2 then invalid_arg "Ga.run: need at least 2 PoPs";
@@ -151,7 +160,7 @@ let run_impl ?(domains = 1) ?(cache_slots = default_cache_slots) ?(seeds = [])
         (Array.map fst results, Array.map snd results)
       in
       let (pop0, states0) =
-        initial_population ~seeds settings ctx rng ~evaluate_batch
+        initial_population ?locality ~seeds settings ctx rng ~evaluate_batch
       in
       (* Population is kept sorted ascending by cost; states.(i) is always
          member i's evaluation state (None for cache hits / custom
@@ -181,7 +190,7 @@ let run_impl ?(domains = 1) ?(cache_slots = default_cache_slots) ?(seeds = [])
           let mutant = Graph.copy (fst prev.(idx)) in
           if Dist.bernoulli rng ~p:settings.node_mutation_prob then
             Operators.node_mutation ctx mutant rng
-          else Operators.link_mutation ctx mutant rng;
+          else Operators.link_mutation ?locality ctx mutant rng;
           children.(settings.num_crossover + i) <- mutant;
           (* A mutant differs from its parent by a handful of edge flips —
              exactly what the incremental engine is for. *)
@@ -220,8 +229,9 @@ let run_impl ?(domains = 1) ?(cache_slots = default_cache_slots) ?(seeds = [])
         cache_misses = Fitness_cache.misses cache;
       })
 
-let run_custom ?domains ?cache_slots ?seeds settings ~objective ctx rng =
-  run_impl ?domains ?cache_slots ?seeds settings
+let run_custom ?domains ?cache_slots ?seeds ?locality settings ~objective ctx
+    rng =
+  run_impl ?domains ?cache_slots ?seeds ?locality settings
     ~eval:(fun ~parent:_ g -> (objective g, None))
     ctx rng
 
@@ -245,12 +255,21 @@ let eval_incremental params ctx : eval_fn =
   Incremental.commit st;
   (cost, Some st)
 
-let run ?domains ?cache_slots ?seeds ?(incremental = true) settings params ctx
-    rng =
+let run ?domains ?cache_slots ?seeds ?(incremental = true) ?locality settings
+    params ctx rng =
   if incremental then
-    run_impl ?domains ?cache_slots ?seeds settings
+    run_impl ?domains ?cache_slots ?seeds ?locality settings
       ~eval:(eval_incremental params ctx) ctx rng
-  else
-    run_custom ?domains ?cache_slots ?seeds settings
-      ~objective:(fun g -> Cost.evaluate params ctx g)
+  else begin
+    (* From-scratch evaluation reuses the calling domain's routing scratch —
+       the load matrix and Dijkstra buffers — instead of allocating ~n²
+       floats per candidate. Cost consumes the loads before returning, so
+       the workspace-aliasing caveat never bites, and outputs are
+       bit-identical with or without the reuse. *)
+    let n = Context.n ctx in
+    run_custom ?domains ?cache_slots ?seeds ?locality settings
+      ~objective:(fun g ->
+        Cost.evaluate ~workspace:(Cold_net.Routing.domain_workspace ~n) params
+          ctx g)
       ctx rng
+  end

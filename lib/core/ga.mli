@@ -62,6 +62,7 @@ val run :
   ?cache_slots:int ->
   ?seeds:Cold_graph.Graph.t list ->
   ?incremental:bool ->
+  ?locality:int ->
   settings ->
   Cost.params ->
   Cold_context.Context.t ->
@@ -91,12 +92,22 @@ val run :
     [?cache_slots] (default {!default_cache_slots}) bounds the fitness
     memo that lets duplicate chromosomes skip routing; [0] disables it.
     Hits return the exact float the objective produced, so the setting
-    never changes results. *)
+    never changes results.
+
+    [?locality:k] switches link mutation and random initial topologies to
+    spatially local candidate generation ({!Operators.link_mutation},
+    {!Operators.locality_random_graph}): added links connect a node to one
+    of its [k] geographically nearest non-neighbours, and random seeds are
+    born with short links. Off by default; turning it on follows a
+    different (still fully deterministic, domain-count-independent) RNG
+    trajectory than the uniform operators, so results differ from the
+    default mode — by construction, not by accident. *)
 
 val run_custom :
   ?domains:int ->
   ?cache_slots:int ->
   ?seeds:Cold_graph.Graph.t list ->
+  ?locality:int ->
   settings ->
   objective:(Cold_graph.Graph.t -> float) ->
   Cold_context.Context.t ->

@@ -18,24 +18,38 @@ let name = function
 let all ~permutations =
   [ Random_greedy { permutations }; Complete; Mst_hubs; Greedy_attachment ]
 
+(* Every heuristic is a loop of full evaluations over trial topologies —
+   best_star alone costs n of them, the promotion drivers O(n) per step —
+   so they all route through the calling domain's reusable workspace
+   rather than allocating an n²-float load matrix per trial. Cost consumes
+   the loads before returning (aliasing never escapes) and the floats are
+   bit-identical, per Routing's workspace contract. *)
+let eval_full params ctx g =
+  Cost.evaluate
+    ~workspace:(Cold_net.Routing.domain_workspace ~n:(Context.n ctx))
+    params ctx g
+
 let mst_topology ctx =
   Mst.mst_graph ~n:(Context.n ctx) ~weight:(fun u v -> Context.distance ctx u v)
 
 let clique_topology ctx = Graph.complete (Context.n ctx)
 
-(* Attach every non-hub to its nearest hub. [hubs] is a bool array. *)
+(* Attach every non-hub to its nearest hub. [hubs] is a bool array. The
+   spatial grid behind Distmat.nearest finds each leaf's nearest hub in
+   near-constant time instead of an O(n) scan; ties resolve to the lowest
+   hub index, exactly as the historical strict-< scan did, and the distances
+   compared are the same floats — so the attachment (and every golden
+   topology built on it) is unchanged. *)
 let attach_leaves ctx g hubs =
   let n = Context.n ctx in
   for v = 0 to n - 1 do
-    if not hubs.(v) then begin
-      let best = ref (-1) in
-      for h = 0 to n - 1 do
-        if hubs.(h) then
-          if !best < 0 || Context.distance ctx v h < Context.distance ctx v !best
-          then best := h
-      done;
-      if !best >= 0 then Graph.add_edge g v !best
-    end
+    if not hubs.(v) then
+      match
+        Cold_geom.Distmat.nearest ctx.Context.dist v
+          ~except:(fun h -> not hubs.(h))
+      with
+      | Some h -> Graph.add_edge g v h
+      | None -> ()
   done
 
 (* Wire the hub set as a clique. *)
@@ -80,7 +94,7 @@ let best_star params ctx =
     let hubs = Array.make n false in
     hubs.(hub) <- true;
     let g = build_clique_style ctx hubs in
-    let c = Cost.evaluate params ctx g in
+    let c = eval_full params ctx g in
     match !best with
     | None -> best := Some (g, c)
     | Some (_, bc) -> if c < bc then best := Some (g, c)
@@ -109,7 +123,7 @@ let greedy_attach params ctx hubs inter_edges new_hub =
       (fun t ->
         let trial_edges = (min new_hub t, max new_hub t) :: edges in
         let g = build_with_edges ctx hubs trial_edges in
-        let c = Cost.evaluate params ctx g in
+        let c = eval_full params ctx g in
         match !best with
         | None -> best := Some (t, c)
         | Some (_, bc) -> if c < bc then best := Some (t, c))
@@ -131,7 +145,7 @@ let drive params ctx ~initial_hub ~wire =
   hubs.(initial_hub) <- true;
   let inter_edges = ref [] in
   let current = ref (build_with_edges ctx hubs !inter_edges) in
-  let current_cost = ref (Cost.evaluate params ctx !current) in
+  let current_cost = ref (eval_full params ctx !current) in
   let improved = ref true in
   while !improved do
     improved := false;
@@ -171,7 +185,7 @@ let run_complete params ctx =
   let wire hubs _edges _candidate =
     let g = build_clique_style ctx hubs in
     (* Clique wiring is recomputed wholesale; edge list unused downstream. *)
-    (g, Cost.evaluate params ctx g, [])
+    (g, eval_full params ctx g, [])
   in
   let (g, c) = drive params ctx ~initial_hub:(star_hub star) ~wire in
   if c <= star_cost then (g, c) else (star, star_cost)
@@ -180,7 +194,7 @@ let run_mst params ctx =
   let (star, star_cost) = best_star params ctx in
   let wire hubs _edges _candidate =
     let g = build_mst_style ctx hubs in
-    (g, Cost.evaluate params ctx g, [])
+    (g, eval_full params ctx g, [])
   in
   let (g, c) = drive params ctx ~initial_hub:(star_hub star) ~wire in
   if c <= star_cost then (g, c) else (star, star_cost)
@@ -203,7 +217,7 @@ let run_random_greedy ~permutations params ctx rng =
     let hubs = Array.make n false in
     hubs.(initial_hub) <- true;
     let inter_edges = ref [] in
-    let cost = ref (Cost.evaluate params ctx (build_with_edges ctx hubs !inter_edges)) in
+    let cost = ref (eval_full params ctx (build_with_edges ctx hubs !inter_edges)) in
     let order = Dist.permutation rng n in
     Array.iter
       (fun candidate ->
@@ -218,7 +232,7 @@ let run_random_greedy ~permutations params ctx rng =
         end)
       order;
     let g = build_with_edges ctx hubs !inter_edges in
-    let c = Cost.evaluate params ctx g in
+    let c = eval_full params ctx g in
     if c < snd !best_overall then best_overall := (g, c)
   done;
   !best_overall

@@ -29,26 +29,45 @@ let default_settings =
 
 let hill_climb_settings = { default_settings with initial_temperature = 0.0 }
 
-(* Propose a neighbour of [g] (a fresh graph): toggle one random pair, or
-   turn a random hub into a leaf. Repairs connectivity. *)
-let propose ctx g rng ~node_move_prob =
-  let candidate = Graph.copy g in
+(* Propose a neighbour of [g], built in the caller-owned [into] buffer:
+   toggle one random pair, or turn a random hub into a leaf. Repairs
+   connectivity. Writing into a reused buffer (Graph.copy_into) instead of
+   Graph.copy saves an n²-byte allocation per iteration — the proposal
+   loop's entire allocation profile at large n — and changes no byte of any
+   candidate. Callers must copy a candidate they intend to retain. *)
+let propose ?locality ctx ~into g rng ~node_move_prob =
+  Graph.copy_into ~src:g ~dst:into;
+  let candidate = into in
   if Dist.bernoulli rng ~p:node_move_prob then
     Operators.node_mutation ctx candidate rng
   else begin
-    let n = Graph.node_count candidate in
-    let rec pick () =
-      let u = Prng.int rng n and v = Prng.int rng n in
-      if u = v then pick () else (u, v)
-    in
-    let (u, v) = pick () in
-    if Graph.mem_edge candidate u v then Graph.remove_edge candidate u v
-    else Graph.add_edge candidate u v;
-    ignore (Repair.repair ctx candidate)
+    match locality with
+    | Some k ->
+      (* Locality mode: remove a uniform existing link or add a spatially
+         local one, 50/50 — its own deterministic RNG trajectory. *)
+      (if Dist.bernoulli rng ~p:0.5 then
+         match Operators.random_existing_edge candidate rng with
+         | Some (u, v) -> Graph.remove_edge candidate u v
+         | None -> ()
+       else
+         match Operators.locality_absent_pair ctx candidate rng ~k with
+         | Some (u, v) -> Graph.add_edge candidate u v
+         | None -> ());
+      ignore (Repair.repair ctx candidate)
+    | None ->
+      let n = Graph.node_count candidate in
+      let rec pick () =
+        let u = Prng.int rng n and v = Prng.int rng n in
+        if u = v then pick () else (u, v)
+      in
+      let (u, v) = pick () in
+      if Graph.mem_edge candidate u v then Graph.remove_edge candidate u v
+      else Graph.add_edge candidate u v;
+      ignore (Repair.repair ctx candidate)
   end;
   candidate
 
-let run ?(incremental = true) ?initial settings params ctx rng =
+let run ?(incremental = true) ?initial ?locality settings params ctx rng =
   if settings.iterations < 0 then invalid_arg "Local_search.run: negative iterations";
   if settings.cooling <= 0.0 || settings.cooling > 1.0 then
     invalid_arg "Local_search.run: cooling must be in (0, 1]";
@@ -78,13 +97,18 @@ let run ?(incremental = true) ?initial settings params ctx rng =
       incr evaluations;
       Cost.evaluate_state params ctx st
     in
+    (* One scratch graph hosts every proposal; retarget transfers its edge
+       flips onto the persistent state, so the buffer is dead the moment the
+       evaluation returns — except when the candidate is a new best, which
+       takes the run's only per-improvement copy. *)
+    let scratch = Graph.create n in
     let current_cost = ref (evaluate_st ()) in
     let best = ref start in
     let best_cost = ref !current_cost in
     let temperature = ref (settings.initial_temperature *. !current_cost) in
     for _ = 1 to settings.iterations do
       let candidate =
-        propose ctx (Incremental.graph st) rng
+        propose ?locality ctx ~into:scratch (Incremental.graph st) rng
           ~node_move_prob:settings.node_move_prob
       in
       ignore (Incremental.retarget st candidate);
@@ -99,7 +123,7 @@ let run ?(incremental = true) ?initial settings params ctx rng =
         current_cost := cost;
         incr accepted;
         if cost < !best_cost then begin
-          best := candidate;
+          best := Graph.copy candidate;
           best_cost := cost
         end
       end
@@ -110,17 +134,31 @@ let run ?(incremental = true) ?initial settings params ctx rng =
       evaluations = !evaluations }
   end
   else begin
+    (* Reusing the calling domain's routing workspace drops the ~n²-float
+       load-matrix allocation per evaluation; Cost consumes the loads before
+       returning, so aliasing is safe and every cost float is unchanged. *)
     let evaluate g =
       incr evaluations;
-      Cost.evaluate params ctx g
+      Cost.evaluate ~workspace:(Cold_net.Routing.domain_workspace ~n) params
+        ctx g
     in
+    (* Double buffer: [current] and [scratch] swap on accept, so the whole
+       trajectory allocates two graphs total (plus one copy per new best)
+       instead of one per iteration. *)
     let current = ref start in
+    let scratch = ref (Graph.create n) in
     let current_cost = ref (evaluate !current) in
-    let best = ref !current in
+    (* [best] must own its graph: [start]'s buffer enters the double-buffer
+       rotation on the first accept and would be overwritten underneath an
+       aliased best. *)
+    let best = ref (Graph.copy !current) in
     let best_cost = ref !current_cost in
     let temperature = ref (settings.initial_temperature *. !current_cost) in
     for _ = 1 to settings.iterations do
-      let candidate = propose ctx !current rng ~node_move_prob:settings.node_move_prob in
+      let candidate =
+        propose ?locality ctx ~into:!scratch !current rng
+          ~node_move_prob:settings.node_move_prob
+      in
       let cost = evaluate candidate in
       let delta = cost -. !current_cost in
       let accept =
@@ -128,11 +166,13 @@ let run ?(incremental = true) ?initial settings params ctx rng =
         || (!temperature > 0.0 && Prng.float rng < exp (-.delta /. !temperature))
       in
       if accept then begin
+        let freed = !current in
         current := candidate;
+        scratch := freed;
         current_cost := cost;
         incr accepted;
         if cost < !best_cost then begin
-          best := candidate;
+          best := Graph.copy candidate;
           best_cost := cost
         end
       end;

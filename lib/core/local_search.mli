@@ -34,6 +34,7 @@ val hill_climb_settings : settings
 val run :
   ?incremental:bool ->
   ?initial:Cold_graph.Graph.t ->
+  ?locality:int ->
   settings ->
   Cost.params ->
   Cold_context.Context.t ->
@@ -49,4 +50,10 @@ val run :
     and rolled back on reject, so only affected shortest-path trees are
     recomputed. [false] evaluates every candidate from scratch with
     {!Cost.evaluate}. Both paths are bit-identical — same proposals, same
-    costs, same trajectory, same result — differing only in running time. *)
+    costs, same trajectory, same result — differing only in running time.
+
+    [?locality:k] replaces the uniform link toggle with a 50/50 choice
+    between removing a uniform existing link and adding one from a uniform
+    node's [k] spatially nearest non-neighbours
+    ({!Operators.locality_absent_pair}). Off by default; a deliberate,
+    deterministic change of RNG trajectory when enabled. *)

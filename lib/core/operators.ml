@@ -52,8 +52,11 @@ let random_absent_pair g rng =
   let total = n * (n - 1) / 2 in
   let absent = total - Graph.edge_count g in
   if absent = 0 then None
-  else begin
-    (* Rejection sampling: absent pairs are usually the vast majority. *)
+  else if 2 * absent >= total then begin
+    (* Sparse regime (synthesis topologies live here): rejection sampling
+       over uniform pairs succeeds in ~2 draws. This branch is verbatim the
+       historical sampler, so every established RNG trajectory — and every
+       golden output downstream of one — is preserved. *)
     let rec draw attempts =
       if attempts > 64 * total then None
       else begin
@@ -64,8 +67,69 @@ let random_absent_pair g rng =
     in
     draw 0
   end
+  else begin
+    (* Dense regime: rejection degenerates (near-clique graphs used to spin
+       for up to 64·C(n,2) draws — O(n²) RNG pulls per addition). A short
+       burst keeps the common case cheap, then one uniform rank indexes
+       straight into the r-th absent pair — O(n) via the forward-degree
+       index, exact uniform distribution, never fails. *)
+    let rec draw attempts =
+      if attempts >= 64 then Some (Graph.nth_absent_pair g (Prng.int rng absent))
+      else begin
+        let u = Prng.int rng n and v = Prng.int rng n in
+        if u <> v && not (Graph.mem_edge g u v) then Some (min u v, max u v)
+        else draw (attempts + 1)
+      end
+    in
+    draw 0
+  end
 
-let link_mutation ctx g rng =
+(* Locality-biased addition: a uniform endpoint, then a uniform pick among
+   its [k] spatially nearest non-neighbours. Saturated endpoints (all k
+   nearest already linked, or full row) are redrawn a bounded number of
+   times before falling back to the global sampler, so the draw fails only
+   when the graph is complete. A distinct RNG trajectory from the global
+   sampler by design — callers opt in via [?locality]. *)
+let locality_absent_pair ctx g rng ~k =
+  if k < 1 then invalid_arg "Operators.locality_absent_pair: k must be >= 1";
+  let n = Graph.node_count g in
+  let spatial = Context.spatial ctx in
+  let rec draw attempts =
+    if attempts >= 32 then random_absent_pair g rng
+    else begin
+      let u = Prng.int rng n in
+      let cand =
+        Cold_geom.Spatial.k_nearest ~except:(fun v -> Graph.mem_edge g u v)
+          spatial u ~k
+      in
+      let len = Array.length cand in
+      if len = 0 then draw (attempts + 1)
+      else begin
+        let v = cand.(Prng.int rng len) in
+        Some (min u v, max u v)
+      end
+    end
+  in
+  draw 0
+
+(* Locality-biased random topology: each node flips a coin per spatial
+   neighbour instead of per possible pair, so seeding is O(n·k) instead of
+   O(n²) and the raw graph is born with geographically short links — the
+   structure cheap solutions actually have. Repaired to connectivity like
+   its Erdős–Rényi counterpart. *)
+let locality_random_graph ctx ~k ~p rng =
+  if k < 1 then invalid_arg "Operators.locality_random_graph: k must be >= 1";
+  let n = Context.n ctx in
+  let spatial = Context.spatial ctx in
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    let cand = Cold_geom.Spatial.k_nearest spatial u ~k in
+    Array.iter (fun v -> if Dist.bernoulli rng ~p then Graph.add_edge g u v) cand
+  done;
+  ignore (Repair.repair ctx g);
+  g
+
+let link_mutation ?locality ctx g rng =
   let removals = Dist.geometric rng ~p:0.5 in
   let additions = Dist.geometric rng ~p:0.5 in
   for _ = 1 to removals do
@@ -73,8 +137,18 @@ let link_mutation ctx g rng =
     | Some (u, v) -> Graph.remove_edge g u v
     | None -> ()
   done;
+  (* [?locality] only redirects where ADDED links come from (removals stay
+     uniform): absent pairs between distant PoPs are overwhelmingly the
+     expensive ones, so the spatial bias concentrates proposals where
+     acceptance is plausible. [None] is byte-for-byte the historical
+     trajectory. *)
   for _ = 1 to additions do
-    match random_absent_pair g rng with
+    let pair =
+      match locality with
+      | Some k -> locality_absent_pair ctx g rng ~k
+      | None -> random_absent_pair g rng
+    in
+    match pair with
     | Some (u, v) -> Graph.add_edge g u v
     | None -> ()
   done;

@@ -1,6 +1,8 @@
-type t = { n : int; data : float array }
+type t = { n : int; data : float array; index : Spatial.t }
 (* Upper triangle, row-major: entry (i, j) with i < j lives at
-   [i*n - i*(i+1)/2 + (j - i - 1)]. *)
+   [i*n - i*(i+1)/2 + (j - i - 1)]. [index] is the bucket grid over the same
+   points: distance *lookups* stay O(1) array reads, nearest-neighbour
+   *searches* go through the grid instead of scanning a whole row. *)
 
 let index t i j =
   let i, j = if i < j then (i, j) else (j, i) in
@@ -9,7 +11,7 @@ let index t i j =
 let of_points pts =
   let n = Array.length pts in
   let data = Array.make (n * (n - 1) / 2) 0.0 in
-  let t = { n; data } in
+  let t = { n; data; index = Spatial.create pts } in
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
       data.(index t i j) <- Point.distance pts.(i) pts.(j)
@@ -19,13 +21,15 @@ let of_points pts =
 
 let size t = t.n
 
+let spatial t = t.index
+
 let get t i j =
   if i < 0 || j < 0 || i >= t.n || j >= t.n then invalid_arg "Distmat.get";
   if i = j then 0.0 else t.data.(index t i j)
 
 let max_distance t = Array.fold_left Float.max 0.0 t.data
 
-let nearest t i ~except =
+let nearest_scan t i ~except =
   if i < 0 || i >= t.n then invalid_arg "Distmat.nearest";
   let best = ref None in
   for j = 0 to t.n - 1 do
@@ -35,3 +39,10 @@ let nearest t i ~except =
       | Some b -> if get t i j < get t i b then best := Some j
   done;
   !best
+
+(* The grid visits a superset of the scan's candidates pruned by geometry
+   and applies the identical lowest-index tie-break, and Spatial computes
+   distances with the same Point.distance expression of_points precomputed
+   — so the two paths return the same index on every input (randomized
+   equivalence sweep in test_geom.ml). *)
+let nearest t i ~except = Spatial.nearest t.index i ~except

@@ -19,7 +19,18 @@ val get : t -> int -> int -> float
 val max_distance : t -> float
 (** Largest pairwise distance (0 for fewer than 2 points). *)
 
+val spatial : t -> Spatial.t
+(** The bucket-grid index built over the same points at {!of_points} time —
+    the k-nearest / radius query engine backing locality-aware candidate
+    generation. *)
+
 val nearest : t -> int -> except:(int -> bool) -> int option
 (** [nearest d i ~except] is the index [j <> i] minimizing [get d i j] among
     indices for which [except j] is [false]; ties break to the smaller index.
-    [None] if no candidate exists. *)
+    [None] if no candidate exists. Answered through the spatial grid in
+    O(cells touched) rather than an O(n) row scan; results are identical to
+    {!nearest_scan}. *)
+
+val nearest_scan : t -> int -> except:(int -> bool) -> int option
+(** The O(n) linear-scan reference implementation of {!nearest}, kept for
+    the grid/scan equivalence sweeps in the test suite. *)

@@ -32,6 +32,13 @@ let copy g =
     m = g.m;
   }
 
+let copy_into ~src ~dst =
+  if src.n <> dst.n then invalid_arg "Graph.copy_into: size mismatch";
+  Bytes.blit src.adj 0 dst.adj 0 (src.n * src.n);
+  Array.blit src.deg 0 dst.deg 0 src.n;
+  Array.blit src.fwd 0 dst.fwd 0 src.n;
+  dst.m <- src.m
+
 let mem_edge g u v =
   check_vertex g u "mem_edge";
   check_vertex g v "mem_edge";
@@ -141,6 +148,29 @@ let nth_edge g k =
   done;
   (!u, !v)
 
+let nth_absent_pair g k =
+  let absent = (g.n * (g.n - 1) / 2) - g.m in
+  if k < 0 || k >= absent then
+    invalid_arg "Graph.nth_absent_pair: rank out of range";
+  (* Mirror of [nth_edge] over the complement: row u owns
+     (n - 1 - u) - fwd.(u) absent forward slots. Walk the index to the
+     owning row, then scan that row's forward half counting gaps. *)
+  let u = ref 0 in
+  let r = ref k in
+  let row_absent u = g.n - 1 - u - g.fwd.(u) in
+  while !r >= row_absent !u do
+    r := !r - row_absent !u;
+    incr u
+  done;
+  let row = !u * g.n in
+  let v = ref !u in
+  let remaining = ref (!r + 1) in
+  while !remaining > 0 do
+    incr v;
+    if Bytes.unsafe_get g.adj (row + !v) = '\000' then decr remaining
+  done;
+  (!u, !v)
+
 let edge_diff g h =
   if g.n <> h.n then invalid_arg "Graph.edge_diff: size mismatch";
   let removed = ref [] and added = ref [] in
@@ -194,6 +224,53 @@ let adjacency_arrays g =
 let remove_all_edges_of g v =
   check_vertex g v "remove_all_edges_of";
   iter_neighbors g v (fun u -> remove_edge g u v)
+
+module Csr = struct
+  type graph = t
+
+  type t = { offsets : int array; targets : int array }
+
+  let of_graph ?reuse (g : graph) =
+    let n = g.n in
+    let m2 = 2 * g.m in
+    let offsets, targets =
+      match reuse with
+      | Some c when Array.length c.offsets = n + 1 && Array.length c.targets >= m2
+        ->
+        (c.offsets, c.targets)
+      | _ -> (Array.make (n + 1) 0, Array.make (max m2 1) 0)
+    in
+    let k = ref 0 in
+    for v = 0 to n - 1 do
+      offsets.(v) <- !k;
+      let row = v * n in
+      for u = 0 to n - 1 do
+        if Bytes.unsafe_get g.adj (row + u) = '\001' then begin
+          Array.unsafe_set targets !k u;
+          incr k
+        end
+      done
+    done;
+    offsets.(n) <- !k;
+    { offsets; targets }
+
+  let node_count c = Array.length c.offsets - 1
+
+  let degree c v =
+    if v < 0 || v >= node_count c then invalid_arg "Graph.Csr.degree";
+    c.offsets.(v + 1) - c.offsets.(v)
+
+  let iter_neighbors c v f =
+    if v < 0 || v >= node_count c then invalid_arg "Graph.Csr.iter_neighbors";
+    for k = c.offsets.(v) to c.offsets.(v + 1) - 1 do
+      f (Array.unsafe_get c.targets k)
+    done
+
+  let fold_neighbors c v f init =
+    let acc = ref init in
+    iter_neighbors c v (fun u -> acc := f !acc u);
+    !acc
+end
 
 let pp fmt g =
   Format.fprintf fmt "n=%d m=%d edges=[" g.n g.m;

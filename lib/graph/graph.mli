@@ -22,6 +22,13 @@ val complete : int -> t
 
 val copy : t -> t
 
+val copy_into : src:t -> dst:t -> unit
+(** [copy_into ~src ~dst] overwrites [dst] with [src]'s topology in place —
+    the allocation-free alternative to {!copy} for optimizers that propose a
+    mutant per iteration and can recycle one scratch graph instead of
+    allocating n² bytes per evaluation. Raises [Invalid_argument] if the
+    vertex counts differ. *)
+
 val node_count : t -> int
 
 val edge_count : t -> int
@@ -76,6 +83,14 @@ val nth_edge : t -> int -> int * int
     scan) rather than the O(n²) scan of enumerating all edges, and nothing
     is allocated. Raises [Invalid_argument] unless [0 <= k < edge_count]. *)
 
+val nth_absent_pair : t -> int -> int * int
+(** [nth_absent_pair g k] is the [k]-th {e absent} pair (0-based) in the
+    lexicographic [(u, v)], [u < v] order over non-edges — the deterministic
+    fallback behind uniform absent-pair draws on near-complete graphs, where
+    rejection sampling degenerates. Same O(n) index walk as {!nth_edge},
+    counting complement slots. Raises [Invalid_argument] unless
+    [0 <= k < n*(n-1)/2 - edge_count]. *)
+
 val edge_diff : t -> t -> (int * int) list * (int * int) list
 (** [edge_diff g h] is [(removed, added)]: the edges of [g] absent from [h]
     and the edges of [h] absent from [g], each in lexicographic order —
@@ -111,6 +126,45 @@ val adjacency_arrays : t -> int array array
 val remove_all_edges_of : t -> int -> unit
 (** [remove_all_edges_of g v] detaches vertex [v] entirely (used by the
     node-mutation operator that turns a hub into a leaf, §4.1.2). *)
+
+(** Flat CSR (compressed sparse row) adjacency snapshots.
+
+    The dense byte matrix gives O(1) membership but O(n) neighbour
+    iteration; at large n the read-only sweeps (n-source Dijkstra, BFS
+    batteries, Brandes) spend all their time scanning mostly-empty rows.
+    A CSR view packs every neighbour list into two flat int arrays —
+    [targets.(offsets.(v) .. offsets.(v+1)-1)] are [v]'s neighbours in the
+    {e same ascending order} {!iter_neighbors} visits, so any algorithm
+    swapping a row scan for a CSR segment produces bit-identical output
+    (randomized sweeps in test_graph.ml prove it).
+
+    A view is a snapshot: it does not track later mutation of the source
+    graph. Rebuild with [of_graph ?reuse] — one O(n²) scan, amortized over
+    the n traversals that follow. *)
+module Csr : sig
+  type graph := t
+
+  type t = { offsets : int array; targets : int array }
+  (** [offsets] has n+1 entries; [targets] holds 2m neighbour ids. The
+      record is exposed so hot loops can index the arrays directly.
+      [targets] may be longer than 2m when a [reuse] buffer was larger —
+      always bound iteration by [offsets], never by [Array.length]. *)
+
+  val of_graph : ?reuse:t -> graph -> t
+  (** [of_graph g] snapshots [g]'s adjacency. [reuse] recycles a previous
+      view's arrays when they fit ([offsets] length n+1, [targets] capacity
+      ≥ 2m) — the returned view then aliases them, so the old view is
+      invalidated. *)
+
+  val node_count : t -> int
+
+  val degree : t -> int -> int
+
+  val iter_neighbors : t -> int -> (int -> unit) -> unit
+  (** Ascending neighbour order, identical to the dense row scan. *)
+
+  val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+end
 
 val pp : Format.formatter -> t -> unit
 (** Prints as [n=<n> m=<m> edges=[(u,v); …]]. *)

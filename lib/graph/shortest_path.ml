@@ -36,7 +36,7 @@ let domain_workspace ~n =
     Domain.DLS.set dls_workspace (Some ws);
     ws
 
-let dijkstra ?adj ?workspace g ~length ~source =
+let dijkstra ?adj ?csr ?workspace g ~length ~source =
   let n = Graph.node_count g in
   if source < 0 || source >= n then invalid_arg "Shortest_path.dijkstra";
   let (settled, order, heap) =
@@ -75,11 +75,20 @@ let dijkstra ?adj ?workspace g ~length ~source =
         settled.(u) <- true;
         order.(!count) <- u;
         incr count;
-        (* Precomputed neighbour arrays skip the O(n) adjacency-row scan per
-           settle — the win compounds over the n sources of a routing pass. *)
-        (match adj with
-        | Some neighbours -> Array.iter (relax u d) neighbours.(u)
-        | None -> Graph.iter_neighbors g u (relax u d))
+        (* Precomputed neighbour views skip the O(n) adjacency-row scan per
+           settle — the win compounds over the n sources of a routing pass.
+           CSR and row arrays both present neighbours in the dense scan's
+           ascending order, so all three paths relax identically. *)
+        (match csr with
+        | Some c ->
+          let offsets = c.Graph.Csr.offsets and targets = c.Graph.Csr.targets in
+          for k = offsets.(u) to offsets.(u + 1) - 1 do
+            relax u d (Array.unsafe_get targets k)
+          done
+        | None ->
+          (match adj with
+          | Some neighbours -> Array.iter (relax u d) neighbours.(u)
+          | None -> Graph.iter_neighbors g u (relax u d)))
       end;
       drain ()
   in
@@ -95,8 +104,9 @@ let path t v =
   end
 
 let apsp_hops g =
-  Array.init (Graph.node_count g) (fun s -> Traversal.bfs_hops g s)
+  let csr = Graph.Csr.of_graph g in
+  Array.init (Graph.node_count g) (fun s -> Traversal.bfs_hops ~csr g s)
 
 let apsp_lengths g ~length =
-  let adj = Graph.adjacency_arrays g in
-  Array.init (Graph.node_count g) (fun s -> (dijkstra ~adj g ~length ~source:s).dist)
+  let csr = Graph.Csr.of_graph g in
+  Array.init (Graph.node_count g) (fun s -> (dijkstra ~csr g ~length ~source:s).dist)

@@ -33,6 +33,7 @@ val domain_workspace : n:int -> workspace
 
 val dijkstra :
   ?adj:int array array ->
+  ?csr:Graph.Csr.t ->
   ?workspace:workspace ->
   Graph.t ->
   length:(int -> int -> float) ->
@@ -42,12 +43,14 @@ val dijkstra :
     must be the positive length of edge [{u,v}]; it is queried only for
     existing edges.
 
-    [?adj] accepts the graph's {!Graph.adjacency_arrays}: callers running
+    [?adj] accepts the graph's {!Graph.adjacency_arrays} and [?csr] a
+    {!Graph.Csr} view ([csr] wins when both are given): callers running
     many sources over one topology (all-pairs routing, the GA's cost
-    evaluation) precompute it once and replace the O(n) adjacency-row scan
-    per settled vertex with an O(degree) array sweep. The arrays must
+    evaluation) precompute one and replace the O(n) adjacency-row scan
+    per settled vertex with an O(degree) sweep — CSR additionally keeps
+    all neighbour ids in two flat cache-friendly arrays. The view must
     describe [g] exactly; neighbour visit order (ascending) and hence every
-    tie-break is identical with and without [?adj].
+    tie-break is identical across all three paths.
 
     [?workspace] reuses scratch buffers across runs (see {!workspace});
     output is bit-identical with and without it. Raises [Invalid_argument]

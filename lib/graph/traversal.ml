@@ -1,4 +1,15 @@
-let bfs_hops g s =
+(* BFS visits neighbours in ascending id order on every path — the dense
+   row scan and a CSR segment enumerate identically — so hop counts,
+   component ids and member lists are the same whichever view serves the
+   iteration. [?csr] lets all-sources sweeps (apsp_hops, the distance
+   metrics) pay one adjacency materialization instead of n² row scans. *)
+
+let iter_nbrs ?csr g u f =
+  match csr with
+  | Some c -> Graph.Csr.iter_neighbors c u f
+  | None -> Graph.iter_neighbors g u f
+
+let bfs_hops ?csr g s =
   let n = Graph.node_count g in
   let dist = Array.make n (-1) in
   let queue = Queue.create () in
@@ -6,7 +17,7 @@ let bfs_hops g s =
   Queue.add s queue;
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
-    Graph.iter_neighbors g u (fun v ->
+    iter_nbrs ?csr g u (fun v ->
         if dist.(v) < 0 then begin
           dist.(v) <- dist.(u) + 1;
           Queue.add v queue

@@ -3,9 +3,11 @@
     Hop distances drive the paper's diameter statistic (Fig 6); components
     feed the GA's connectivity-repair step (§4.1.3). *)
 
-val bfs_hops : Graph.t -> int -> int array
+val bfs_hops : ?csr:Graph.Csr.t -> Graph.t -> int -> int array
 (** [bfs_hops g s] is the array of hop counts from [s]; unreachable vertices
-    get [-1]. *)
+    get [-1]. [?csr] (a snapshot of [g]) replaces each O(n) adjacency-row
+    scan with an O(degree) flat-array sweep — identical output, worthwhile
+    for all-sources batteries. *)
 
 val is_connected : Graph.t -> bool
 (** [is_connected g] — the empty graph and the singleton graph count as

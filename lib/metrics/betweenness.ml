@@ -1,8 +1,12 @@
 module Graph = Cold_graph.Graph
 
-(* Brandes (2001), unweighted BFS variant. *)
+(* Brandes (2001), unweighted BFS variant. One CSR snapshot serves all n
+   source sweeps; segments enumerate neighbours in the dense row-scan's
+   ascending order, so sigma/preds — and every centrality float — are
+   unchanged. *)
 let brandes g ~on_node ~on_edge =
   let n = Graph.node_count g in
+  let csr = Graph.Csr.of_graph g in
   let sigma = Array.make n 0.0 in
   let dist = Array.make n (-1) in
   let delta = Array.make n 0.0 in
@@ -20,7 +24,7 @@ let brandes g ~on_node ~on_edge =
     while not (Queue.is_empty queue) do
       let u = Queue.pop queue in
       Stack.push u stack;
-      Graph.iter_neighbors g u (fun v ->
+      Graph.Csr.iter_neighbors csr u (fun v ->
           if dist.(v) < 0 then begin
             dist.(v) <- dist.(u) + 1;
             Queue.add v queue

@@ -13,7 +13,10 @@ type t = {
   trees : Shortest_path.tree array; (* trees.(s) is current iff not dirty.(s) *)
   dirty : bool array;
   mutable dirty_count : int;
-  matrix : float array; (* n*n loads; meaningful iff matrix_valid *)
+  (* n*n loads; meaningful iff matrix_valid. Allocated lazily on the first
+     [loads] — populations of cloned states that are evaluated and discarded
+     before ever asking for loads never pay the 8n² bytes. *)
+  mutable matrix : float array;
   subtree : float array; (* accumulation scratch *)
   pair_dem : float array; (* n*n Gravity.pair_demand table; immutable *)
   mutable matrix_valid : bool;
@@ -51,7 +54,7 @@ let create ?(multipath = false) g ~length ~tm =
     trees = Array.make n dummy_tree;
     dirty = Array.make n true;
     dirty_count = n;
-    matrix = Array.make (n * n) 0.0;
+    matrix = [||];
     subtree = Array.make (max n 1) 0.0;
     pair_dem;
     matrix_valid = false;
@@ -218,7 +221,9 @@ let loads st =
       end
       else None
     in
-    Array.fill st.matrix 0 (st.n * st.n) 0.0;
+    if Array.length st.matrix < st.n * st.n then
+      st.matrix <- Array.make (st.n * st.n) 0.0
+    else Array.fill st.matrix 0 (st.n * st.n) 0.0;
     for s = 0 to st.n - 1 do
       let tree = st.trees.(s) in
       (* A tree that settled all n vertices has every distance finite, so
@@ -281,12 +286,15 @@ let clone st =
     trees = Array.copy st.trees;
     dirty = Array.copy st.dirty;
     dirty_count = st.dirty_count;
-    matrix =
-      (if st.matrix_valid then Array.copy st.matrix
-       else Array.make (st.n * st.n) 0.0);
+    (* No matrix copy: [loads] always replays the accumulation in full from
+       the (shared, immutable) trees, so a clone can start from an empty
+       buffer and still produce bit-identical loads. This turns clone from
+       O(n²) floats into O(n) + adjacency-pointer copies — the difference
+       between 8 MB and a few KB per GA mutant at n = 1000. *)
+    matrix = [||];
     subtree = Array.make (max st.n 1) 0.0;
     pair_dem = st.pair_dem; (* immutable; shared *)
-    matrix_valid = st.matrix_valid;
+    matrix_valid = false;
     (* Copy the outer array only: rows are immutable (patch_adj replaces,
        never mutates), so sharing them across clones is safe, but each
        state must be free to re-point its own rows. *)

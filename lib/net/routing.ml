@@ -24,6 +24,9 @@ type workspace = {
   w_matrix : float array;
   w_subtree : float array;
   w_sp : Shortest_path.workspace;
+  (* CSR adjacency buffer, recycled across route calls: Csr.of_graph ?reuse
+     rewrites it in place whenever the arrays still fit. *)
+  mutable w_csr : Graph.Csr.t option;
 }
 
 let workspace ~n =
@@ -33,6 +36,7 @@ let workspace ~n =
     w_matrix = Array.make (n * n) 0.0;
     w_subtree = Array.make (max n 1) 0.0;
     w_sp = Shortest_path.workspace ~n;
+    w_csr = None;
   }
 
 let dls_workspace : workspace option Domain.DLS.key =
@@ -54,8 +58,8 @@ let check_routable ~tm ~dist ~source =
       raise Disconnected
   done
 
-let accumulate ?adj ?pair_demands ~multipath ~length ~tm ~matrix ~subtree ~n
-    tree ~source =
+let accumulate ?adj ?csr ?pair_demands ~multipath ~length ~tm ~matrix ~subtree
+    ~n tree ~source =
   let s = source in
   let dist = tree.Shortest_path.dist in
   let add_load u v w =
@@ -79,20 +83,27 @@ let accumulate ?adj ?pair_demands ~multipath ~length ~tm ~matrix ~subtree ~n
       if v > s then subtree.(v) <- subtree.(v) +. pair_demand v;
       if subtree.(v) > 0.0 then begin
         if multipath then begin
-          let neighbours =
-            match adj with
-            | Some a -> a
-            | None -> invalid_arg "Routing.accumulate: multipath needs ~adj"
-          in
           (* ECMP: every neighbour on a shortest path shares equally. *)
           let on_path u =
             dist.(u) +. length u v <= dist.(v) +. (1e-9 *. (1.0 +. dist.(v)))
             && dist.(u) < dist.(v)
           in
+          (* CSR segments and adjacency rows enumerate the same neighbours
+             in the same ascending order, so the accumulated [preds] list —
+             and every downstream float — is identical either way. *)
           let preds =
-            Array.fold_left
-              (fun acc u -> if on_path u then u :: acc else acc)
-              [] neighbours.(v)
+            match csr with
+            | Some c ->
+              Graph.Csr.fold_neighbors c v
+                (fun acc u -> if on_path u then u :: acc else acc)
+                []
+            | None ->
+              (match adj with
+              | Some neighbours ->
+                Array.fold_left
+                  (fun acc u -> if on_path u then u :: acc else acc)
+                  [] neighbours.(v)
+              | None -> invalid_arg "Routing.accumulate: multipath needs ~adj")
           in
           (* Degenerate geometries (zero-length links) can leave the strict
              distance test empty; fall back to the tree predecessor. *)
@@ -124,16 +135,24 @@ let route ?(multipath = false) ?workspace g ~length ~tm =
       (ws.w_matrix, ws.w_subtree, Some ws.w_sp)
     | None -> (Array.make (n * n) 0.0, Array.make (max n 1) 0.0, None)
   in
-  (* One adjacency materialization serves all n single-source trees. *)
-  let adj = Graph.adjacency_arrays g in
+  (* One flat CSR materialization serves all n single-source trees (and,
+     under a workspace, recycles the previous call's arrays). *)
+  let csr =
+    match workspace with
+    | Some ws ->
+      let c = Graph.Csr.of_graph ?reuse:ws.w_csr g in
+      ws.w_csr <- Some c;
+      c
+    | None -> Graph.Csr.of_graph g
+  in
   let trees =
     Array.init n (fun s ->
-        Shortest_path.dijkstra ~adj ?workspace:sp g ~length ~source:s)
+        Shortest_path.dijkstra ~csr ?workspace:sp g ~length ~source:s)
   in
   for s = 0 to n - 1 do
     let tree = trees.(s) in
     check_routable ~tm ~dist:tree.Shortest_path.dist ~source:s;
-    accumulate ~adj ~multipath ~length ~tm ~matrix ~subtree ~n tree ~source:s
+    accumulate ~csr ~multipath ~length ~tm ~matrix ~subtree ~n tree ~source:s
   done;
   { n; matrix; trees }
 

@@ -70,6 +70,7 @@ val check_routable : tm:Cold_traffic.Gravity.t -> dist:float array -> source:int
 
 val accumulate :
   ?adj:int array array ->
+  ?csr:Cold_graph.Graph.Csr.t ->
   ?pair_demands:float array ->
   multipath:bool ->
   length:(int -> int -> float) ->
@@ -82,11 +83,14 @@ val accumulate :
   unit
 (** Push [source]'s demands down its tree in reverse settling order, adding
     onto [matrix] (row-major n×n, mirrored) using [subtree] (length ≥ n) as
-    scratch. [~adj] (the graph's adjacency arrays) is required when
-    [multipath] is true and ignored otherwise. [?pair_demands] is an
-    optional row-major n×n table with [pd.(s*n+d) = Gravity.pair_demand tm
-    s d], letting hot callers skip recomputing the (immutable) gravity
-    products on every pass; results are bit-identical either way. *)
+    scratch. An adjacency view — [~csr] (a {!Cold_graph.Graph.Csr} snapshot,
+    preferred) or [~adj] (the graph's adjacency arrays) — is required when
+    [multipath] is true and ignored otherwise; both enumerate neighbours in
+    the same ascending order, so results are bit-identical. [?pair_demands]
+    is an optional row-major n×n table with [pd.(s*n+d) =
+    Gravity.pair_demand tm s d], letting hot callers skip recomputing the
+    (immutable) gravity products on every pass; results are bit-identical
+    either way. *)
 
 val of_parts :
   n:int ->

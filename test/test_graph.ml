@@ -363,6 +363,154 @@ let test_cycle_invalid () =
     (Invalid_argument "Builders.cycle: need at least 3 vertices") (fun () ->
       ignore (Builders.cycle 2))
 
+(* --- CSR adjacency views --------------------------------------------------- *)
+
+let random_graph rng n ~p =
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Prng.float rng < p then Graph.add_edge g u v
+    done
+  done;
+  g
+
+let neighbors_via iter v =
+  let acc = ref [] in
+  iter v (fun u -> acc := u :: !acc);
+  List.rev !acc
+
+(* A CSR snapshot must enumerate, per vertex, exactly the neighbour sequence
+   of the dense row scan — same ids, same ascending order — across sparse,
+   dense, empty and complete graphs. Everything downstream (Dijkstra
+   relaxation order, BFS visit order, ECMP predecessor lists) rides on this. *)
+let test_csr_matches_dense () =
+  let rng = Prng.create 2024 in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun p ->
+          let g = random_graph rng n ~p in
+          let c = Graph.Csr.of_graph g in
+          Alcotest.(check int) "node count" n (Graph.Csr.node_count c);
+          for v = 0 to n - 1 do
+            Alcotest.(check int)
+              (Printf.sprintf "degree v=%d" v)
+              (Graph.degree g v) (Graph.Csr.degree c v);
+            Alcotest.(check (list int))
+              (Printf.sprintf "n=%d p=%.2f v=%d" n p v)
+              (neighbors_via (Graph.iter_neighbors g) v)
+              (neighbors_via (Graph.Csr.iter_neighbors c) v)
+          done)
+        [ 0.0; 0.1; 0.5; 1.0 ])
+    [ 1; 2; 9; 40 ]
+
+(* Reuse must rewrite in place without leaking the previous topology: a
+   buffer sized for a bigger graph serves a smaller one, with iteration
+   bounded by offsets, never by the targets array length. *)
+let test_csr_reuse () =
+  let rng = Prng.create 7 in
+  let big = random_graph rng 30 ~p:0.6 in
+  let buf = Graph.Csr.of_graph big in
+  let small = random_graph rng 30 ~p:0.05 in
+  let c = Graph.Csr.of_graph ~reuse:buf small in
+  for v = 0 to 29 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "reused v=%d" v)
+      (neighbors_via (Graph.iter_neighbors small) v)
+      (neighbors_via (Graph.Csr.iter_neighbors c) v)
+  done
+
+(* Dijkstra over a CSR view must be bit-identical to the dense path: same
+   dist floats, same predecessors (tie-breaks included), same settling
+   order. Randomized sweep over sparse and dense graphs. *)
+let test_dijkstra_csr_bitwise () =
+  let rng = Prng.create 99 in
+  for trial = 1 to 20 do
+    let n = 5 + Prng.int rng 30 in
+    let p = if trial mod 2 = 0 then 0.15 else 0.7 in
+    let g = random_graph rng n ~p in
+    let length u v = 0.5 +. float_of_int ((u * 7) + (v * 3) mod 11) in
+    let csr = Graph.Csr.of_graph g in
+    let adj = Graph.adjacency_arrays g in
+    for source = 0 to min (n - 1) 6 do
+      let a = Shortest_path.dijkstra g ~length ~source in
+      let b = Shortest_path.dijkstra ~csr g ~length ~source in
+      let c = Shortest_path.dijkstra ~adj g ~length ~source in
+      let check_eq label (x : Shortest_path.tree) (y : Shortest_path.tree) =
+        Alcotest.(check bool)
+          (Printf.sprintf "%s dist trial=%d s=%d" label trial source)
+          true
+          (Array.for_all2 (fun u v -> Int64.equal (Int64.bits_of_float u) (Int64.bits_of_float v))
+             x.Shortest_path.dist y.Shortest_path.dist);
+        Alcotest.(check (list int))
+          (Printf.sprintf "%s pred trial=%d s=%d" label trial source)
+          (Array.to_list x.Shortest_path.pred)
+          (Array.to_list y.Shortest_path.pred);
+        Alcotest.(check (list int))
+          (Printf.sprintf "%s order trial=%d s=%d" label trial source)
+          (Array.to_list x.Shortest_path.order)
+          (Array.to_list y.Shortest_path.order)
+      in
+      check_eq "csr=dense" a b;
+      check_eq "adj=dense" a c
+    done
+  done
+
+let test_bfs_csr_identical () =
+  let rng = Prng.create 55 in
+  for _ = 1 to 15 do
+    let n = 3 + Prng.int rng 25 in
+    let g = random_graph rng n ~p:0.2 in
+    let csr = Graph.Csr.of_graph g in
+    for s = 0 to n - 1 do
+      Alcotest.(check (list int))
+        (Printf.sprintf "bfs s=%d" s)
+        (Array.to_list (Traversal.bfs_hops g s))
+        (Array.to_list (Traversal.bfs_hops ~csr g s))
+    done
+  done
+
+(* --- rank-indexed absent pairs --------------------------------------------- *)
+
+(* nth_absent_pair k must walk the absent pairs in the same lexicographic
+   (u < v) order as enumerating all pairs and filtering out edges. *)
+let test_nth_absent_pair_enumeration () =
+  let rng = Prng.create 31 in
+  List.iter
+    (fun (n, p) ->
+      let g = random_graph rng n ~p in
+      let absent = ref [] in
+      for u = n - 1 downto 0 do
+        for v = n - 1 downto u + 1 do
+          if not (Graph.mem_edge g u v) then absent := (u, v) :: !absent
+        done
+      done;
+      let absent = Array.of_list !absent in
+      Alcotest.(check int)
+        "absent count"
+        (Array.length absent)
+        ((n * (n - 1) / 2) - Graph.edge_count g);
+      Array.iteri
+        (fun k expect ->
+          Alcotest.(check (pair int int))
+            (Printf.sprintf "n=%d k=%d" n k)
+            expect (Graph.nth_absent_pair g k))
+        absent)
+    [ (2, 0.0); (6, 0.5); (10, 0.9); (12, 0.2); (9, 1.0) ]
+
+let test_copy_into () =
+  let rng = Prng.create 13 in
+  let src = random_graph rng 12 ~p:0.4 in
+  let dst = Graph.create 12 in
+  Graph.add_edge dst 0 1;
+  Graph.copy_into ~src ~dst;
+  Alcotest.(check bool) "equal after copy_into" true (Graph.equal src dst);
+  Graph.add_edge dst 2 3;
+  Alcotest.(check bool) "independent" false (Graph.mem_edge src 2 3);
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Graph.copy_into: size mismatch") (fun () ->
+      Graph.copy_into ~src ~dst:(Graph.create 5))
+
 (* --- properties ------------------------------------------------------------ *)
 
 let random_graph_ops_gen =
@@ -450,6 +598,17 @@ let () =
           Alcotest.test_case "connector noop" `Quick test_spanning_connector_noop;
           Alcotest.test_case "connector singletons" `Quick
             test_spanning_connector_singletons;
+        ] );
+      ( "csr",
+        [
+          Alcotest.test_case "matches dense iteration" `Quick
+            test_csr_matches_dense;
+          Alcotest.test_case "reuse rewrites in place" `Quick test_csr_reuse;
+          Alcotest.test_case "dijkstra bitwise" `Quick test_dijkstra_csr_bitwise;
+          Alcotest.test_case "bfs identical" `Quick test_bfs_csr_identical;
+          Alcotest.test_case "nth_absent_pair enumeration" `Quick
+            test_nth_absent_pair_enumeration;
+          Alcotest.test_case "copy_into" `Quick test_copy_into;
         ] );
       ( "builders",
         [
