@@ -1,0 +1,149 @@
+(* Failure-trace replay: survivability of designs of increasing redundancy
+   under the SAME deterministic failure schedule, plus the replay engine's
+   throughput (steps/sec, sequential vs autodetected domains, asserted
+   bit-identical).
+
+   Four designs per size, fragile to redundant:
+     mst             — the minimum spanning tree: every link a bridge;
+     cold            — the unconstrained GA optimum;
+     cold_survivable — the GA under the 2-edge-connected constraint;
+     full_mesh       — the operator's brute-force upper bound.
+
+   Cells land in BENCH_failure.json keyed by (bench, design, n, steps).
+   Schema per row:
+     {bench, design, n, steps, links, availability, worst_delivered,
+      partitioned_steps, replay_s, steps_per_sec, speedup_vs_seq} *)
+
+module Prng = Cold_prng.Prng
+module Context = Cold_context.Context
+module Graph = Cold_graph.Graph
+module Mst = Cold_graph.Mst
+module Network = Cold_net.Network
+module Failure = Cold_sim.Failure
+module Par = Cold_par.Par
+
+type cell = {
+  design : string;
+  n : int;
+  steps : int;
+  links : int;
+  availability : float;
+  worst_delivered : float;
+  partitioned_steps : int;
+  replay_s : float;
+  steps_per_sec : float;
+  speedup_vs_seq : float;
+}
+
+let sizes =
+  match Config.scale with
+  | Config.Smoke -> [ 10 ]
+  | Config.Quick -> [ 16; 24 ]
+  | Config.Full -> [ 16; 24; 40 ]
+
+let steps =
+  match Config.scale with
+  | Config.Smoke -> 10
+  | Config.Quick -> 40
+  | Config.Full -> 100
+
+let rates =
+  { Failure.link_rate = 0.02; node_rate = 0.01; regional_rate = 0.05;
+    regional_radius = 12.0 }
+
+let designs ctx =
+  let n = Context.n ctx in
+  let rng seed = Prng.create (Config.master_seed + seed) in
+  let cold survivable =
+    let cfg =
+      { (Config.synthesis_config ()) with Cold.Synthesis.survivable } in
+    (Cold.Synthesis.design_ga cfg ctx (rng 1)).Cold.Ga.best
+  in
+  [
+    ("mst", Mst.mst_graph ~n ~weight:(fun u v -> Context.distance ctx u v));
+    ("cold", cold false);
+    ("cold_survivable", cold true);
+    ("full_mesh", Graph.complete n);
+  ]
+
+let row (c : cell) =
+  Printf.sprintf
+    "{\"bench\": \"failure_sweep\", \"design\": \"%s\", \"n\": %d, \
+     \"steps\": %d, \"links\": %d, \"availability\": %.5f, \
+     \"worst_delivered\": %.5f, \"partitioned_steps\": %d, \
+     \"replay_s\": %.3f, \"steps_per_sec\": %.1f, \"speedup_vs_seq\": %.3f}"
+    c.design c.n c.steps c.links c.availability c.worst_delivered
+    c.partitioned_steps c.replay_s c.steps_per_sec c.speedup_vs_seq
+
+let print_cell (c : cell) =
+  Printf.printf
+    "%-16s n=%-3d %3d steps %4d links  avail %.4f  worst %.4f  part %3d  \
+     %7.1f steps/s  vs seq %.2fx\n%!"
+    c.design c.n c.steps c.links c.availability c.worst_delivered
+    c.partitioned_steps c.steps_per_sec c.speedup_vs_seq
+
+let run () =
+  Config.section
+    "Failure-trace replay: survivability vs redundancy (BENCH_failure.json)";
+  let auto = Par.resolve ~domains:0 () in
+  Printf.printf "autodetected domains: %d\n" auto;
+  let cells = ref [] in
+  List.iter
+    (fun n ->
+      let ctx =
+        Context.generate (Context.default_spec ~n)
+          (Prng.create (Config.master_seed + n))
+      in
+      (* One trace per size: every design faces the identical schedule. *)
+      let trace = Failure.generate ~rates ~steps ctx ~seed:Config.master_seed in
+      List.iter
+        (fun (design, g) ->
+          let net = Network.build ctx g in
+          let (reports, seq_wall) =
+            Config.time_it (fun () -> Failure.evaluate ~domains:1 net trace)
+          in
+          let (wall, speedup) =
+            if auto > 1 then begin
+              let (par_reports, par_wall) =
+                Config.time_it (fun () ->
+                    Failure.evaluate ~domains:auto net trace)
+              in
+              (* The replay contract: fan-out never moves a bit. *)
+              Array.iteri
+                (fun i (r : Cold_net.Survivability.report) ->
+                  assert (
+                    Float.equal r.Cold_net.Survivability.delivered_fraction
+                      par_reports.(i)
+                        .Cold_net.Survivability.delivered_fraction))
+                reports;
+              (par_wall, seq_wall /. par_wall)
+            end
+            else (seq_wall, 1.0)
+          in
+          let s = Failure.summarize (Prng.create 5) reports in
+          let c =
+            {
+              design;
+              n;
+              steps;
+              links = Graph.edge_count g;
+              availability = s.Failure.availability.Cold_stats.Bootstrap.point;
+              worst_delivered = s.Failure.worst_delivered;
+              partitioned_steps = s.Failure.partitioned_steps;
+              replay_s = wall;
+              steps_per_sec = float_of_int steps /. wall;
+              speedup_vs_seq = speedup;
+            }
+          in
+          print_cell c;
+          cells := c :: !cells)
+        (designs ctx))
+    sizes;
+  let rows = List.rev_map row !cells in
+  let total =
+    Config.merge_json_rows ~path:"BENCH_failure.json"
+      ~key:[ "bench"; "design"; "n"; "steps" ]
+      rows
+  in
+  Printf.printf "merged BENCH_failure.json (%d new cells, %d total)\n"
+    (List.length rows) total

@@ -32,6 +32,7 @@ let () =
   bench "abc" Abc_experiment.run;
   bench "ablation_routing" Ablation_routing.run;
   bench "ga_hotpath" Ga_hotpath.run;
+  bench "failure_sweep" Failure_sweep.run;
   (* Large-n scaling cells (n up to 1000): opt-in only — run via the
      @bench-large alias or COLD_BENCH_ONLY=ga_hotpath_large. *)
   (match Sys.getenv_opt "COLD_BENCH_ONLY" with

@@ -91,9 +91,48 @@ let check_ga () =
     fail "ga history diverged";
   Printf.printf "smoke ga: full and incremental bit-identical\n%!"
 
+(* Failure replay: a short trace evaluated sequentially and fanned out must
+   agree bit for bit, and the empty failure set must reproduce the baseline
+   routing volume exactly. *)
+let check_failure () =
+  let n = 12 in
+  let ctx = Context.generate (Context.default_spec ~n) (Prng.create 11) in
+  let g = Mst.mst_graph ~n ~weight:(fun u v -> Context.distance ctx u v) in
+  Graph.add_edge g 0 (n - 1);
+  let net = Cold_net.Network.build ctx g in
+  let trace =
+    Cold_sim.Failure.generate
+      ~rates:{ Cold_sim.Failure.link_rate = 0.05; node_rate = 0.03;
+               regional_rate = 0.1; regional_radius = 15.0 }
+      ~steps:8 ctx ~seed:12
+  in
+  let seq = Cold_sim.Failure.evaluate ~domains:1 net trace in
+  let par = Cold_sim.Failure.evaluate ~domains:4 net trace in
+  Array.iteri
+    (fun i (r : Cold_net.Survivability.report) ->
+      if
+        not
+          (bits_equal r.Cold_net.Survivability.delivered_fraction
+             par.(i).Cold_net.Survivability.delivered_fraction
+          && bits_equal r.Cold_net.Survivability.routed_volume_length
+               par.(i).Cold_net.Survivability.routed_volume_length)
+      then fail "failure replay diverged across domains at step %d" i)
+    seq;
+  let baseline =
+    Cold_net.Survivability.evaluate net ~down_nodes:[] ~down_links:[]
+  in
+  let vl =
+    Cold_net.Routing.total_volume_length net.Cold_net.Network.loads
+      ~length:(fun u v -> Context.distance ctx u v)
+  in
+  if not (bits_equal baseline.Cold_net.Survivability.routed_volume_length vl)
+  then fail "empty failure set is not the baseline routing";
+  Printf.printf "smoke failure replay: sequential and fanned-out bit-identical\n%!"
+
 let () =
   let t0 = Unix.gettimeofday () in
   check_trajectory ~n:24 ~steps:150;
   check_local_search ();
   check_ga ();
+  check_failure ();
   Printf.printf "bench smoke passed in %.1fs\n" (Unix.gettimeofday () -. t0)

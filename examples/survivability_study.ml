@@ -1,0 +1,160 @@
+(* Survivability study: replay ONE deterministic failure trace against COLD
+   designs and classic router-level-inspired PoP templates, on the same
+   context — identical failures, so differences are purely the topology's.
+
+   Traces are drawn over all potential PoP pairs (failing an absent link is
+   a no-op), which is what makes "the same trace" well-defined across
+   designs with different link sets. The COLD entries show the paper's
+   ensemble story (three GA runs = three similar-but-distinct networks) and
+   the survivable knob (2-edge-connected repair); the templates are the
+   usual hand-built alternatives an operator would reach for.
+
+   Run with:  dune exec examples/survivability_study.exe *)
+
+module Graph = Cold_graph.Graph
+module Context = Cold_context.Context
+module Network = Cold_net.Network
+module Gravity = Cold_traffic.Gravity
+module Failure = Cold_sim.Failure
+module Prng = Cold_prng.Prng
+
+let settings =
+  {
+    Cold.Ga.default_settings with
+    Cold.Ga.population_size = 16;
+    generations = 8;
+    num_saved = 4;
+    num_crossover = 8;
+    num_mutation = 4;
+  }
+
+let params = Cold.Cost.params ~k2:3e-4 ~k3:50.0 ()
+
+(* The ensemble runs skip heuristic seeding: with it, a 12-PoP search this
+   small converges to the same design from any seed, and the whole point of
+   an ensemble is three similar-but-DISTINCT networks. *)
+let config ~survivable ~heuristics =
+  {
+    (Cold.Synthesis.default_config ~params ()) with
+    Cold.Synthesis.ga = settings;
+    seed_with_heuristics = heuristics;
+    heuristic_permutations = 2;
+    survivable;
+  }
+
+(* PoPs ranked by originating traffic, heaviest first (ties to low index). *)
+let traffic_rank ctx =
+  let tm = ctx.Context.tm in
+  let order = Array.init (Context.n ctx) (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      match Float.compare (Gravity.row_total tm j) (Gravity.row_total tm i) with
+      | 0 -> compare i j
+      | c -> c)
+    order;
+  order
+
+(* N+1 redundancy template: the two heaviest PoPs become hubs, every other
+   PoP dual-homes to both — any single link failure leaves a path. *)
+let n_plus_one ctx =
+  let n = Context.n ctx in
+  let g = Graph.create n in
+  let rank = traffic_rank ctx in
+  let h0 = rank.(0) and h1 = rank.(1) in
+  Graph.add_edge g (min h0 h1) (max h0 h1);
+  for v = 0 to n - 1 do
+    if v <> h0 && v <> h1 then begin
+      Graph.add_edge g (min v h0) (max v h0);
+      Graph.add_edge g (min v h1) (max v h1)
+    end
+  done;
+  g
+
+(* Fat-tree-flavoured template: ceil(sqrt n) heaviest PoPs form a full-mesh
+   core; every edge PoP homes to two cores, assigned round-robin. *)
+let fat_tree ctx =
+  let n = Context.n ctx in
+  let g = Graph.create n in
+  let rank = traffic_rank ctx in
+  let k = max 2 (int_of_float (Float.ceil (sqrt (float_of_int n)))) in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      Graph.add_edge g (min rank.(i) rank.(j)) (max rank.(i) rank.(j))
+    done
+  done;
+  let edge_pops = Array.sub rank k (n - k) in
+  Array.iteri
+    (fun i v ->
+      let c0 = rank.(i mod k) and c1 = rank.((i + 1) mod k) in
+      Graph.add_edge g (min v c0) (max v c0);
+      Graph.add_edge g (min v c1) (max v c1))
+    edge_pops;
+  g
+
+let () =
+  let ctx = Context.generate (Context.default_spec ~n:12) (Prng.create 42) in
+  let designs =
+    List.concat
+      [
+        List.map
+          (fun seed ->
+            let r =
+              Cold.Synthesis.design_ga
+                (config ~survivable:false ~heuristics:false)
+                ctx (Prng.create seed)
+            in
+            (Printf.sprintf "cold (seed %d)" seed, r.Cold.Ga.best))
+          [ 1; 2; 3 ];
+        [
+          ( "cold survivable",
+            (Cold.Synthesis.design_ga
+               (config ~survivable:true ~heuristics:true)
+               ctx (Prng.create 1))
+              .Cold.Ga.best );
+          ("full mesh", Graph.complete (Context.n ctx));
+          ("n+1 dual hub", n_plus_one ctx);
+          ("fat tree", fat_tree ctx);
+        ];
+      ]
+  in
+  let rates =
+    {
+      Failure.link_rate = 0.02;
+      node_rate = 0.01;
+      regional_rate = 0.05;
+      regional_radius = 12.0;
+    }
+  in
+  let trace = Failure.generate ~rates ~steps:40 ctx ~seed:7 in
+  Printf.printf
+    "one 40-step failure trace (seed 7), replayed against every design\n\
+     on the same 12-PoP context: availability is the mean delivered\n\
+     fraction with a 95%% bootstrap CI.\n\n";
+  Printf.printf "%-16s %5s %8s  %-24s %7s %5s %5s\n" "design" "links" "cost"
+    "availability" "worst" "part" "over";
+  List.iter
+    (fun (name, g) ->
+      let net = Network.build ctx g in
+      let reports = Failure.evaluate net trace in
+      let s = Failure.summarize (Prng.create 5) reports in
+      let ci = s.Failure.availability in
+      Printf.printf "%-16s %5d %8.0f  %.4f [%.4f, %.4f]  %7.4f %5d %5d\n" name
+        (Graph.edge_count g)
+        (Cold.Cost.evaluate params ctx g)
+        ci.Cold_stats.Bootstrap.point ci.Cold_stats.Bootstrap.lo
+        ci.Cold_stats.Bootstrap.hi s.Failure.worst_delivered
+        s.Failure.partitioned_steps s.Failure.overloaded_steps)
+    designs;
+  (* The survivable design, in the interchange format simulators consume. *)
+  (match List.assoc_opt "cold survivable" designs with
+  | Some g ->
+    Printf.printf
+      "\nsurvivable design, edge-list export (2-edge-connected: %b):\n%s"
+      (Cold_graph.Robustness.is_two_edge_connected g)
+      (Cold_netio.Edge_list.to_string g)
+  | None -> ());
+  print_endline
+    "\ncost buys survivability: the constrained COLD run and the redundant\n\
+     templates keep availability high through the same failures that\n\
+     partition the cheapest unconstrained designs -- and the GA finds the\n\
+     redundancy for a fraction of the full mesh's cost."

@@ -83,11 +83,26 @@ let sort_permutation pop =
    the pool writes each cost into the slot named by its candidate's index,
    which keeps population order — and every downstream sort and tie-break —
    bit-identical to the sequential run. *)
-let initial_population ?locality ~seeds settings ctx rng ~evaluate_batch =
+let initial_population ?locality ~survivable ~seeds settings ctx rng
+    ~evaluate_batch =
   let n = Context.n ctx in
   let mst = Mst.mst_graph ~n ~weight:(fun u v -> Context.distance ctx u v) in
   let clique = Graph.complete n in
   let fixed = mst :: clique :: seeds in
+  (* Survivable mode lifts every member to 2-edge-connectivity. Seeds are
+     caller-owned, so repair copies; the repair itself consumes no
+     randomness, leaving the RNG stream — and with it domain-count
+     determinism — untouched. *)
+  let fixed =
+    if not survivable then fixed
+    else
+      List.map
+        (fun g ->
+          let c = Graph.copy g in
+          ignore (Repair.two_edge_connect ctx c);
+          c)
+        fixed
+  in
   let fixed_count = List.length fixed in
   let pairs = float_of_int (n * (n - 1) / 2) in
   let p = Float.min 1.0 (settings.init_edge_factor *. float_of_int n /. pairs) in
@@ -97,11 +112,15 @@ let initial_population ?locality ~seeds settings ctx rng ~evaluate_batch =
   (* Locality mode seeds with geographically short random links (O(n·k) per
      topology, same expected link count); otherwise plain Erdős–Rényi. *)
   let random_seed () =
-    match locality with
-    | Some k ->
-      let pk = Float.min 1.0 (settings.init_edge_factor /. float_of_int k) in
-      Operators.locality_random_graph ctx ~k ~p:pk rng
-    | None -> erdos_renyi_repaired ctx ~p rng
+    let g =
+      match locality with
+      | Some k ->
+        let pk = Float.min 1.0 (settings.init_edge_factor /. float_of_int k) in
+        Operators.locality_random_graph ctx ~k ~p:pk rng
+      | None -> erdos_renyi_repaired ctx ~p rng
+    in
+    if survivable then ignore (Repair.two_edge_connect ctx g);
+    g
   in
   for i = 0 to random_count - 1 do
     graphs.(fixed_count + i) <- random_seed ()
@@ -123,7 +142,7 @@ type eval_fn =
   parent:Incremental.t option -> Graph.t -> float * Incremental.t option
 
 let run_impl ?(domains = 1) ?(cache_slots = default_cache_slots) ?(seeds = [])
-    ?locality settings ~(eval : eval_fn) ctx rng =
+    ?locality ?(survivable = false) settings ~(eval : eval_fn) ctx rng =
   validate settings;
   let n = Context.n ctx in
   if n < 2 then invalid_arg "Ga.run: need at least 2 PoPs";
@@ -160,7 +179,8 @@ let run_impl ?(domains = 1) ?(cache_slots = default_cache_slots) ?(seeds = [])
         (Array.map fst results, Array.map snd results)
       in
       let (pop0, states0) =
-        initial_population ?locality ~seeds settings ctx rng ~evaluate_batch
+        initial_population ?locality ~survivable ~seeds settings ctx rng
+          ~evaluate_batch
       in
       (* Population is kept sorted ascending by cost; states.(i) is always
          member i's evaluation state (None for cache hits / custom
@@ -196,6 +216,14 @@ let run_impl ?(domains = 1) ?(cache_slots = default_cache_slots) ?(seeds = [])
              exactly what the incremental engine is for. *)
           parent_of.(settings.num_crossover + i) <- idx
         done;
+        (* Crossover children are freshly bred and mutants are copies, so
+           in-place repair touches nothing the population still owns. The
+           extra edges are an ordinary diff to the incremental engine's
+           retarget. *)
+        if survivable then
+          for i = 0 to children_count - 1 do
+            ignore (Repair.two_edge_connect ctx children.(i))
+          done;
         let parents =
           Array.init children_count (fun i ->
               let p = parent_of.(i) in
@@ -229,9 +257,9 @@ let run_impl ?(domains = 1) ?(cache_slots = default_cache_slots) ?(seeds = [])
         cache_misses = Fitness_cache.misses cache;
       })
 
-let run_custom ?domains ?cache_slots ?seeds ?locality settings ~objective ctx
-    rng =
-  run_impl ?domains ?cache_slots ?seeds ?locality settings
+let run_custom ?domains ?cache_slots ?seeds ?locality ?survivable settings
+    ~objective ctx rng =
+  run_impl ?domains ?cache_slots ?seeds ?locality ?survivable settings
     ~eval:(fun ~parent:_ g -> (objective g, None))
     ctx rng
 
@@ -255,10 +283,10 @@ let eval_incremental params ctx : eval_fn =
   Incremental.commit st;
   (cost, Some st)
 
-let run ?domains ?cache_slots ?seeds ?(incremental = true) ?locality settings
-    params ctx rng =
+let run ?domains ?cache_slots ?seeds ?(incremental = true) ?locality
+    ?survivable settings params ctx rng =
   if incremental then
-    run_impl ?domains ?cache_slots ?seeds ?locality settings
+    run_impl ?domains ?cache_slots ?seeds ?locality ?survivable settings
       ~eval:(eval_incremental params ctx) ctx rng
   else begin
     (* From-scratch evaluation reuses the calling domain's routing scratch —
@@ -267,7 +295,7 @@ let run ?domains ?cache_slots ?seeds ?(incremental = true) ?locality settings
        the workspace-aliasing caveat never bites, and outputs are
        bit-identical with or without the reuse. *)
     let n = Context.n ctx in
-    run_custom ?domains ?cache_slots ?seeds ?locality settings
+    run_custom ?domains ?cache_slots ?seeds ?locality ?survivable settings
       ~objective:(fun g ->
         Cost.evaluate ~workspace:(Cold_net.Routing.domain_workspace ~n) params
           ctx g)

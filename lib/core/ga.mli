@@ -63,6 +63,7 @@ val run :
   ?seeds:Cold_graph.Graph.t list ->
   ?incremental:bool ->
   ?locality:int ->
+  ?survivable:bool ->
   settings ->
   Cost.params ->
   Cold_context.Context.t ->
@@ -101,13 +102,22 @@ val run :
     born with short links. Off by default; turning it on follows a
     different (still fully deterministic, domain-count-independent) RNG
     trajectory than the uniform operators, so results differ from the
-    default mode — by construction, not by accident. *)
+    default mode — by construction, not by accident.
+
+    [?survivable] (default [false]) constrains the search to 2-edge-connected
+    topologies: every initial member and every bred child is lifted through
+    {!Repair.two_edge_connect} before evaluation, so [best] and all of
+    [final_population] survive any single link failure (for contexts with at
+    least 3 PoPs; the repair is deterministic and consumes no randomness, so
+    domain-count determinism is preserved). The constraint prices in
+    redundancy: no leaves means every PoP pays its hub cost. *)
 
 val run_custom :
   ?domains:int ->
   ?cache_slots:int ->
   ?seeds:Cold_graph.Graph.t list ->
   ?locality:int ->
+  ?survivable:bool ->
   settings ->
   objective:(Cold_graph.Graph.t -> float) ->
   Cold_context.Context.t ->

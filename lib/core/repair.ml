@@ -1,6 +1,7 @@
 module Graph = Cold_graph.Graph
 module Mst = Cold_graph.Mst
 module Traversal = Cold_graph.Traversal
+module Robustness = Cold_graph.Robustness
 module Context = Cold_context.Context
 
 let repair ctx g =
@@ -13,3 +14,51 @@ let repair ctx g =
 
 let is_feasible ctx g =
   Graph.node_count g = Context.n ctx && Traversal.is_connected g
+
+(* Survivable-design repair: connect, then kill bridges one at a time. Each
+   round takes the lexicographically first remaining bridge, splits the graph
+   along its cut, and adds the geometrically cheapest absent pair crossing
+   the cut (ties to the lexicographically smallest pair). The new edge closes
+   a cycle through the bridge, so the bridge count strictly decreases and the
+   loop terminates; adding edges never creates bridges, so earlier repairs
+   are never undone. No randomness anywhere: the result is a pure function of
+   the (context, topology) pair. *)
+let two_edge_connect ctx g =
+  if Graph.node_count g <> Context.n ctx then
+    invalid_arg "Repair.two_edge_connect: graph size does not match context";
+  let n = Graph.node_count g in
+  let added = ref (repair ctx g) in
+  (* n <= 2 cannot be made bridge-free in a simple graph: leave connected. *)
+  if n > 2 then begin
+    let weight u v = Context.distance ctx u v in
+    let rec kill () =
+      match Robustness.bridges g with
+      | [] -> ()
+      | (bu, bv) :: _ ->
+        Graph.remove_edge g bu bv;
+        let (comp, _) = Traversal.connected_components g in
+        Graph.add_edge g bu bv;
+        (* Every crossing pair except the bridge itself is absent (any other
+           present crossing edge would contradict bridge-ness), and for
+           n >= 3 at least one exists. *)
+        let best = ref None in
+        for u = 0 to n - 1 do
+          for v = u + 1 to n - 1 do
+            if comp.(u) <> comp.(v) && not (Graph.mem_edge g u v) then begin
+              let w = weight u v in
+              match !best with
+              | Some (bw, _, _) when not (w < bw) -> ()
+              | _ -> best := Some (w, u, v)
+            end
+          done
+        done;
+        (match !best with
+        | Some (_, u, v) ->
+          Graph.add_edge g u v;
+          incr added;
+          kill ()
+        | None -> ())
+    in
+    kill ()
+  end;
+  !added

@@ -11,3 +11,16 @@ val repair : Cold_context.Context.t -> Cold_graph.Graph.t -> int
 
 val is_feasible : Cold_context.Context.t -> Cold_graph.Graph.t -> bool
 (** [is_feasible ctx g]: connected and of matching size. *)
+
+val two_edge_connect : Cold_context.Context.t -> Cold_graph.Graph.t -> int
+(** [two_edge_connect ctx g] lifts [g], in place, to a 2-edge-connected
+    topology — one that survives any single link failure: first {!repair}
+    connects it, then while a bridge remains the geometrically cheapest
+    absent link crossing the lexicographically first bridge's cut is added
+    (ties broken to the lexicographically smallest pair). Returns the total
+    number of links added. Fully deterministic — a pure function of the
+    (context, topology) pair, consuming no randomness — so the greedy
+    additions are reproducible bit for bit.
+
+    Graphs with at most 2 nodes cannot be 2-edge-connected as simple
+    graphs; they are left merely connected. *)

@@ -10,6 +10,7 @@ type config = {
   heuristic_permutations : int;
   capacity : Capacity.policy;
   domains : int;
+  survivable : bool;
 }
 
 let default_config ?(params = Cost.params ()) () =
@@ -20,6 +21,7 @@ let default_config ?(params = Cost.params ()) () =
     heuristic_permutations = 10;
     capacity = Capacity.default;
     domains = 1;
+    survivable = false;
   }
 
 let design_ga cfg ctx rng =
@@ -29,7 +31,8 @@ let design_ga cfg ctx rng =
         ctx rng
     else []
   in
-  Ga.run ~domains:cfg.domains ~seeds cfg.ga cfg.params ctx rng
+  Ga.run ~domains:cfg.domains ~seeds ~survivable:cfg.survivable cfg.ga
+    cfg.params ctx rng
 
 let design cfg ctx rng =
   let result = design_ga cfg ctx rng in

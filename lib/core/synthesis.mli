@@ -20,11 +20,16 @@ type config = {
       (** Domains evaluating GA candidates concurrently; [1] (the default)
           is sequential, [0] autodetects. Results are bit-identical at
           every setting — see {!Ga.run}. *)
+  survivable : bool;
+      (** Constrain the search to 2-edge-connected topologies — designs
+          that survive any single link failure ({!Ga.run}'s [?survivable];
+          every candidate passes through {!Repair.two_edge_connect}).
+          Default [false]. *)
 }
 
 val default_config : ?params:Cost.params -> unit -> config
 (** T = M = 100 GA, heuristic seeding on, capacity over-provisioning 2,
-    sequential evaluation ([domains = 1]). *)
+    sequential evaluation ([domains = 1]), survivability constraint off. *)
 
 val design :
   config -> Cold_context.Context.t -> Cold_prng.Prng.t -> Cold_net.Network.t

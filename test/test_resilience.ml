@@ -119,6 +119,99 @@ let test_synthesized_network_reports () =
           r.Resilience.stranded_fraction)
     (Resilience.link_reports net)
 
+(* --- survivability backfill ------------------------------------------------ *)
+
+let bits = Int64.bits_of_float
+
+let test_node_cut_dominates_link_cut () =
+  (* Failing a node strands at least as much as failing any one of its
+     links: the node failure removes that link AND the node's own traffic. *)
+  List.iter
+    (fun net ->
+      Cold_graph.Graph.iter_edges net.Network.graph (fun u v ->
+          let link = Resilience.stranded_by_link_failure net u v in
+          Alcotest.(check bool) "node u >= link" true
+            (Resilience.stranded_by_node_failure net u >= link);
+          Alcotest.(check bool) "node v >= link" true
+            (Resilience.stranded_by_node_failure net v >= link)))
+    [ line_net (); ring_net () ];
+  (* And strictly more on the line: the middle link strands 8/12, but its
+     endpoint nodes strand 10/12 — the asymmetry is the endpoint's own
+     demand. *)
+  let net = line_net () in
+  Alcotest.(check bool) "strict on the line" true
+    (Resilience.stranded_by_node_failure net 1
+    > Resilience.stranded_by_link_failure net 1 2)
+
+let test_survivability_empty_failure_is_baseline () =
+  (* An empty failure set must reproduce the baseline routing bit for bit:
+     same CSR + Dijkstra + accumulate path as Network.build took. *)
+  List.iter
+    (fun net ->
+      let r =
+        Cold_net.Survivability.evaluate net ~down_nodes:[] ~down_links:[]
+      in
+      Alcotest.(check int) "nothing down" 0
+        (r.Cold_net.Survivability.down_node_count
+        + r.Cold_net.Survivability.down_link_count
+        + r.Cold_net.Survivability.failed_pairs
+        + r.Cold_net.Survivability.disconnected_pairs);
+      Alcotest.(check bool) "all delivered" true
+        (r.Cold_net.Survivability.delivered_fraction = 1.0);
+      Alcotest.(check bool) "nothing lost" true
+        (r.Cold_net.Survivability.lost_fraction = 0.0);
+      Alcotest.(check bool) "stretch exactly 1" true
+        (r.Cold_net.Survivability.stretch = 1.0);
+      let ctx = net.Network.context in
+      let vl =
+        Cold_net.Routing.total_volume_length net.Network.loads
+          ~length:(fun u v -> Context.distance ctx u v)
+      in
+      Alcotest.(check int64) "volume-length bit-identical to baseline"
+        (bits vl)
+        (bits r.Cold_net.Survivability.routed_volume_length);
+      (* ... which is exactly the k2 = 1 bandwidth term of the cost model. *)
+      let b =
+        Cold.Cost.evaluate_breakdown
+          (Cold.Cost.params ~k0:0.0 ~k1:0.0 ~k2:1.0 ())
+          ctx net.Network.graph
+      in
+      Alcotest.(check int64) "equals the k2=1 cost term" (bits vl)
+        (bits b.Cold.Cost.bandwidth))
+    [ line_net (); ring_net () ]
+
+let test_regional_cut_all_or_nothing () =
+  (* A correlated cut big enough downs every PoP (nothing delivered, no
+     surviving pair to disconnect); rate 0 downs nobody (baseline). *)
+  let net = ring_net () in
+  let ctx = net.Network.context in
+  let all =
+    Cold_sim.Failure.generate
+      ~rates:{ Cold_sim.Failure.link_rate = 0.0; node_rate = 0.0;
+               regional_rate = 1.0; regional_radius = 100.0 }
+      ~steps:3 ctx ~seed:5
+  in
+  Array.iter
+    (fun r ->
+      Alcotest.(check int) "all PoPs down" 4 r.Cold_net.Survivability.down_node_count;
+      Alcotest.(check bool) "nothing delivered" true
+        (r.Cold_net.Survivability.delivered_fraction = 0.0);
+      Alcotest.(check int) "all pairs failed" 6 r.Cold_net.Survivability.failed_pairs;
+      Alcotest.(check int) "no survivors to disconnect" 0
+        r.Cold_net.Survivability.disconnected_pairs)
+    (Cold_sim.Failure.evaluate net all);
+  let none =
+    Cold_sim.Failure.generate
+      ~rates:{ Cold_sim.Failure.link_rate = 0.0; node_rate = 0.0;
+               regional_rate = 0.0; regional_radius = 100.0 }
+      ~steps:3 ctx ~seed:5
+  in
+  Array.iter
+    (fun r ->
+      Alcotest.(check bool) "baseline delivery" true
+        (r.Cold_net.Survivability.delivered_fraction = 1.0))
+    (Cold_sim.Failure.evaluate net none)
+
 let () =
   Alcotest.run "cold_resilience"
     [
@@ -133,5 +226,14 @@ let () =
           Alcotest.test_case "no edges" `Quick test_worst_link_no_edges;
           Alcotest.test_case "synthesized consistency" `Quick
             test_synthesized_network_reports;
+        ] );
+      ( "survivability",
+        [
+          Alcotest.test_case "node cut dominates link cut" `Quick
+            test_node_cut_dominates_link_cut;
+          Alcotest.test_case "empty failure is baseline" `Quick
+            test_survivability_empty_failure_is_baseline;
+          Alcotest.test_case "regional all-or-nothing" `Quick
+            test_regional_cut_all_or_nothing;
         ] );
     ]

@@ -39,6 +39,27 @@ let test_bridges_disconnected () =
   Alcotest.(check (list (pair int int))) "per component"
     [ (0, 1); (2, 3); (3, 4) ] (Robustness.bridges g)
 
+let test_bridges_tiny () =
+  (* Degenerate sizes: no edges means no bridges; K2's only edge is one. *)
+  Alcotest.(check (list (pair int int))) "empty graph" [] (Robustness.bridges (Graph.create 0));
+  Alcotest.(check (list (pair int int))) "single node" [] (Robustness.bridges (Graph.create 1));
+  Alcotest.(check (list (pair int int))) "two isolated" [] (Robustness.bridges (Graph.create 2));
+  Alcotest.(check (list (pair int int))) "single edge" [ (0, 1) ]
+    (Robustness.bridges (Graph.of_edges 2 [ (0, 1) ]))
+
+let test_disjoint_cycles_self_contained () =
+  (* Two disjoint triangles: each component is 2-edge-connected on its own,
+     so no bridges and no articulation points anywhere — disconnection does
+     not manufacture cut structure. *)
+  let g = Graph.of_edges 6 [ (0, 1); (1, 2); (0, 2); (3, 4); (4, 5); (3, 5) ] in
+  Alcotest.(check (list (pair int int))) "no bridges" [] (Robustness.bridges g);
+  Alcotest.(check (list int)) "no articulation points" []
+    (Robustness.articulation_points g);
+  (* ... yet the graph as a whole is not 2-edge-connected: it is not even
+     connected. *)
+  Alcotest.(check bool) "still not 2-edge-connected" false
+    (Robustness.is_two_edge_connected g)
+
 (* --- articulation points --------------------------------------------------- *)
 
 let test_articulation_star () =
@@ -201,6 +222,8 @@ let () =
           Alcotest.test_case "paw" `Quick test_bridges_mixed;
           Alcotest.test_case "barbell" `Quick test_bridges_two_cycles_joined;
           Alcotest.test_case "disconnected" `Quick test_bridges_disconnected;
+          Alcotest.test_case "tiny graphs" `Quick test_bridges_tiny;
+          Alcotest.test_case "disjoint cycles" `Quick test_disjoint_cycles_self_contained;
           Alcotest.test_case "deletion oracle" `Quick test_bridges_oracle;
         ] );
       ( "articulation",
