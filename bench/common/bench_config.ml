@@ -1,0 +1,9 @@
+(* Timing helper shared by every bench executable (main harness, smoke
+   pass, serve sweep). Wall-clock reads are confined to bench/ and
+   lib/serve by cold_lint's no-wall-clock rule; factoring the delta here
+   keeps each driver free of hand-rolled gettimeofday arithmetic. *)
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)

@@ -102,10 +102,7 @@ let section title =
 
 let subsection title = Printf.printf "\n-- %s --\n" title
 
-let time_it f =
-  let t0 = Unix.gettimeofday () in
-  let result = f () in
-  (result, Unix.gettimeofday () -. t0)
+let time_it = Bench_config.timed
 
 let pp_ci (ci : Cold_stats.Bootstrap.interval) =
   Printf.sprintf "%8.3f [%8.3f, %8.3f]" ci.Cold_stats.Bootstrap.point

@@ -1,0 +1,159 @@
+(* cold_serve throughput and tail latency (BENCH_serve.json).
+
+   Boots the daemon in-process on an ephemeral loopback port and drives it
+   with a single synchronous client, measuring the full wire round trip —
+   request line out, response frame in. Two modes per cell:
+
+     cold — distinct seeds, every request synthesizes from scratch;
+     hit  — the same seeds again, every request replays from the cache.
+
+   The contract worth paying for a daemon: cache-hit throughput must be at
+   least an order of magnitude above cold-synthesis throughput (asserted
+   here at every scale), because a hit is a table lookup plus one frame
+   write while a miss runs the full GA pipeline. *)
+
+module Server = Cold_serve.Server
+
+(* --- minimal blocking client --------------------------------------------------- *)
+
+type client = { fd : Unix.file_descr; mutable rbuf : string }
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  { fd; rbuf = "" }
+
+let close_client c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let send_line c line =
+  let s = line ^ "\n" in
+  let b = Bytes.of_string s in
+  let rec go off len =
+    if len > 0 then begin
+      let w = Unix.write c.fd b off len in
+      go (off + w) (len - w)
+    end
+  in
+  go 0 (Bytes.length b)
+
+let fill c =
+  let chunk = Bytes.create 65536 in
+  match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+  | 0 -> failwith "serve_sweep: daemon closed the connection"
+  | n -> c.rbuf <- c.rbuf ^ Bytes.sub_string chunk 0 n
+
+let read_line c =
+  let rec go () =
+    match String.index_opt c.rbuf '\n' with
+    | Some i ->
+      let line = String.sub c.rbuf 0 i in
+      c.rbuf <- String.sub c.rbuf (i + 1) (String.length c.rbuf - i - 1);
+      line
+    | None ->
+      fill c;
+      go ()
+  in
+  go ()
+
+let read_exact c n =
+  while String.length c.rbuf < n do
+    fill c
+  done;
+  let s = String.sub c.rbuf 0 n in
+  c.rbuf <- String.sub c.rbuf n (String.length c.rbuf - n);
+  s
+
+let roundtrip c line =
+  send_line c line;
+  let header = read_line c in
+  match String.split_on_char ' ' header with
+  | [ "ok"; _id; len ] -> read_exact c (int_of_string len)
+  | _ -> failwith (Printf.sprintf "serve_sweep: unexpected frame %S" header)
+
+(* --- the sweep ------------------------------------------------------------------ *)
+
+let percentile sorted q =
+  let len = Array.length sorted in
+  let idx = int_of_float (Float.of_int (len - 1) *. q +. 0.5) in
+  sorted.(max 0 (min (len - 1) idx))
+
+(* Issue [lines] in order, one at a time; returns (req/s, p50 ms, p99 ms). *)
+let measure c lines =
+  let latencies =
+    List.map
+      (fun line ->
+        let (_payload, dt) = Bench_config.timed (fun () -> roundtrip c line) in
+        dt)
+      lines
+  in
+  let arr = Array.of_list latencies in
+  Array.sort Float.compare arr;
+  let total = Array.fold_left ( +. ) 0.0 arr in
+  let n = float_of_int (Array.length arr) in
+  (n /. total, 1000.0 *. percentile arr 0.5, 1000.0 *. percentile arr 0.99)
+
+let synth_line ~id ~n ~seed =
+  Printf.sprintf "synth %s n=%d seed=%d gens=10 pop=16 perms=2 format=summary"
+    id n seed
+
+let row ~mode ~n ~domains ~requests ~(rps : float) ~p50 ~p99 =
+  Printf.sprintf
+    "{\"bench\": \"serve_sweep\", \"mode\": \"%s\", \"n\": %d, \"domains\": %d, \
+     \"requests\": %d, \"req_per_s\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f}"
+    mode n domains requests rps p50 p99
+
+let run () =
+  Config.section "cold_serve: request throughput and tail latency (BENCH_serve.json)";
+  let requests, n =
+    match Config.scale with
+    | Config.Smoke -> (8, 16)
+    | Config.Quick -> (24, 20)
+    | Config.Full -> (64, 30)
+  in
+  let domains = 2 in
+  let cfg =
+    { Server.default_config with Server.domains; cache_slots = 1024 }
+  in
+  match Server.create cfg with
+  | Error msg -> failwith ("serve_sweep: cannot start daemon: " ^ msg)
+  | Ok server ->
+    let runner = Domain.spawn (fun () -> Server.run server) in
+    let c = connect (Server.port server) in
+    let lines =
+      List.init requests (fun i ->
+          synth_line ~id:(Printf.sprintf "q%d" i) ~n
+            ~seed:(Config.master_seed + i))
+    in
+    let (cold_rps, cold_p50, cold_p99) = measure c lines in
+    let (hit_rps, hit_p50, hit_p99) = measure c lines in
+    close_client c;
+    Server.request_drain server;
+    Domain.join runner;
+    Printf.printf
+      "cold: %8.1f req/s  p50 %8.3f ms  p99 %8.3f ms  (%d requests, n=%d)\n"
+      cold_rps cold_p50 cold_p99 requests n;
+    Printf.printf
+      "hit:  %8.1f req/s  p50 %8.3f ms  p99 %8.3f ms  (replayed, bit-identical)\n"
+      hit_rps hit_p50 hit_p99;
+    let ratio = hit_rps /. cold_rps in
+    Printf.printf "cache-hit speedup: %.1fx\n" ratio;
+    if ratio < 10.0 then
+      failwith
+        (Printf.sprintf
+           "serve_sweep: cache-hit throughput only %.1fx cold (contract: >= 10x)"
+           ratio);
+    let rows =
+      [
+        row ~mode:"cold" ~n ~domains ~requests ~rps:cold_rps ~p50:cold_p50
+          ~p99:cold_p99;
+        row ~mode:"hit" ~n ~domains ~requests ~rps:hit_rps ~p50:hit_p50
+          ~p99:hit_p99;
+      ]
+    in
+    let total =
+      Config.merge_json_rows ~path:"BENCH_serve.json"
+        ~key:[ "bench"; "mode"; "n"; "domains" ]
+        rows
+    in
+    Printf.printf "merged BENCH_serve.json (%d new cells, %d total)\n"
+      (List.length rows) total

@@ -130,9 +130,11 @@ let check_failure () =
   Printf.printf "smoke failure replay: sequential and fanned-out bit-identical\n%!"
 
 let () =
-  let t0 = Unix.gettimeofday () in
-  check_trajectory ~n:24 ~steps:150;
-  check_local_search ();
-  check_ga ();
-  check_failure ();
-  Printf.printf "bench smoke passed in %.1fs\n" (Unix.gettimeofday () -. t0)
+  let (), elapsed =
+    Bench_config.timed (fun () ->
+        check_trajectory ~n:24 ~steps:150;
+        check_local_search ();
+        check_ga ();
+        check_failure ())
+  in
+  Printf.printf "bench smoke passed in %.1fs\n" elapsed

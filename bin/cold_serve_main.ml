@@ -1,0 +1,42 @@
+(* cold_serve: the COLD topology-synthesis daemon. See doc/SERVE.md for the
+   wire protocol and lib/serve for the architecture. *)
+
+let () =
+  let port = ref 7421 in
+  let domains = ref 1 in
+  let queue = ref Cold_serve.Server.default_config.Cold_serve.Server.queue_capacity in
+  let batch = ref Cold_serve.Server.default_config.Cold_serve.Server.batch in
+  let cache_slots =
+    ref Cold_serve.Server.default_config.Cold_serve.Server.cache_slots
+  in
+  let spec =
+    [
+      ("--port", Arg.Set_int port, "PORT listen on 127.0.0.1:PORT (0 = ephemeral; default 7421)");
+      ("--domains", Arg.Set_int domains, "K evaluation streams (0 = autodetect; default 1)");
+      ("--queue", Arg.Set_int queue, "N admission-queue capacity before shedding (default 64)");
+      ("--batch", Arg.Set_int batch, "B max requests per scheduler batch (default 8)");
+      ("--cache-slots", Arg.Set_int cache_slots, "S replay-cache slots (0 disables; default 256)");
+    ]
+  in
+  let usage = "cold_serve [--port PORT] [--domains K] [--queue N] [--batch B] [--cache-slots S]" in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let cfg =
+    {
+      Cold_serve.Server.default_config with
+      Cold_serve.Server.port = !port;
+      domains = !domains;
+      queue_capacity = !queue;
+      batch = !batch;
+      cache_slots = !cache_slots;
+    }
+  in
+  match Cold_serve.Server.create cfg with
+  | Error msg ->
+    prerr_endline ("cold_serve: " ^ msg);
+    exit 1
+  | Ok server ->
+    Cold_serve.Server.install_sigterm server;
+    Printf.printf "cold_serve listening on 127.0.0.1:%d (domains=%d queue=%d batch=%d cache=%d)\n%!"
+      (Cold_serve.Server.port server) !domains !queue !batch !cache_slots;
+    Cold_serve.Server.run server;
+    print_endline "cold_serve: drained, bye"

@@ -7,11 +7,18 @@ type 'a t = {
   slots : 'a entry option array;  (* direct-mapped: slot = fingerprint mod capacity *)
   mutable hits : int;
   mutable misses : int;
+  mutable entries : int;  (* occupied slots; insert over Some does not grow it *)
 }
 
 let create ~slots =
   if slots < 0 then invalid_arg "Fitness_cache.create: slots must be >= 0";
-  { mutex = Mutex.create (); slots = Array.make slots None; hits = 0; misses = 0 }
+  {
+    mutex = Mutex.create ();
+    slots = Array.make slots None;
+    hits = 0;
+    misses = 0;
+    entries = 0;
+  }
 
 let slot_of cache g =
   let capacity = Array.length cache.slots in
@@ -40,6 +47,9 @@ let find_or_compute cache g compute =
       let value = compute () in
       let e = { key = Graph.copy g; value } in
       Mutex.lock cache.mutex;
+      (match cache.slots.(slot) with
+      | None -> cache.entries <- cache.entries + 1
+      | Some _ -> ());
       cache.slots.(slot) <- Some e;
       Mutex.unlock cache.mutex;
       value
@@ -56,3 +66,13 @@ let misses cache =
   let m = cache.misses in
   Mutex.unlock cache.mutex;
   m
+
+let entries cache =
+  Mutex.lock cache.mutex;
+  let e = cache.entries in
+  Mutex.unlock cache.mutex;
+  e
+
+let fill cache =
+  let capacity = Array.length cache.slots in
+  if capacity = 0 then 0. else float_of_int (entries cache) /. float_of_int capacity

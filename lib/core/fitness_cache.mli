@@ -39,3 +39,13 @@ val hits : 'a t -> int
 
 val misses : 'a t -> int
 (** Lookups that ran [compute]. *)
+
+val entries : 'a t -> int
+(** Occupied slots. Grows monotonically from [0] towards capacity:
+    direct-mapped eviction replaces an occupant in place, so the count
+    never shrinks. *)
+
+val fill : 'a t -> float
+(** [entries / capacity] in [0, 1]; [0.] for a zero-slot cache. A fill
+    near [1.] with a poor hit rate suggests the table is too small for the
+    population's working set. *)

@@ -28,7 +28,14 @@ let is_ml path = Filename.check_suffix path ".ml"
 let everywhere (_ : string) = true
 let lib_only path = in_dir "lib" path
 let lib_and_bin path = in_dir "lib" path || in_dir "bin" path
-let outside_bench path = not (in_dir "bench" path)
+
+(* lib/serve is the daemon layer: the one place in lib/ where sockets and
+   service-time clocks are legitimate (payloads stay deterministic — the
+   clock only feeds the stats counters). *)
+let serve_scope path = in_dir "lib" path && in_dir "serve" path
+let outside_timed path = not (in_dir "bench" path) && not (serve_scope path)
+
+let is_dune path = basename path = "dune"
 
 (* --- token utilities -------------------------------------------------------- *)
 
@@ -492,6 +499,46 @@ let check_hashtbl_order ctx ts =
     code;
   !acc
 
+(* --- unix-dependency-fence --------------------------------------------------- *)
+
+(* The fence has two faces: [Unix.]-qualified code (and [open Unix]) in
+   OCaml sources, and a [unix] library dependency in dune stanzas — the
+   walker hands dune files to the token rules too, and the OCaml lexer
+   tokenizes their sexps well enough to spot a bare [unix] atom. In dune
+   files a dotted suffix like [notty.unix] names a sublibrary of something
+   else and is not the unix dependency itself. *)
+
+let check_unix_fence ctx ts =
+  let code = code_tokens ts in
+  let acc = ref [] in
+  if is_dune ctx.path then
+    Array.iteri
+      (fun i (t : Lexer.token) ->
+        match t.Lexer.kind with
+        | Lexer.Ident "unix" when kind_at code (i - 1) <> Some (Lexer.Op ".") ->
+          acc :=
+            finding ~rule:"unix-dependency-fence" ~ctx ~line:t.Lexer.line
+              "unix dependency in a lib/ dune stanza: core libraries must \
+               stay free of sockets and clocks so synthesis is a pure \
+               function of the seed; daemon code belongs in lib/serve"
+            :: !acc
+        | _ -> ())
+      code
+  else
+    Array.iter
+      (fun (t : Lexer.token) ->
+        match t.Lexer.kind with
+        | Lexer.Uident "Unix" ->
+          acc :=
+            finding ~rule:"unix-dependency-fence" ~ctx ~line:t.Lexer.line
+              "Unix.* reference outside lib/serve: core libraries must not \
+               touch sockets, clocks or processes; put daemon code in \
+               lib/serve and keep the computation pure"
+            :: !acc
+        | _ -> ())
+      code;
+  !acc
+
 (* --- todo-tracker ----------------------------------------------------------- *)
 
 let todo_markers = [ "TODO"; "FIXME"; "XXX" ]
@@ -599,11 +646,14 @@ let all =
     };
     {
       name = "no-wall-clock";
-      summary = "no Sys.time / Unix.gettimeofday outside bench/";
+      summary = "no Sys.time / Unix.gettimeofday outside bench/ and lib/serve";
       rationale =
         "Wall-clock reads make output depend on when a run happened, \
-         breaking bit-reproducibility of synthesized topologies.";
-      applies = outside_bench;
+         breaking bit-reproducibility of synthesized topologies. lib/serve \
+         is exempt alongside bench/: the daemon times requests for its \
+         stats counters, but response payloads remain clock-free (the \
+         replay tests pin this).";
+      applies = outside_timed;
       check = check_wall_clock;
     };
     {
@@ -673,6 +723,23 @@ let all =
          that differ across optimization levels and platforms.";
       applies = lib_and_bin;
       check = check_float_eq;
+    };
+    {
+      name = "unix-dependency-fence";
+      summary = "no Unix.* code or unix dune dependency in lib/ outside lib/serve";
+      rationale =
+        "The synthesis core must be a pure function of context and seed: a \
+         socket, clock or process call smuggled into lib/ makes results \
+         environment-dependent and unreplayable. All daemon concerns — \
+         sockets, select loops, service timing — are fenced into lib/serve \
+         (whose payloads the replay tests still pin bit-for-bit). The rule \
+         checks both OCaml sources (any Unix.* reference) and dune stanzas \
+         (a unix library dependency).";
+      applies =
+        (fun p ->
+          lib_only p && (not (serve_scope p))
+          && (is_ml p || Filename.check_suffix p ".mli" || is_dune p));
+      check = check_unix_fence;
     };
     {
       name = "todo-tracker";

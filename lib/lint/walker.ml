@@ -1,5 +1,9 @@
+(* dune files ride along so stanza-level rules (unix-dependency-fence) see
+   library dependencies; the deep pass filters them back out. *)
 let is_source name =
-  Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
+  Filename.check_suffix name ".ml"
+  || Filename.check_suffix name ".mli"
+  || Filename.basename name = "dune"
 
 let hidden name = String.length name > 0 && (name.[0] = '.' || name.[0] = '_')
 

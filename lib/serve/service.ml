@@ -1,0 +1,398 @@
+module Prng = Cold_prng.Prng
+module Context = Cold_context.Context
+module Network = Cold_net.Network
+module Par = Cold_par.Par
+module P = Protocol
+
+(* --- FNV-1a digests ----------------------------------------------------------
+
+   The same hash family as Graph.fingerprint / Prng.seed_of_string, extended
+   to fold whole 64-bit words so context fingerprints can absorb float bit
+   patterns exactly. *)
+
+let fnv_prime = 0x100000001B3L
+let fnv_offset = 0xCBF29CE484222325L
+
+let mix_byte h b = Int64.mul (Int64.logxor h (Int64.of_int b)) fnv_prime
+
+let mix_int64 h x =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h :=
+      mix_byte !h
+        (Int64.to_int (Int64.logand (Int64.shift_right_logical x (8 * shift)) 0xFFL))
+  done;
+  !h
+
+let mix_float h x = mix_int64 h (Int64.bits_of_float x)
+
+let mix_string h s =
+  String.fold_left (fun h c -> mix_byte h (Char.code c)) h s
+
+(* Canonical fingerprint of a context: PoP count, every coordinate and
+   every population, plus the gravity scale — exactly the data the design
+   step consumes. Bit-identical contexts (same spec, same seed) fingerprint
+   identically on every platform. *)
+let context_fingerprint (ctx : Context.t) =
+  let h = ref (mix_int64 fnv_offset (Int64.of_int (Context.n ctx))) in
+  Array.iter
+    (fun (p : Cold_geom.Point.t) ->
+      h := mix_float !h p.Cold_geom.Point.x;
+      h := mix_float !h p.Cold_geom.Point.y)
+    ctx.Context.points;
+  Array.iter
+    (fun pop -> h := mix_float !h pop)
+    (Cold_traffic.Gravity.populations ctx.Context.tm);
+  mix_float !h ctx.Context.spec.Context.traffic_scale
+
+(* --- replay cache ------------------------------------------------------------ *)
+
+type entry = { canon : string; ctx_fp : int64; payload : string }
+
+type cache = {
+  cmutex : Mutex.t;
+  slots : entry option array;
+  mutable entries : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let cache_create slots =
+  {
+    cmutex = Mutex.create ();
+    slots = Array.make slots None;
+    entries = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let slot_of cache key =
+  let capacity = Array.length cache.slots in
+  Int64.to_int (Int64.rem (Int64.logand key Int64.max_int) (Int64.of_int capacity))
+
+(* The cache key triple: context fingerprint, canonical-params digest, seed
+   (the seed also lives inside the canonical string; folding it explicitly
+   keeps the key shape the documentation promises). *)
+let cache_key ~ctx_fp ~canon ~seed =
+  mix_int64 (mix_string (mix_int64 fnv_offset ctx_fp) canon) (Int64.of_int seed)
+
+let cache_find cache ~key ~canon ~ctx_fp =
+  if Array.length cache.slots = 0 then begin
+    Mutex.lock cache.cmutex;
+    cache.misses <- cache.misses + 1;
+    Mutex.unlock cache.cmutex;
+    None
+  end
+  else begin
+    let slot = slot_of cache key in
+    Mutex.lock cache.cmutex;
+    let answer =
+      match cache.slots.(slot) with
+      | Some e when String.equal e.canon canon && Int64.equal e.ctx_fp ctx_fp ->
+        cache.hits <- cache.hits + 1;
+        Some e.payload
+      | _ ->
+        cache.misses <- cache.misses + 1;
+        None
+    in
+    Mutex.unlock cache.cmutex;
+    answer
+  end
+
+let cache_store cache ~key ~canon ~ctx_fp payload =
+  if Array.length cache.slots > 0 then begin
+    let slot = slot_of cache key in
+    Mutex.lock cache.cmutex;
+    if cache.slots.(slot) = None then cache.entries <- cache.entries + 1;
+    cache.slots.(slot) <- Some { canon; ctx_fp; payload };
+    Mutex.unlock cache.cmutex
+  end
+
+(* --- service state ------------------------------------------------------------ *)
+
+type t = {
+  pool : Par.t;
+  cache : cache;
+  now : unit -> float;
+  mutex : Mutex.t;  (* counters + service-time reservoir *)
+  mutable requests : int;
+  mutable jobs : int;
+  mutable sheds : int;
+  mutable errors : int;
+  mutable times : float array;  (* seconds; first [ntimes] are live *)
+  mutable ntimes : int;
+}
+
+let create ?(domains = 1) ?(cache_slots = 256) ?(now = fun () -> 0.) () =
+  if cache_slots < 0 then
+    invalid_arg "Service.create: cache_slots must be >= 0";
+  {
+    pool = Par.create ~domains;
+    cache = cache_create cache_slots;
+    now;
+    mutex = Mutex.create ();
+    requests = 0;
+    jobs = 0;
+    sheds = 0;
+    errors = 0;
+    times = Array.make 64 0.;
+    ntimes = 0;
+  }
+
+let parallelism t = Par.parallelism t.pool
+
+let locked t f =
+  Mutex.lock t.mutex;
+  let r = f () in
+  Mutex.unlock t.mutex;
+  r
+
+let note_request t = locked t (fun () -> t.requests <- t.requests + 1)
+let note_shed t = locked t (fun () -> t.sheds <- t.sheds + 1)
+let note_error t = locked t (fun () -> t.errors <- t.errors + 1)
+
+let record_time t dt =
+  locked t (fun () ->
+      if t.ntimes = Array.length t.times then begin
+        let bigger = Array.make (2 * t.ntimes) 0. in
+        Array.blit t.times 0 bigger 0 t.ntimes;
+        t.times <- bigger
+      end;
+      t.times.(t.ntimes) <- dt;
+      t.ntimes <- t.ntimes + 1)
+
+(* --- evaluation --------------------------------------------------------------- *)
+
+let synthesis_config (d : P.design) =
+  let pop = d.P.population in
+  let saved = max 1 (pop / 5) in
+  let crossover = max 1 (pop / 2) in
+  let mutation = max 0 (pop - saved - crossover) in
+  {
+    (Cold.Synthesis.default_config ~params:d.P.params ()) with
+    Cold.Synthesis.ga =
+      {
+        Cold.Ga.default_settings with
+        Cold.Ga.population_size = pop;
+        generations = d.P.generations;
+        num_saved = saved;
+        num_crossover = crossover;
+        num_mutation = mutation;
+      };
+    heuristic_permutations = d.P.permutations;
+    survivable = d.P.survivable;
+    domains = 1;  (* request-level parallelism only: see Server *)
+  }
+
+(* Mirror Synthesis.synthesize exactly: one rng drives context generation
+   and then the design, so served answers are bit-identical to CLI runs of
+   the same (spec, seed). *)
+let context_and_rng (d : P.design) =
+  let rng = Prng.create d.P.seed in
+  let ctx = Context.generate (Context.default_spec ~n:d.P.n) rng in
+  (ctx, rng)
+
+let buf_field buf ~first name value =
+  if not first then Buffer.add_char buf ',';
+  Buffer.add_string buf (Printf.sprintf "%S:%s" name value)
+
+let json_of_fields fields =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (name, value) -> buf_field buf ~first:(i = 0) name value)
+    fields;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let jint = string_of_int
+let jfloat = P.json_float
+
+let synth_summary (d : P.design) (net : Network.t) =
+  let g = net.Network.graph in
+  let s = Cold_metrics.Summary.compute g in
+  let b = Cold.Cost.evaluate_breakdown d.P.params net.Network.context g in
+  json_of_fields
+    [
+      ("verb", "\"synth\"");
+      ("n", jint d.P.n);
+      ("seed", jint d.P.seed);
+      ("edges", jint s.Cold_metrics.Summary.edges);
+      ("total_link_length", jfloat (Network.total_link_length net));
+      ("cost_existence", jfloat b.Cold.Cost.existence);
+      ("cost_length", jfloat b.Cold.Cost.length);
+      ("cost_bandwidth", jfloat b.Cold.Cost.bandwidth);
+      ("cost_hub", jfloat b.Cold.Cost.hub);
+      ("cost_total", jfloat b.Cold.Cost.total);
+      ("average_degree", jfloat s.Cold_metrics.Summary.average_degree);
+      ("max_degree", jint s.Cold_metrics.Summary.max_degree);
+      ("hubs", jint s.Cold_metrics.Summary.hubs);
+      ("leaves", jint s.Cold_metrics.Summary.leaves);
+      ("diameter", jint s.Cold_metrics.Summary.diameter);
+      ("average_shortest_path", jfloat s.Cold_metrics.Summary.average_shortest_path);
+      ("cvnd", jfloat s.Cold_metrics.Summary.cvnd);
+    ]
+
+let compute_synth (d : P.design) format =
+  let cfg = synthesis_config d in
+  let ctx, rng = context_and_rng d in
+  let net = Cold.Synthesis.design cfg ctx rng in
+  match format with
+  | P.Edges -> Cold_netio.Edge_list.to_string net.Network.graph
+  | P.Gml -> Cold_netio.Gml.of_network net
+  | P.Summary -> synth_summary d net
+
+let compute_ensemble (d : P.design) count =
+  let cfg = synthesis_config d in
+  let spec = Context.default_spec ~n:d.P.n in
+  let ens = Cold.Ensemble.generate cfg spec ~count ~seed:d.P.seed in
+  let mean f =
+    let sum =
+      Array.fold_left
+        (fun acc s -> acc +. f s)
+        0. ens.Cold.Ensemble.summaries
+    in
+    sum /. float_of_int count
+  in
+  json_of_fields
+    [
+      ("verb", "\"ensemble\"");
+      ("n", jint d.P.n);
+      ("seed", jint d.P.seed);
+      ("count", jint count);
+      ("distinct", jint (Cold.Ensemble.distinct_topologies ens));
+      ( "mean_edges",
+        jfloat (mean (fun s -> float_of_int s.Cold_metrics.Summary.edges)) );
+      ( "mean_average_degree",
+        jfloat (mean (fun s -> s.Cold_metrics.Summary.average_degree)) );
+      ( "mean_diameter",
+        jfloat (mean (fun s -> float_of_int s.Cold_metrics.Summary.diameter)) );
+      ( "mean_aspl",
+        jfloat (mean (fun s -> s.Cold_metrics.Summary.average_shortest_path)) );
+    ]
+
+let compute_survive (d : P.design) ~steps ~fseed ~rates ~canon =
+  let cfg = synthesis_config d in
+  let ctx, rng = context_and_rng d in
+  let net = Cold.Synthesis.design cfg ctx rng in
+  let trace = Cold_sim.Failure.generate ~rates ~steps ctx ~seed:fseed in
+  let reports = Cold_sim.Failure.evaluate ~domains:1 net trace in
+  let summary =
+    Cold_sim.Failure.summarize
+      (Prng.create (Prng.seed_of_string canon))
+      reports
+  in
+  let iv (i : Cold_stats.Bootstrap.interval) = i.Cold_stats.Bootstrap.point in
+  json_of_fields
+    [
+      ("verb", "\"survive\"");
+      ("n", jint d.P.n);
+      ("seed", jint d.P.seed);
+      ("steps", jint steps);
+      ("fseed", jint fseed);
+      ("availability", jfloat (iv summary.Cold_sim.Failure.availability));
+      ( "availability_lo",
+        jfloat summary.Cold_sim.Failure.availability.Cold_stats.Bootstrap.lo );
+      ( "availability_hi",
+        jfloat summary.Cold_sim.Failure.availability.Cold_stats.Bootstrap.hi );
+      ("lost_traffic", jfloat (iv summary.Cold_sim.Failure.lost_traffic));
+      ("worst_delivered", jfloat summary.Cold_sim.Failure.worst_delivered);
+      ("mean_stretch", jfloat summary.Cold_sim.Failure.mean_stretch);
+      ( "mean_disconnected_pairs",
+        jfloat summary.Cold_sim.Failure.mean_disconnected_pairs );
+      ("partitioned_steps", jint summary.Cold_sim.Failure.partitioned_steps);
+      ("overloaded_steps", jint summary.Cold_sim.Failure.overloaded_steps);
+    ]
+
+let design_of_job = function
+  | P.Synth { design; _ } | P.Ensemble { design; _ } | P.Survive { design; _ }
+    -> design
+
+let compute job ~canon =
+  match job with
+  | P.Synth { design; format } -> compute_synth design format
+  | P.Ensemble { design; count } -> compute_ensemble design count
+  | P.Survive { design; steps; fseed; rates } ->
+    compute_survive design ~steps ~fseed ~rates ~canon
+
+let respond t job =
+  let t0 = t.now () in
+  locked t (fun () -> t.jobs <- t.jobs + 1);
+  let result =
+    let d = design_of_job job in
+    let canon = P.canonical_job job in
+    (* The fingerprinted context is a throwaway: the computation re-derives
+       its own from the same seed, so fingerprinting cannot perturb the
+       stream a cached and an uncached run consume. *)
+    let ctx, _rng = context_and_rng d in
+    let ctx_fp = context_fingerprint ctx in
+    let key = cache_key ~ctx_fp ~canon ~seed:d.P.seed in
+    match cache_find t.cache ~key ~canon ~ctx_fp with
+    | Some payload -> Ok payload
+    | None -> (
+      match compute job ~canon with
+      | payload ->
+        cache_store t.cache ~key ~canon ~ctx_fp payload;
+        Ok payload
+      | exception exn ->
+        locked t (fun () -> t.errors <- t.errors + 1);
+        Error (Printexc.to_string exn))
+  in
+  record_time t (t.now () -. t0);
+  result
+
+let handle_batch t jobs = Par.map_array t.pool (respond t) jobs
+
+(* --- stats -------------------------------------------------------------------- *)
+
+let cache_entries t =
+  Mutex.lock t.cache.cmutex;
+  let e = t.cache.entries in
+  Mutex.unlock t.cache.cmutex;
+  e
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(int_of_float (q *. float_of_int (n - 1)))
+
+let stats_json t ~queue_depth =
+  let requests, jobs, sheds, errors, times =
+    locked t (fun () ->
+        ( t.requests,
+          t.jobs,
+          t.sheds,
+          t.errors,
+          Array.sub t.times 0 t.ntimes ))
+  in
+  Array.sort Float.compare times;
+  let hits, misses, entries, capacity =
+    let c = t.cache in
+    Mutex.lock c.cmutex;
+    let r = (c.hits, c.misses, c.entries, Array.length c.slots) in
+    Mutex.unlock c.cmutex;
+    r
+  in
+  let fill =
+    if capacity = 0 then 0.
+    else float_of_int entries /. float_of_int capacity
+  in
+  json_of_fields
+    [
+      ("verb", "\"stats\"");
+      ("requests", jint requests);
+      ("jobs", jint jobs);
+      ("hits", jint hits);
+      ("misses", jint misses);
+      ("sheds", jint sheds);
+      ("errors", jint errors);
+      ("cache_entries", jint entries);
+      ("cache_capacity", jint capacity);
+      ("cache_fill", jfloat fill);
+      ("p50_ms", jfloat (1000. *. percentile times 0.50));
+      ("p99_ms", jfloat (1000. *. percentile times 0.99));
+      ("queue_depth", jint queue_depth);
+      ("domains", jint (parallelism t));
+    ]
+
+let shutdown t = Par.shutdown t.pool

@@ -1,0 +1,72 @@
+(** The deterministic heart of [cold_serve]: request evaluation, the
+    replay cache and the server-side counters — everything the daemon does
+    except sockets.
+
+    {b Determinism contract.} {!respond} is a pure function of its
+    {!Protocol.job}: the answer is computed by the same seeded pipeline a
+    CLI run would use ({!Cold.Synthesis}, {!Cold.Ensemble},
+    {!Cold_sim.Failure}), every float in a JSON payload is rendered with
+    {!Protocol.json_float}, and no timestamp, hostname or counter ever
+    reaches a payload. A cache hit therefore returns the {e same bytes}
+    the original computation produced, and a restarted daemon re-derives
+    them identically — request-level replay is bit-exact, at any pool
+    size.
+
+    {b The request cache} is keyed by (context fingerprint, params digest,
+    seed): the fingerprint is FNV-1a over the generated context's PoP
+    coordinates and traffic populations (the same machinery as
+    {!Cold_graph.Graph.fingerprint} / {!Cold.Fitness_cache}), the
+    digest is FNV-1a over the canonical request key
+    ({!Protocol.canonical_job}). Slots are direct-mapped like
+    {!Cold.Fitness_cache}; every hit is confirmed against the stored
+    canonical key, so a digest collision can never replay the wrong
+    response. All cache and counter state is mutex-guarded — safe from
+    every domain of the evaluation pool. *)
+
+type t
+
+val create :
+  ?domains:int -> ?cache_slots:int -> ?now:(unit -> float) -> unit -> t
+(** [create ()] builds a service. [domains] (default 1, [0] autodetects)
+    sizes the {!Cold_par.Par} pool {!handle_batch} fans requests over.
+    [cache_slots] (default 256; [0] disables) sizes the replay cache.
+    [now] supplies the clock used {e only} for service-time statistics —
+    never for payloads — so tests can inject a fake clock and the library
+    itself stays wall-clock-free. *)
+
+val parallelism : t -> int
+
+val respond : t -> Protocol.job -> (string, string) result
+(** [respond t job] answers one job from the cache or by computing it
+    ([Ok payload]), updating hit/miss counters and service-time records.
+    Computation runs outside the cache lock, so independent misses
+    evaluate concurrently; two racing identical jobs both compute the
+    same bytes and the second store is a no-op in effect. [Error msg]
+    reports an unexpected evaluation failure (the caller frames it as
+    [err … internal]); errors are never cached. *)
+
+val handle_batch : t -> Protocol.job array -> (string, string) result array
+(** [handle_batch t jobs] is [Array.map (respond t) jobs] fanned over the
+    service's domain pool — slot [i] always holds job [i]'s answer, so
+    scheduling order cannot leak into responses. *)
+
+val note_request : t -> unit
+(** Count one received request line (any verb, parseable or not). *)
+
+val note_shed : t -> unit
+(** Count one admission-queue overflow rejection. *)
+
+val note_error : t -> unit
+(** Count one error reply (parse, params, deadline, internal, …). *)
+
+val cache_entries : t -> int
+(** Occupied replay-cache slots. *)
+
+val stats_json : t -> queue_depth:int -> string
+(** The [stats] payload: requests/jobs/hits/misses/sheds/errors counters,
+    cache occupancy and fill fraction, p50/p99 service time (ms), current
+    queue depth and pool size, as one flat JSON object. Not cached, not
+    part of the determinism contract. *)
+
+val shutdown : t -> unit
+(** Stop the domain pool. Idempotent. *)

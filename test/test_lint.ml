@@ -121,7 +121,44 @@ let test_no_wall_clock () =
     "bench exempt" []
     (rules_fired
        (Engine.check_source ~only:[ "no-wall-clock" ] ~path:"bench/micro.ml"
-          "let t = Unix.gettimeofday ()"))
+          "let t = Unix.gettimeofday ()"));
+  (* lib/serve is exempt too: the daemon times service for its stats. *)
+  Alcotest.(check (list string))
+    "lib/serve exempt" []
+    (rules_fired
+       (Engine.check_source ~only:[ "no-wall-clock" ]
+          ~path:"lib/serve/server.ml" "let t = Unix.gettimeofday ()"))
+
+let test_unix_dependency_fence () =
+  let rule = "unix-dependency-fence" in
+  let at path src =
+    rules_fired (Engine.check_source ~only:[ rule ] ~path src)
+  in
+  check_fires rule "let fd = Unix.socket d t 0";
+  check_fires rule "let t = Unix.gettimeofday ()";
+  check_clean rule "(* Unix.socket would be wrong here *) let x = 1";
+  check_clean rule "let fd = Unix.socket d t 0 (* lint: allow unix-dependency-fence *)";
+  (* dune stanzas: a unix library dependency fires; mentions inside dotted
+     paths or comments do not. *)
+  Alcotest.(check (list string))
+    "dune dep fires" [ rule ]
+    (at "lib/fake/dune" "(library\n (name fake)\n (libraries cold unix))");
+  Alcotest.(check (list string))
+    "dune without unix quiet" []
+    (at "lib/fake/dune" "(library\n (name fake)\n (libraries cold))");
+  (* lib/serve may link unix; bin/ and bench/ are out of scope entirely. *)
+  Alcotest.(check (list string))
+    "lib/serve exempt" []
+    (at "lib/serve/dune" "(library\n (name cold_serve)\n (libraries unix))");
+  Alcotest.(check (list string))
+    "lib/serve code exempt" []
+    (at "lib/serve/server.ml" "let fd = Unix.socket d t 0");
+  Alcotest.(check (list string))
+    "bin out of scope" []
+    (at "bin/cold_serve_main.ml" "let () = Unix.sleep 1");
+  Alcotest.(check (list string))
+    "bench out of scope" []
+    (at "bench/dune" "(executable\n (name b)\n (libraries unix))")
 
 let test_no_polymorphic_compare () =
   check_fires "no-polymorphic-compare" "let xs = List.sort compare xs";
@@ -687,7 +724,7 @@ let test_reporters () =
     (String.length body > 2 && body.[0] = '[')
 
 let test_rule_catalogue () =
-  Alcotest.(check int) "ten token rules" 10 (List.length Rules.all);
+  Alcotest.(check int) "eleven token rules" 11 (List.length Rules.all);
   Alcotest.(check int) "three deep rules" 3 (List.length Rules.deep);
   List.iter
     (fun (r : Rules.t) ->
@@ -715,6 +752,8 @@ let () =
         [
           Alcotest.test_case "no-stdlib-random" `Quick test_no_stdlib_random;
           Alcotest.test_case "no-wall-clock" `Quick test_no_wall_clock;
+          Alcotest.test_case "unix-dependency-fence" `Quick
+            test_unix_dependency_fence;
           Alcotest.test_case "no-polymorphic-compare" `Quick
             test_no_polymorphic_compare;
           Alcotest.test_case "no-failwith-in-lib" `Quick test_no_failwith_in_lib;

@@ -109,6 +109,9 @@ let test_fitness_cache () =
   Alcotest.(check int) "objective ran once" 1 !calls;
   Alcotest.(check int) "one hit" 1 (Fc.hits cache);
   Alcotest.(check int) "one miss" 1 (Fc.misses cache);
+  Alcotest.(check int) "one occupied slot" 1 (Fc.entries cache);
+  Alcotest.(check bool) "fill is entries/capacity" true
+    (Float.equal (Fc.fill cache) (1.0 /. 64.0));
   (* A different graph in the same slot evicts, never corrupts. *)
   Graph.add_edge g 2 3;
   let c = eval g in
@@ -125,7 +128,10 @@ let test_fitness_cache () =
            0.0))
   done;
   Alcotest.(check int) "disabled cache always computes" 3 !calls0;
-  Alcotest.(check int) "disabled cache no hits" 0 (Fc.hits off)
+  Alcotest.(check int) "disabled cache no hits" 0 (Fc.hits off);
+  Alcotest.(check int) "disabled cache stores nothing" 0 (Fc.entries off);
+  Alcotest.(check bool) "zero-slot fill is 0" true
+    (Float.equal (Fc.fill off) 0.0)
 
 let test_fitness_cache_collision () =
   let module Fc = Cold.Fitness_cache in
@@ -152,6 +158,10 @@ let test_fitness_cache_collision () =
     (Float.equal (eval g1) (cost g1));
   Alcotest.(check int) "eviction costs a miss, not a wrong value" 3
     (Fc.misses cache);
+  (* Eviction replaces in place: occupancy never exceeds capacity. *)
+  Alcotest.(check int) "entries stable under eviction" 1 (Fc.entries cache);
+  Alcotest.(check bool) "full single-slot cache" true
+    (Float.equal (Fc.fill cache) 1.0);
   (* Same property at a non-degenerate capacity: search single-edge graphs
      for a pair whose fingerprints land in the same direct-mapped slot. *)
   let capacity = 8 in
