@@ -1,5 +1,5 @@
 (* Optimizer hot-path throughput: evaluations/sec of the evaluation engine,
-   full recomputation vs the delta-aware incremental engine, sequential vs
+   full recomputation vs the delta-aware engines, sequential vs
    autodetected domains, at n = 20 and n = 40.
 
    Three workloads stress different evaluation mixes:
@@ -10,6 +10,16 @@
      local_search  — simulated annealing (every candidate is a single move
                      from the current state: the incremental engine's
                      primary beneficiary).
+
+   Engine variants:
+     full          — Cost.evaluate from scratch per candidate;
+     incremental   — the mark-dirty engine (repair:false): affected trees
+                     recomputed by full per-source Dijkstra at refresh;
+     dynamic       — the in-place tree-repair engine (repair:true, the
+                     library default): affected trees patched by frontier
+                     re-relaxation (doc/PERF.md "Dynamic SSSP repair").
+   full, incremental and dynamic run the identical RNG trajectory and are
+   asserted bit-identical in-bench.
 
    Cells land in BENCH_ga.json keyed by (bench, variant, n, domains):
    existing rows for other keys are preserved, matching rows are replaced —
@@ -30,7 +40,7 @@ module Local_search = Cold.Local_search
 
 type cell = {
   bench : string;
-  variant : string; (* "full" | "incremental" *)
+  variant : string; (* "full" | "incremental" | "dynamic" | "locality" *)
   n : int;
   domains : int;
   evals_per_sec : float;
@@ -99,21 +109,27 @@ let ctx_for n =
 
 let params = Cost.params ~k2:1e-4 ()
 
-let measure_ga ~settings ~incremental ~n ~domains =
+(* The two delta-aware variants measured by every workload: the mark-dirty
+   engine and the dynamic in-place repair engine. *)
+let engines = [ ("incremental", false); ("dynamic", true) ]
+
+let measure_ga ~settings ~incremental ?repair ~n ~domains () =
   let ctx = ctx_for n in
   let run () =
-    Ga.run ~incremental ~domains ~cache_slots:0 settings params ctx
+    Ga.run ~incremental ?repair ~domains ~cache_slots:0 settings params ctx
       (Prng.create 42)
   in
   let (result, wall) = Config.time_it run in
   (result, wall, float_of_int result.Cold.Ga.evaluations /. wall)
 
-let measure_ls ~incremental ~n =
+let measure_ls ~incremental ?repair ~n () =
   let ctx = ctx_for n in
   let settings =
     { Local_search.default_settings with Local_search.iterations = ls_iterations }
   in
-  let run () = Local_search.run ~incremental settings params ctx (Prng.create 43) in
+  let run () =
+    Local_search.run ~incremental ?repair settings params ctx (Prng.create 43)
+  in
   let (result, wall) = Config.time_it run in
   (result, wall, float_of_int result.Local_search.evaluations /. wall)
 
@@ -143,29 +159,23 @@ let run () =
   in
   let ls_speedup_n40 = ref 0.0 in
 
-  (* GA workloads: full and incremental at 1 domain and (when available)
-     the autodetected count, asserting bit-identical optima throughout. *)
+  (* GA workloads: full, incremental and dynamic at 1 domain and (when
+     available) the autodetected count, asserting bit-identical optima
+     throughout. *)
   List.iter
     (fun (bench, settings) ->
       List.iter
         (fun n ->
           let (full_seq, full_wall, full_eps) =
-            measure_ga ~settings ~incremental:false ~n ~domains:1
+            measure_ga ~settings ~incremental:false ~n ~domains:1 ()
           in
           add
             { bench; variant = "full"; n; domains = 1; evals_per_sec = full_eps;
               wall_s = full_wall; speedup_vs_seq = 1.0; speedup_vs_full = 1.0 };
-          let (inc_seq, inc_wall, inc_eps) =
-            measure_ga ~settings ~incremental:true ~n ~domains:1
-          in
-          assert (Float.equal inc_seq.Cold.Ga.best_cost full_seq.Cold.Ga.best_cost);
-          add
-            { bench; variant = "incremental"; n; domains = 1;
-              evals_per_sec = inc_eps; wall_s = inc_wall;
-              speedup_vs_seq = 1.0; speedup_vs_full = inc_eps /. full_eps };
+          let full_par_eps = ref full_eps in
           if auto > 1 then begin
             let (full_par, fp_wall, fp_eps) =
-              measure_ga ~settings ~incremental:false ~n ~domains:auto
+              measure_ga ~settings ~incremental:false ~n ~domains:auto ()
             in
             assert (
               Float.equal full_par.Cold.Ga.best_cost full_seq.Cold.Ga.best_cost);
@@ -173,41 +183,65 @@ let run () =
               { bench; variant = "full"; n; domains = auto;
                 evals_per_sec = fp_eps; wall_s = fp_wall;
                 speedup_vs_seq = fp_eps /. full_eps; speedup_vs_full = 1.0 };
-            let (inc_par, ip_wall, ip_eps) =
-              measure_ga ~settings ~incremental:true ~n ~domains:auto
-            in
-            assert (
-              Float.equal inc_par.Cold.Ga.best_cost full_seq.Cold.Ga.best_cost);
-            add
-              { bench; variant = "incremental"; n; domains = auto;
-                evals_per_sec = ip_eps; wall_s = ip_wall;
-                speedup_vs_seq = ip_eps /. inc_eps;
-                speedup_vs_full = ip_eps /. fp_eps }
-          end)
+            full_par_eps := fp_eps
+          end;
+          List.iter
+            (fun (variant, repair) ->
+              let (inc_seq, inc_wall, inc_eps) =
+                measure_ga ~settings ~incremental:true ~repair ~n ~domains:1 ()
+              in
+              assert (
+                Float.equal inc_seq.Cold.Ga.best_cost full_seq.Cold.Ga.best_cost);
+              add
+                { bench; variant; n; domains = 1;
+                  evals_per_sec = inc_eps; wall_s = inc_wall;
+                  speedup_vs_seq = 1.0; speedup_vs_full = inc_eps /. full_eps };
+              if auto > 1 then begin
+                let (inc_par, ip_wall, ip_eps) =
+                  measure_ga ~settings ~incremental:true ~repair ~n
+                    ~domains:auto ()
+                in
+                assert (
+                  Float.equal inc_par.Cold.Ga.best_cost
+                    full_seq.Cold.Ga.best_cost);
+                add
+                  { bench; variant; n; domains = auto;
+                    evals_per_sec = ip_eps; wall_s = ip_wall;
+                    speedup_vs_seq = ip_eps /. inc_eps;
+                    speedup_vs_full = ip_eps /. !full_par_eps }
+              end)
+            engines)
         [ 20; 40 ])
     [ ("ga_hotpath", ga_settings); ("ga_mutation", mutation_settings) ];
 
   (* Local search: the single-edge-move workload. *)
   List.iter
     (fun n ->
-      let (full_r, full_wall, full_eps) = measure_ls ~incremental:false ~n in
+      let (full_r, full_wall, full_eps) = measure_ls ~incremental:false ~n () in
       add
         { bench = "local_search"; variant = "full"; n; domains = 1;
           evals_per_sec = full_eps; wall_s = full_wall; speedup_vs_seq = 1.0;
           speedup_vs_full = 1.0 };
-      let (inc_r, inc_wall, inc_eps) = measure_ls ~incremental:true ~n in
-      assert (
-        Float.equal inc_r.Local_search.best_cost full_r.Local_search.best_cost);
-      let speedup = inc_eps /. full_eps in
-      if n = 40 then ls_speedup_n40 := speedup;
-      add
-        { bench = "local_search"; variant = "incremental"; n; domains = 1;
-          evals_per_sec = inc_eps; wall_s = inc_wall; speedup_vs_seq = 1.0;
-          speedup_vs_full = speedup })
+      List.iter
+        (fun (variant, repair) ->
+          let (inc_r, inc_wall, inc_eps) =
+            measure_ls ~incremental:true ~repair ~n ()
+          in
+          assert (
+            Float.equal inc_r.Local_search.best_cost
+              full_r.Local_search.best_cost);
+          let speedup = inc_eps /. full_eps in
+          if n = 40 && String.equal variant "dynamic" then
+            ls_speedup_n40 := speedup;
+          add
+            { bench = "local_search"; variant; n; domains = 1;
+              evals_per_sec = inc_eps; wall_s = inc_wall; speedup_vs_seq = 1.0;
+              speedup_vs_full = speedup })
+        engines)
     [ 20; 40 ];
 
   Printf.printf
-    "\nlocal_search n=40: incremental %.2fx over full recomputation\n"
+    "\nlocal_search n=40: dynamic %.2fx over full recomputation\n"
     !ls_speedup_n40;
   let rows = List.rev_map row !cells in
   let total =
@@ -220,14 +254,14 @@ let run () =
 
 (* ------------------------------------------------------------------ *)
 (* Large-n scaling cells: n ∈ {100, 300, 1000}, the same three workloads,
-   three variants each — full recomputation, the incremental engine (both
-   on the historical RNG trajectory, asserted bit-identical), and the
-   opt-in spatial locality mode (its own deterministic trajectory, so its
-   cost is reported, not asserted). Settings shrink with n so the n = 1000
-   cells stay minutes, not hours: the quantity measured is evals/sec of the
-   evaluation engine, which tiny populations sample just as well. Runs
-   under the @bench-large alias (COLD_BENCH_ONLY=ga_hotpath_large), never
-   under @runtest. *)
+   four variants each — full recomputation, the mark-dirty incremental
+   engine, the dynamic in-place repair engine (all three on the historical
+   RNG trajectory, asserted bit-identical), and the opt-in spatial locality
+   mode (its own deterministic trajectory, so its cost is reported, not
+   asserted). Settings shrink with n so the n = 1000 cells stay minutes,
+   not hours: the quantity measured is evals/sec of the evaluation engine,
+   which tiny populations sample just as well. Runs under the @bench-large
+   alias (COLD_BENCH_ONLY=ga_hotpath_large), never under @runtest. *)
 
 let locality_k = 10
 
@@ -286,29 +320,38 @@ let run_large () =
     print_cell c;
     cells := c :: !cells
   in
-  (* The headline scaling number: the single-move workload (every candidate
-     one edge flip from the current state) is what the delta-aware engine
-     optimizes; crossover-heavy GA churn is its documented worst case. *)
+  (* The headline scaling numbers: the single-move workload (every candidate
+     one edge flip from the current state) is what the delta-aware engines
+     optimize; crossover-heavy GA churn is their documented worst case. The
+     dynamic engine's target is >= 1.3x over the mark-dirty engine on the
+     local-search workload (it saves the per-affected-source Dijkstra, not
+     the accumulation). *)
   let inc_speedup_n100 = ref 0.0 in
+  let dyn_vs_inc = ref [] in
   List.iter
     (fun n ->
       List.iter
         (fun (bench, mutation_heavy) ->
           let settings = large_ga ~mutation_heavy n in
           let (full_r, full_wall, full_eps) =
-            measure_ga ~settings ~incremental:false ~n ~domains:1
+            measure_ga ~settings ~incremental:false ~n ~domains:1 ()
           in
           add
             { bench; variant = "full"; n; domains = 1; evals_per_sec = full_eps;
               wall_s = full_wall; speedup_vs_seq = 1.0; speedup_vs_full = 1.0 };
-          let (inc_r, inc_wall, inc_eps) =
-            measure_ga ~settings ~incremental:true ~n ~domains:1
-          in
-          assert (Float.equal inc_r.Cold.Ga.best_cost full_r.Cold.Ga.best_cost);
-          add
-            { bench; variant = "incremental"; n; domains = 1;
-              evals_per_sec = inc_eps; wall_s = inc_wall; speedup_vs_seq = 1.0;
-              speedup_vs_full = inc_eps /. full_eps };
+          List.iter
+            (fun (variant, repair) ->
+              let (inc_r, inc_wall, inc_eps) =
+                measure_ga ~settings ~incremental:true ~repair ~n ~domains:1 ()
+              in
+              assert (
+                Float.equal inc_r.Cold.Ga.best_cost full_r.Cold.Ga.best_cost);
+              add
+                { bench; variant; n; domains = 1;
+                  evals_per_sec = inc_eps; wall_s = inc_wall;
+                  speedup_vs_seq = 1.0;
+                  speedup_vs_full = inc_eps /. full_eps })
+            engines;
           let (_loc_r, loc_wall, loc_eps) =
             measure_ga_locality ~settings ~n
           in
@@ -321,33 +364,36 @@ let run_large () =
       let ctx = ctx_for n in
       let settings =
         { Local_search.default_settings with Local_search.iterations } in
-      let (full_r, full_wall, full_eps) =
+      let measure ~incremental ?repair () =
         let run () =
-          Local_search.run ~incremental:false settings params ctx
+          Local_search.run ~incremental ?repair settings params ctx
             (Prng.create 43)
         in
         let (r, w) = Config.time_it run in
         (r, w, float_of_int r.Local_search.evaluations /. w)
       in
+      let (full_r, full_wall, full_eps) = measure ~incremental:false () in
       add
         { bench = "local_search"; variant = "full"; n; domains = 1;
           evals_per_sec = full_eps; wall_s = full_wall; speedup_vs_seq = 1.0;
           speedup_vs_full = 1.0 };
-      let (inc_r, inc_wall, inc_eps) =
-        let run () =
-          Local_search.run ~incremental:true settings params ctx
-            (Prng.create 43)
-        in
-        let (r, w) = Config.time_it run in
-        (r, w, float_of_int r.Local_search.evaluations /. w)
-      in
-      assert (
-        Float.equal inc_r.Local_search.best_cost full_r.Local_search.best_cost);
-      if n = 100 then inc_speedup_n100 := inc_eps /. full_eps;
-      add
-        { bench = "local_search"; variant = "incremental"; n; domains = 1;
-          evals_per_sec = inc_eps; wall_s = inc_wall; speedup_vs_seq = 1.0;
-          speedup_vs_full = inc_eps /. full_eps };
+      let inc_eps_of = ref full_eps in
+      List.iter
+        (fun (variant, repair) ->
+          let (inc_r, inc_wall, inc_eps) = measure ~incremental:true ~repair () in
+          assert (
+            Float.equal inc_r.Local_search.best_cost
+              full_r.Local_search.best_cost);
+          if String.equal variant "incremental" then begin
+            inc_eps_of := inc_eps;
+            if n = 100 then inc_speedup_n100 := inc_eps /. full_eps
+          end
+          else dyn_vs_inc := (n, inc_eps /. !inc_eps_of) :: !dyn_vs_inc;
+          add
+            { bench = "local_search"; variant; n; domains = 1;
+              evals_per_sec = inc_eps; wall_s = inc_wall; speedup_vs_seq = 1.0;
+              speedup_vs_full = inc_eps /. full_eps })
+        engines;
       let (_loc_r, loc_wall, loc_eps) = measure_ls_locality ~n ~iterations in
       add
         { bench = "local_search"; variant = "locality"; n; domains = 1;
@@ -357,6 +403,12 @@ let run_large () =
   Printf.printf
     "\nlocal_search n=100: incremental %.2fx over full recomputation (target >= 2x)\n"
     !inc_speedup_n100;
+  List.iter
+    (fun (n, r) ->
+      Printf.printf
+        "local_search n=%d: dynamic %.2fx over mark-dirty incremental (target >= 1.3x)\n"
+        n r)
+    (List.rev !dyn_vs_inc);
   let rows = List.rev_map row !cells in
   let total =
     Config.merge_json_rows ~path:"BENCH_ga.json"

@@ -45,27 +45,38 @@ let check_trajectory ~n ~steps =
     if step mod 3 = 0 then Incremental.rollback st else Incremental.commit st
   done;
   Printf.printf
-    "smoke trajectory n=%d: %d evals, %.1f trees recomputed/eval (full would be %d)\n%!"
+    "smoke trajectory n=%d: %d evals, %.1f trees recomputed + %.1f repaired \
+     in place/eval (full would be %d)\n%!"
     n !evals
     (float_of_int (Incremental.recomputed_trees st) /. float_of_int !evals)
+    (float_of_int (Incremental.repaired_trees st) /. float_of_int !evals)
     n
 
+(* Both delta-aware engines — mark-dirty (repair:false) and dynamic in-place
+   repair (repair:true, the default) — against the stateless oracle on the
+   same trajectory. *)
 let check_local_search () =
   let ctx = Context.generate (Context.default_spec ~n:12) (Prng.create 7) in
   let params = Cost.params ~k2:2e-4 () in
   let settings =
     { Local_search.default_settings with Local_search.iterations = 400 }
   in
-  let run incremental =
-    Local_search.run ~incremental settings params ctx (Prng.create 8)
+  let run incremental ?repair () =
+    Local_search.run ~incremental ?repair settings params ctx (Prng.create 8)
   in
-  let full = run false and inc = run true in
-  if not (bits_equal full.Local_search.best_cost inc.Local_search.best_cost) then
-    fail "local search diverged: full %h vs incremental %h"
-      full.Local_search.best_cost inc.Local_search.best_cost;
-  if full.Local_search.accepted <> inc.Local_search.accepted then
-    fail "local search accepted counts diverged";
-  Printf.printf "smoke local search: full and incremental bit-identical\n%!"
+  let full = run false () in
+  List.iter
+    (fun (name, repair) ->
+      let inc = run true ~repair () in
+      if not (bits_equal full.Local_search.best_cost inc.Local_search.best_cost)
+      then
+        fail "local search diverged: full %h vs %s %h"
+          full.Local_search.best_cost name inc.Local_search.best_cost;
+      if full.Local_search.accepted <> inc.Local_search.accepted then
+        fail "local search accepted counts diverged (full vs %s)" name)
+    [ ("mark-dirty", false); ("dynamic", true) ];
+  Printf.printf
+    "smoke local search: full, mark-dirty and dynamic bit-identical\n%!"
 
 let check_ga () =
   let ctx = Context.generate (Context.default_spec ~n:12) (Prng.create 9) in

@@ -9,6 +9,7 @@ let () =
   let cache_slots =
     ref Cold_serve.Server.default_config.Cold_serve.Server.cache_slots
   in
+  let cache_file = ref "" in
   let spec =
     [
       ("--port", Arg.Set_int port, "PORT listen on 127.0.0.1:PORT (0 = ephemeral; default 7421)");
@@ -16,9 +17,10 @@ let () =
       ("--queue", Arg.Set_int queue, "N admission-queue capacity before shedding (default 64)");
       ("--batch", Arg.Set_int batch, "B max requests per scheduler batch (default 8)");
       ("--cache-slots", Arg.Set_int cache_slots, "S replay-cache slots (0 disables; default 256)");
+      ("--cache-file", Arg.Set_string cache_file, "PATH reload the replay cache from PATH at startup and dump it there after draining");
     ]
   in
-  let usage = "cold_serve [--port PORT] [--domains K] [--queue N] [--batch B] [--cache-slots S]" in
+  let usage = "cold_serve [--port PORT] [--domains K] [--queue N] [--batch B] [--cache-slots S] [--cache-file PATH]" in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
   let cfg =
     {
@@ -28,6 +30,7 @@ let () =
       queue_capacity = !queue;
       batch = !batch;
       cache_slots = !cache_slots;
+      cache_file = (if !cache_file = "" then None else Some !cache_file);
     }
   in
   match Cold_serve.Server.create cfg with

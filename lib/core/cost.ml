@@ -59,10 +59,10 @@ let evaluate_breakdown ?workspace p ctx g =
 
 let evaluate ?workspace p ctx g = (evaluate_breakdown ?workspace p ctx g).total
 
-let state ?multipath ctx g =
+let state ?multipath ?repair ctx g =
   if Graph.node_count g <> Context.n ctx then
     invalid_arg "Cost.state: graph size does not match context";
-  Incremental.create ?multipath g
+  Incremental.create ?multipath ?repair g
     ~length:(fun u v -> Context.distance ctx u v)
     ~tm:ctx.Context.tm
 

@@ -62,12 +62,14 @@ val evaluate_breakdown :
 
 val state :
   ?multipath:bool ->
+  ?repair:bool ->
   Cold_context.Context.t ->
   Cold_graph.Graph.t ->
   Cold_net.Incremental.t
 (** [state ctx g] opens incremental evaluation state at topology [g], wired
     to the context's distances and traffic matrix — the constructor behind
-    {!evaluate_state}. *)
+    {!evaluate_state}. [repair] (default [true]) selects the dynamic
+    in-place tree-repair engine; see {!Cold_net.Incremental.create}. *)
 
 val evaluate_state :
   params -> Cold_context.Context.t -> Cold_net.Incremental.t -> float

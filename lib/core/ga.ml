@@ -269,25 +269,27 @@ let run_custom ?domains ?cache_slots ?seeds ?locality ?survivable settings
    still yields a state for its own future mutants. Both give the exact
    floats of [Cost.evaluate] (see Incremental's bit-identity contract), so
    mixing the two paths — and the fitness memo — never changes a result. *)
-let eval_incremental params ctx : eval_fn =
+let eval_incremental ?repair params ctx : eval_fn =
  fun ~parent g ->
   let st =
     match parent with
     | Some parent_st ->
+      (* Clones inherit the parent's engine choice, so one ?repair at the
+         root of the population decides the whole run. *)
       let st = Incremental.clone parent_st in
       ignore (Incremental.retarget st g);
       st
-    | None -> Cost.state ctx g
+    | None -> Cost.state ?repair ctx g
   in
   let cost = Cost.evaluate_state params ctx st in
   Incremental.commit st;
   (cost, Some st)
 
-let run ?domains ?cache_slots ?seeds ?(incremental = true) ?locality
+let run ?domains ?cache_slots ?seeds ?(incremental = true) ?repair ?locality
     ?survivable settings params ctx rng =
   if incremental then
     run_impl ?domains ?cache_slots ?seeds ?locality ?survivable settings
-      ~eval:(eval_incremental params ctx) ctx rng
+      ~eval:(eval_incremental ?repair params ctx) ctx rng
   else begin
     (* From-scratch evaluation reuses the calling domain's routing scratch —
        the load matrix and Dijkstra buffers — instead of allocating ~n²

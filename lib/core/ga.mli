@@ -62,6 +62,7 @@ val run :
   ?cache_slots:int ->
   ?seeds:Cold_graph.Graph.t list ->
   ?incremental:bool ->
+  ?repair:bool ->
   ?locality:int ->
   ?survivable:bool ->
   settings ->
@@ -78,7 +79,10 @@ val run :
     routing state, and a mutant — a handful of edge flips away from its
     parent — recomputes only the shortest-path trees those flips affect.
     Crossover children and cache hits evaluate as before. [false] scores
-    everything with {!Cost.evaluate} from scratch. The two settings return
+    everything with {!Cost.evaluate} from scratch. [?repair] (default
+    [true]) additionally selects the dynamic in-place tree-repair engine
+    for those states ({!Cold_net.Incremental.create}); clones inherit it,
+    so the flag governs the whole population. All settings return
     bit-identical results at every [?domains] count and differ only in
     running time (and the memory for retained per-member states).
 

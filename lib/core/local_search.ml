@@ -67,7 +67,7 @@ let propose ?locality ctx ~into g rng ~node_move_prob =
   end;
   candidate
 
-let run ?(incremental = true) ?initial ?locality settings params ctx rng =
+let run ?(incremental = true) ?repair ?initial ?locality settings params ctx rng =
   if settings.iterations < 0 then invalid_arg "Local_search.run: negative iterations";
   if settings.cooling <= 0.0 || settings.cooling > 1.0 then
     invalid_arg "Local_search.run: cooling must be in (0, 1]";
@@ -92,7 +92,7 @@ let run ?(incremental = true) ?initial ?locality settings params ctx rng =
        the flips; reject rolls them back. Costs, and therefore the whole
        accept/reject trajectory, are bit-identical to the full-evaluation
        loop below. *)
-    let st = Cost.state ctx start in
+    let st = Cost.state ?repair ctx start in
     let evaluate_st () =
       incr evaluations;
       Cost.evaluate_state params ctx st

@@ -33,6 +33,7 @@ val hill_climb_settings : settings
 
 val run :
   ?incremental:bool ->
+  ?repair:bool ->
   ?initial:Cold_graph.Graph.t ->
   ?locality:int ->
   settings ->
@@ -48,9 +49,13 @@ val run :
     delta-aware engine ({!Cold_net.Incremental}): each candidate's edge
     flips are applied to persistent evaluation state, committed on accept
     and rolled back on reject, so only affected shortest-path trees are
-    recomputed. [false] evaluates every candidate from scratch with
-    {!Cost.evaluate}. Both paths are bit-identical — same proposals, same
-    costs, same trajectory, same result — differing only in running time.
+    recomputed — or, with the default [repair:true], repaired in place by
+    the dynamic SSSP engine ({!Cold_net.Incremental.create}).
+    [repair:false] selects the mark-dirty/full-Dijkstra engine; the flag is
+    meaningless without [incremental]. [false] evaluates every candidate
+    from scratch with {!Cost.evaluate}. All paths are bit-identical — same
+    proposals, same costs, same trajectory, same result — differing only in
+    running time.
 
     [?locality:k] replaces the uniform link toggle with a 50/50 choice
     between removing a uniform existing link and adding one from a uniform

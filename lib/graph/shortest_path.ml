@@ -95,6 +95,24 @@ let dijkstra ?adj ?csr ?workspace g ~length ~source =
   drain ();
   { dist; pred; order = Array.sub order 0 !count }
 
+(* The repair certificate: every settled non-source vertex sits strictly
+   farther than its predecessor. When it holds, each vertex is pushed at its
+   final priority before the first pop of its equal-distance group (the
+   predecessor settles strictly earlier and relaxes it), so the lazy heap's
+   strict (priority, vertex-id) order makes the settle sequence exactly
+   ascending (dist, id) — the property Cold_net.Incremental's order merge
+   depends on. Zero-length links (colocated PoPs) or additions rounded away
+   by float precision violate it; such trees must be rebuilt from scratch
+   rather than repaired. *)
+let canonical t =
+  let ok = ref true in
+  Array.iter
+    (fun v ->
+      let p = t.pred.(v) in
+      if p >= 0 && not (t.dist.(p) < t.dist.(v)) then ok := false)
+    t.order;
+  !ok
+
 let path t v =
   if v < 0 || v >= Array.length t.dist then invalid_arg "Shortest_path.path";
   if Float.equal t.dist.(v) infinity then None

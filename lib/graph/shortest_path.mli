@@ -56,6 +56,18 @@ val dijkstra :
     output is bit-identical with and without it. Raises [Invalid_argument]
     if the workspace was built for a different vertex count. *)
 
+val canonical : tree -> bool
+(** [canonical t] is the {e repair certificate}: [true] iff every settled
+    non-source vertex is strictly farther than its predecessor. When it
+    holds, {!dijkstra}'s settle order is provably the ascending
+    [(dist, vertex-id)] sort of the reachable vertices — each vertex is
+    pushed at its final priority before the first pop of its equal-distance
+    group, and the heap's canonical [(priority, vertex-id)] tie-break (see
+    {!Heap}) does the rest. [Cold_net.Incremental] repairs trees in place
+    only while the certificate holds; zero-length links (colocated PoPs) or
+    float-rounding-degenerate additions violate it and force a full
+    recomputation. O(reachable). *)
+
 val path : tree -> int -> int list option
 (** [path t v] is the source→[v] vertex sequence, or [None] if unreachable. *)
 

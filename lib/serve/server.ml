@@ -7,6 +7,7 @@ type config = {
   batch : int;
   cache_slots : int;
   max_line : int;
+  cache_file : string option;
 }
 
 let default_config =
@@ -17,6 +18,7 @@ let default_config =
     batch = 8;
     cache_slots = 256;
     max_line = 4096;
+    cache_file = None;
   }
 
 (* One client connection. [wlock] serializes response frames; [inflight]
@@ -247,6 +249,45 @@ let drain_buffer t conn =
   done;
   !ok
 
+(* --- cache persistence ----------------------------------------------------------
+
+   Best-effort on both ends: a daemon must come up without its cache file
+   (first boot, deleted, corrupt — it is only a warm-start hint; every
+   entry is re-derivable) and must not die for an unwritable dump path at
+   teardown. Replay correctness never depends on the file: restored hits
+   are verified against the canonical key like any other hit. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_cache service = function
+  | None -> ()
+  | Some path ->
+    (try ignore (Service.restore_cache service (read_file path))
+     with Sys_error _ | End_of_file -> ())
+
+let dump_cache_file t =
+  match t.cfg.cache_file with
+  | None -> ()
+  | Some path -> (
+    (* Write-then-rename so a crash mid-dump never truncates the previous
+       dump, and a concurrent reader sees old bytes or new bytes, never a
+       prefix. *)
+    let tmp = path ^ ".tmp" in
+    try
+      let oc = open_out_bin tmp in
+      (try
+         output_string oc (Service.dump_cache t.service);
+         close_out oc
+       with e ->
+         close_out_noerr oc;
+         raise e);
+      Sys.rename tmp path
+    with Sys_error _ -> ())
+
 (* --- accept loop ----------------------------------------------------------------- *)
 
 let create cfg =
@@ -282,7 +323,9 @@ let create cfg =
       conns = [];
     }
   with
-  | t -> Ok t
+  | t ->
+    load_cache t.service t.cfg.cache_file;
+    Ok t
   | exception Unix.Unix_error (err, fn, _) ->
     Error (Printf.sprintf "cannot listen on port %d: %s (%s)" cfg.port
              (Unix.error_message err) fn)
@@ -394,4 +437,5 @@ let run t =
   if !listening then close_quietly t.listen_fd;
   List.iter (fun c -> close_quietly c.fd) t.conns;
   t.conns <- [];
+  dump_cache_file t;
   Service.shutdown t.service

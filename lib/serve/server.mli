@@ -34,6 +34,15 @@ type config = {
   batch : int;  (** Max jobs per scheduler batch; default 8. *)
   cache_slots : int;  (** Replay-cache slots; default 256, [0] disables. *)
   max_line : int;  (** Request-line byte budget; default 4096. *)
+  cache_file : string option;
+      (** Replay-cache persistence (default [None]): {!create} reloads the
+          file if it exists and is well-formed ({!Service.restore_cache}),
+          and {!run} dumps the cache to it — write-then-rename, so the
+          previous dump is never truncated — after draining. Best-effort
+          on both ends: a missing, corrupt or unwritable file never stops
+          the daemon; the cache is a warm-start hint, every entry is
+          re-derivable. Replayed hits return the dumped bytes verbatim, so
+          restart replay stays bit-exact. *)
 }
 
 val default_config : config

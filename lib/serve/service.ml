@@ -47,7 +47,10 @@ let context_fingerprint (ctx : Context.t) =
 
 (* --- replay cache ------------------------------------------------------------ *)
 
-type entry = { canon : string; ctx_fp : int64; payload : string }
+(* [key] is stored alongside the verification fields so a dumped cache can
+   be re-slotted on reload without recomputing digests (the capacity — and
+   with it the slot index — may differ between runs). *)
+type entry = { key : int64; canon : string; ctx_fp : int64; payload : string }
 
 type cache = {
   cmutex : Mutex.t;
@@ -104,7 +107,7 @@ let cache_store cache ~key ~canon ~ctx_fp payload =
     let slot = slot_of cache key in
     Mutex.lock cache.cmutex;
     if cache.slots.(slot) = None then cache.entries <- cache.entries + 1;
-    cache.slots.(slot) <- Some { canon; ctx_fp; payload };
+    cache.slots.(slot) <- Some { key; canon; ctx_fp; payload };
     Mutex.unlock cache.cmutex
   end
 
@@ -350,6 +353,94 @@ let cache_entries t =
   let e = t.cache.entries in
   Mutex.unlock t.cache.cmutex;
   e
+
+(* --- cache persistence ---------------------------------------------------------
+
+   A dumped cache is a deterministic function of the cache contents: a
+   one-line header, then one length-prefixed record per occupied slot in
+   ascending slot order. Payloads are stored verbatim — restore hands back
+   the exact bytes the original computation produced, so replay from a
+   reloaded cache stays bit-exact. The record carries the full 64-bit key,
+   so a restore into a different capacity just re-slots each entry. *)
+
+let dump_cache t =
+  let c = t.cache in
+  Mutex.lock c.cmutex;
+  let entries = List.filter_map Fun.id (Array.to_list c.slots) in
+  Mutex.unlock c.cmutex;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "coldserve-cache 1 %d\n" (List.length entries));
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%Lx %Lx %d %d\n" e.key e.ctx_fp
+           (String.length e.canon) (String.length e.payload));
+      Buffer.add_string buf e.canon;
+      Buffer.add_string buf e.payload;
+      Buffer.add_char buf '\n')
+    entries;
+  Buffer.contents buf
+
+(* Internal early-exit for the restore parser; never escapes
+   [restore_cache]. *)
+exception Malformed of string
+
+let restore_cache t s =
+  let bad what = raise (Malformed what) in
+  let len = String.length s in
+  let pos = ref 0 in
+  let restored = ref 0 in
+  match
+    let line () =
+      match String.index_from_opt s !pos '\n' with
+      | None -> bad "truncated"
+      | Some i ->
+        let l = String.sub s !pos (i - !pos) in
+        pos := i + 1;
+        l
+    in
+    let count =
+      match String.split_on_char ' ' (line ()) with
+      | [ "coldserve-cache"; "1"; c ] -> (
+        match int_of_string_opt c with
+        | Some c when c >= 0 -> c
+        | _ -> bad "bad count")
+      | _ -> bad "bad header"
+    in
+    for _ = 1 to count do
+      match String.split_on_char ' ' (line ()) with
+      | [ key; fp; clen; plen ] ->
+        let parse_hex what h =
+          match Int64.of_string_opt ("0x" ^ h) with
+          | Some x -> x
+          | None -> bad ("bad " ^ what)
+        in
+        let parse_len what l =
+          match int_of_string_opt l with
+          | Some n when n >= 0 -> n
+          | _ -> bad ("bad " ^ what)
+        in
+        let key = parse_hex "key" key in
+        let ctx_fp = parse_hex "fingerprint" fp in
+        let clen = parse_len "canon length" clen in
+        let plen = parse_len "payload length" plen in
+        if len - !pos < clen + plen + 1 then bad "truncated record";
+        let canon = String.sub s !pos clen in
+        pos := !pos + clen;
+        let payload = String.sub s !pos plen in
+        pos := !pos + plen;
+        if s.[!pos] <> '\n' then bad "missing record terminator";
+        incr pos;
+        if Array.length t.cache.slots > 0 then begin
+          cache_store t.cache ~key ~canon ~ctx_fp payload;
+          incr restored
+        end
+      | _ -> bad "bad record header"
+    done
+  with
+  | () -> Ok !restored
+  | exception Malformed what -> Error what
 
 let percentile sorted q =
   let n = Array.length sorted in

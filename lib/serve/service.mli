@@ -62,6 +62,23 @@ val note_error : t -> unit
 val cache_entries : t -> int
 (** Occupied replay-cache slots. *)
 
+val dump_cache : t -> string
+(** Serialize every occupied replay-cache slot (ascending slot order) into
+    a deterministic, restart-stable format: a versioned header line, then
+    one length-prefixed record per entry carrying the 64-bit cache key,
+    the context fingerprint, the canonical request key and the verbatim
+    payload bytes. Same cache contents, same bytes. *)
+
+val restore_cache : t -> string -> (int, string) result
+(** [restore_cache t dump] re-inserts every record of a {!dump_cache}
+    string into the cache, re-slotting by stored key (so the capacity may
+    differ from the dumping run's), and returns [Ok n] with the number of
+    entries inserted — [0] when the cache is disabled. Hits against
+    restored entries return the original payload bytes verbatim,
+    preserving the bit-exact replay contract across restarts.
+    [Error what] describes a malformed dump; the cache retains whatever
+    was inserted before the malformation was hit. *)
+
 val stats_json : t -> queue_depth:int -> string
 (** The [stats] payload: requests/jobs/hits/misses/sheds/errors counters,
     cache occupancy and fill fraction, p50/p99 service time (ms), current

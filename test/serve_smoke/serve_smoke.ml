@@ -162,4 +162,33 @@ let () =
       let stats = expect_ok c "stats st2" in
       if counter stats "sheds" <> 1 then fail "shed not counted";
       close_client c);
-  print_endline "serve smoke passed: miss/hit/shed/drain + byte-exact replay"
+  (* Pass 3: cache persistence. The first daemon computes one answer and
+     dumps its cache on drain; a restarted daemon with the same cache file
+     must answer the same request from the reloaded cache — a hit, not a
+     recomputation — with byte-identical payload. *)
+  let cache_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cold_serve_cache_%d.dump" (Unix.getpid ()))
+  in
+  if Sys.file_exists cache_path then Sys.remove cache_path;
+  let pcfg = { cfg with Server.cache_file = Some cache_path } in
+  let persisted =
+    with_server pcfg (fun port ->
+        let c = connect port in
+        let p = expect_ok c (synth ~id:"p1" ~seed:9 "edges") in
+        close_client c;
+        p)
+  in
+  if not (Sys.file_exists cache_path) then fail "cache file not dumped";
+  with_server pcfg (fun port ->
+      let c = connect port in
+      let stats = expect_ok c "stats st3" in
+      if counter stats "cache_entries" < 1 then fail "cache not reloaded";
+      let replay = expect_ok c (synth ~id:"p2" ~seed:9 "edges") in
+      if replay <> persisted then fail "persisted replay not byte-identical";
+      let stats = expect_ok c "stats st4" in
+      if counter stats "hits" < 1 then fail "restored entry missed the cache";
+      close_client c);
+  Sys.remove cache_path;
+  print_endline
+    "serve smoke passed: miss/hit/shed/drain + byte-exact replay (incl. cache restart)"

@@ -7,6 +7,7 @@
    cost totals bitwise — no tolerances anywhere. *)
 
 module Graph = Cold_graph.Graph
+module Heap = Cold_graph.Heap
 module Mst = Cold_graph.Mst
 module Shortest_path = Cold_graph.Shortest_path
 module Prng = Cold_prng.Prng
@@ -68,14 +69,23 @@ let flip ?mirror st rng n =
     Option.iter (fun m -> Graph.add_edge m u v) mirror
   end
 
-let sweep ~multipath ~seed ~iterations n =
-  let ctx = ctx_of seed n in
-  let length u v = Context.distance ctx u v in
+(* [?ctx] substitutes an adversarial context (e.g. colocated PoPs);
+   [?length] substitutes an adversarial metric (e.g. unit lengths) — the
+   cost cross-check is skipped then, since Cost always prices by the
+   context's own distances. [?repair] picks the engine (default dynamic). *)
+let sweep ?ctx ?length ?repair ~multipath ~seed ~iterations n =
+  let ctx = match ctx with Some c -> c | None -> ctx_of seed n in
+  let check_cost = Option.is_none length in
+  let length =
+    match length with
+    | Some l -> l
+    | None -> fun u v -> Context.distance ctx u v
+  in
   let tm = ctx.Context.tm in
   let params = Cost.params ~k2:2e-4 ~k3:0.3 () in
   let rng = Prng.create ((seed * 7919) + 1) in
   let g0 = Mst.mst_graph ~n ~weight:length in
-  let st = Incremental.create ~multipath g0 ~length ~tm in
+  let st = Incremental.create ~multipath ?repair g0 ~length ~tm in
   let mirror = ref (Graph.copy g0) in
   let check label =
     if not (Graph.equal (Incremental.graph st) !mirror) then
@@ -94,7 +104,7 @@ let sweep ~multipath ~seed ~iterations n =
     | None, None -> ()
     | Some want, Some got ->
       check_loads_equal label n got want;
-      if not multipath then begin
+      if (not multipath) && check_cost then begin
         let a = Cost.evaluate params ctx !mirror in
         let b = Cost.evaluate_state params ctx st in
         if not (feq_bits a b) then
@@ -160,13 +170,66 @@ let sweep ~multipath ~seed ~iterations n =
       | Some want, Some got -> check_loads_equal (label "clone") n got want
       | _ -> Alcotest.failf "%s: clone feasibility disagrees" (label "clone")));
     check (label "committed")
-  done
+  done;
+  Incremental.repaired_trees st
 
 let test_sweep_single_path () =
-  List.iter (fun seed -> sweep ~multipath:false ~seed ~iterations:170 13) [ 1; 2; 3 ]
+  let repaired =
+    List.fold_left
+      (fun acc seed -> acc + sweep ~multipath:false ~seed ~iterations:170 13)
+      0 [ 1; 2; 3 ]
+  in
+  (* The default engine must actually repair, not silently bail everywhere. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "dynamic engine repaired trees (got %d)" repaired)
+    true (repaired > 0)
 
 let test_sweep_multipath () =
-  sweep ~multipath:true ~seed:4 ~iterations:170 13
+  let repaired = sweep ~multipath:true ~seed:4 ~iterations:170 13 in
+  Alcotest.(check bool) "dynamic engine repaired trees" true (repaired > 0)
+
+let test_sweep_mark_dirty_engine () =
+  (* The repair:false engine must stay available and exact — and never
+     report repairs. *)
+  let r1 = sweep ~repair:false ~multipath:false ~seed:5 ~iterations:90 13 in
+  let r2 = sweep ~repair:false ~multipath:true ~seed:6 ~iterations:70 13 in
+  Alcotest.(check int) "mark-dirty engine never repairs" 0 (r1 + r2)
+
+(* --- adversarial tie-heavy topologies ----------------------------------------- *)
+
+(* Colocated PoPs: coordinate duplicates make zero-length links, the exact
+   case the repair certificate rejects — every repair of such a tree must
+   bail to a full Dijkstra, and results must stay bit-identical through the
+   bail path. Distances between distinct sites still tie heavily (integer
+   grid). *)
+let colocated_ctx n =
+  let pts =
+    Array.init n (fun i ->
+        let k = i / 2 in
+        Cold_geom.Point.make (float_of_int (k mod 3)) (float_of_int (k / 3)))
+  in
+  let pops = Array.init n (fun i -> 1.0 +. float_of_int (i mod 4)) in
+  Context.of_points_and_populations pts pops
+
+let test_sweep_colocated_pops () =
+  let n = 12 in
+  ignore (sweep ~ctx:(colocated_ctx n) ~multipath:false ~seed:31 ~iterations:130 n);
+  ignore (sweep ~ctx:(colocated_ctx n) ~multipath:true ~seed:32 ~iterations:90 n)
+
+let test_sweep_unit_lengths () =
+  (* Every link weight 1: path lengths collapse onto small integers, so
+     equal-length alternative routes are everywhere and every repair leans
+     on the canonical (priority, vertex-id) tie-break. *)
+  let r = sweep ~length:(fun _ _ -> 1.0) ~multipath:false ~seed:33 ~iterations:150 13 in
+  Alcotest.(check bool) "unit-length sweep exercises repair" true (r > 0);
+  ignore (sweep ~length:(fun _ _ -> 1.0) ~multipath:true ~seed:34 ~iterations:90 13)
+
+let test_sweep_quantized_lengths () =
+  (* Two-valued metric: multigraph-like parallel shortest candidates between
+     whole regions, plus exact float ties in every relaxation. *)
+  let length u v = if (u + v) mod 2 = 0 then 2.0 else 1.0 in
+  ignore (sweep ~length ~multipath:false ~seed:35 ~iterations:150 13);
+  ignore (sweep ~length ~multipath:true ~seed:36 ~iterations:90 13)
 
 let test_perturbation_budget () =
   (* The two sweeps above must together exceed the required op count. *)
@@ -296,24 +359,190 @@ let test_edge_diff_roundtrip () =
       ([], []) (Graph.edge_diff h h)
   done
 
+(* --- batched multi-flip journals ---------------------------------------------- *)
+
+let test_batched_journal () =
+  (* k flips accumulate in one journal, then a single commit or rollback.
+     Loads are demanded only at the batch boundary, so repairs from
+     different flips of the batch compose on one tree before any oracle
+     check — and one rollback must unwind the whole batch. *)
+  let n = 14 in
+  let ctx = ctx_of 61 n in
+  let length u v = Context.distance ctx u v in
+  let tm = ctx.Context.tm in
+  let rng = Prng.create 62 in
+  let g0 = Mst.mst_graph ~n ~weight:length in
+  let st = Incremental.create g0 ~length ~tm in
+  let mirror = ref (Graph.copy g0) in
+  ignore (Incremental.loads st);
+  Incremental.commit st;
+  let check label =
+    let fresh =
+      match Routing.route !mirror ~length ~tm with
+      | exception Routing.Disconnected -> None
+      | l -> Some l
+    in
+    let inc =
+      match Incremental.loads st with
+      | exception Routing.Disconnected -> None
+      | l -> Some l
+    in
+    match (fresh, inc) with
+    | None, None -> ()
+    | Some want, Some got -> check_loads_equal label n got want
+    | _ -> Alcotest.failf "%s: feasibility disagrees" label
+  in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun commit ->
+          let saved = Graph.copy !mirror in
+          for _ = 1 to k do
+            flip ~mirror:!mirror st rng n
+          done;
+          check (Printf.sprintf "k=%d proposed" k);
+          if commit then Incremental.commit st
+          else begin
+            Incremental.rollback st;
+            mirror := saved
+          end;
+          check (Printf.sprintf "k=%d %s" k (if commit then "committed" else "rolled back")))
+        [ true; false ])
+    [ 1; 2; 4; 8 ];
+  Alcotest.(check bool) "batched journals exercised repair" true
+    (Incremental.repaired_trees st > 0)
+
+(* --- dual-engine lockstep ------------------------------------------------------ *)
+
+let test_dual_engine_lockstep () =
+  (* Drive the dynamic and the mark-dirty engines through the identical op
+     sequence and demand bitwise-equal loads at every checkpoint: any drift
+     between repair and recompute shows up as a direct diff, independent of
+     the oracle. *)
+  let n = 14 in
+  let ctx = ctx_of 71 n in
+  let length u v = Context.distance ctx u v in
+  let tm = ctx.Context.tm in
+  let rng = Prng.create 72 in
+  let g0 = Mst.mst_graph ~n ~weight:length in
+  let dyn = Incremental.create ~repair:true g0 ~length ~tm in
+  let mrk = Incremental.create ~repair:false g0 ~length ~tm in
+  for step = 1 to 150 do
+    let (u, v) = random_pair rng n in
+    incr perturbations;
+    if Graph.mem_edge (Incremental.graph dyn) u v then begin
+      Incremental.remove_edge dyn u v;
+      Incremental.remove_edge mrk u v
+    end
+    else begin
+      Incremental.add_edge dyn u v;
+      Incremental.add_edge mrk u v
+    end;
+    let commit = Prng.int rng 4 < 3 in
+    let compare_now () =
+      let of_state st =
+        match Incremental.loads st with
+        | exception Routing.Disconnected -> None
+        | l -> Some l
+      in
+      match (of_state mrk, of_state dyn) with
+      | None, None -> ()
+      | Some want, Some got ->
+        check_loads_equal (Printf.sprintf "step %d" step) n got want
+      | _ -> Alcotest.failf "step %d: engines disagree on feasibility" step
+    in
+    compare_now ();
+    if commit then begin
+      Incremental.commit dyn;
+      Incremental.commit mrk
+    end
+    else begin
+      Incremental.rollback dyn;
+      Incremental.rollback mrk;
+      compare_now ()
+    end
+  done;
+  Alcotest.(check bool) "dynamic engine repaired" true
+    (Incremental.repaired_trees dyn > 0);
+  Alcotest.(check int) "mark-dirty engine never repairs" 0
+    (Incremental.repaired_trees mrk)
+
+(* --- indexed heap ------------------------------------------------------------- *)
+
+let test_indexed_heap_matches_lazy () =
+  (* The decrease-key heap must pop the exact accepted sequence of the lazy
+     heap: each vertex once, at its minimal pushed priority, in the strict
+     (priority, vertex-id) order both heaps document. Quarter-integer
+     priorities force plenty of exact float ties. *)
+  let rng = Prng.create 81 in
+  for trial = 1 to 60 do
+    let n = 1 + Prng.int rng 40 in
+    let lazyh = Heap.create ~capacity:4 in
+    let idx = Heap.Indexed.create ~n in
+    let best = Array.make n infinity in
+    for _ = 1 to 1 + Prng.int rng 120 do
+      let v = Prng.int rng n in
+      let p = float_of_int (Prng.int rng 16) /. 4.0 in
+      Heap.push lazyh ~priority:p v;
+      Heap.Indexed.decrease idx ~priority:p v;
+      if p < best.(v) then best.(v) <- p
+    done;
+    let popped = Array.make n false in
+    let rec accepted () =
+      match Heap.pop_min lazyh with
+      | None -> None
+      | Some (p, v) ->
+        if popped.(v) then accepted ()
+        else begin
+          popped.(v) <- true;
+          Some (p, v)
+        end
+    in
+    let rec drain () =
+      match Heap.Indexed.pop_min idx with
+      | None ->
+        (match accepted () with
+        | None -> ()
+        | Some (p, v) ->
+          Alcotest.failf "trial %d: lazy heap has extra accepted pop (%g, %d)"
+            trial p v)
+      | Some (p, v) ->
+        if not (feq_bits p best.(v)) then
+          Alcotest.failf "trial %d: vertex %d popped at %g, minimal was %g"
+            trial v p best.(v);
+        (match accepted () with
+        | Some (p', v') when v = v' && feq_bits p p' -> ()
+        | Some (p', v') ->
+          Alcotest.failf "trial %d: indexed (%g, %d) vs lazy (%g, %d)" trial p
+            v p' v'
+        | None -> Alcotest.failf "trial %d: lazy heap exhausted early" trial);
+        drain ()
+    in
+    drain ()
+  done
+
 (* --- optimizer equivalence ---------------------------------------------------- *)
 
 let test_local_search_incremental_bitwise () =
   let ctx = ctx_of 21 12 in
   let params = Cost.params ~k2:2e-4 () in
   let settings = { Local_search.default_settings with Local_search.iterations = 600 } in
-  let run incremental =
-    Local_search.run ~incremental settings params ctx (Prng.create 22)
-  in
-  let a = run false and b = run true in
-  Alcotest.(check bool) "best graph identical" true
-    (Graph.equal a.Local_search.best b.Local_search.best);
-  Alcotest.(check bool) "best cost bit-identical" true
-    (feq_bits a.Local_search.best_cost b.Local_search.best_cost);
-  Alcotest.(check int) "same accepted count" a.Local_search.accepted
-    b.Local_search.accepted;
-  Alcotest.(check int) "same evaluation count" a.Local_search.evaluations
-    b.Local_search.evaluations
+  let full = Local_search.run ~incremental:false settings params ctx (Prng.create 22) in
+  List.iter
+    (fun (label, repair) ->
+      let b =
+        Local_search.run ~incremental:true ~repair settings params ctx
+          (Prng.create 22)
+      in
+      Alcotest.(check bool) (label ^ ": best graph identical") true
+        (Graph.equal full.Local_search.best b.Local_search.best);
+      Alcotest.(check bool) (label ^ ": best cost bit-identical") true
+        (feq_bits full.Local_search.best_cost b.Local_search.best_cost);
+      Alcotest.(check int) (label ^ ": same accepted count")
+        full.Local_search.accepted b.Local_search.accepted;
+      Alcotest.(check int) (label ^ ": same evaluation count")
+        full.Local_search.evaluations b.Local_search.evaluations)
+    [ ("dynamic", true); ("mark-dirty", false) ]
 
 let () =
   Alcotest.run "cold_incremental"
@@ -322,7 +551,24 @@ let () =
         [
           Alcotest.test_case "single-path equivalence" `Quick test_sweep_single_path;
           Alcotest.test_case "multipath equivalence" `Quick test_sweep_multipath;
+          Alcotest.test_case "mark-dirty engine equivalence" `Quick
+            test_sweep_mark_dirty_engine;
+          Alcotest.test_case "colocated PoPs (zero-length ties)" `Quick
+            test_sweep_colocated_pops;
+          Alcotest.test_case "unit lengths (tie-heavy)" `Quick
+            test_sweep_unit_lengths;
+          Alcotest.test_case "quantized lengths (parallel candidates)" `Quick
+            test_sweep_quantized_lengths;
+          Alcotest.test_case "batched multi-flip journals" `Quick
+            test_batched_journal;
+          Alcotest.test_case "dual-engine lockstep" `Quick
+            test_dual_engine_lockstep;
           Alcotest.test_case "perturbation budget" `Quick test_perturbation_budget;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "indexed matches lazy accepted pops" `Quick
+            test_indexed_heap_matches_lazy;
         ] );
       ( "workspace",
         [ Alcotest.test_case "bit-identical outputs" `Quick test_workspace_bit_identical ] );
